@@ -1,0 +1,178 @@
+// Repository-level benchmarks: one per experiment (E1–E10, regenerating the
+// EXPERIMENTS.md tables in quick mode) plus micro-benchmarks of the kernels
+// the algorithms are built from. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bicameral"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/residual"
+	"repro/internal/rsp"
+	"repro/internal/shortest"
+)
+
+// benchExperiment runs one registered experiment in quick mode per
+// iteration; the tables themselves are produced by cmd/krspexp.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := exp.Lookup(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := exp.Config{Quick: true, Seeds: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_ApproxRatio(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2_Phase1(b *testing.B)           { benchExperiment(b, "E2") }
+func BenchmarkE3_Figure1(b *testing.B)          { benchExperiment(b, "E3") }
+func BenchmarkE4_AuxGraph(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5_EpsilonSweep(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6_KSweep(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7_Topologies(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8_BicameralEngines(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9_Infeasible(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10_Tightness(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11_Scaling(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12_Batch(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkE13_Netsim(b *testing.B)          { benchExperiment(b, "E13") }
+
+// --- kernel micro-benchmarks -------------------------------------------
+
+func benchInstance(b *testing.B, n int, k int, slack float64) graph.Instance {
+	b.Helper()
+	ins := gen.ER(42, n, 0.2, gen.DefaultWeights())
+	ins.K = k
+	bounded, ok := gen.WithBound(ins, slack)
+	if !ok {
+		b.Fatal("benchmark instance infeasible")
+	}
+	return bounded
+}
+
+func BenchmarkSolveN20K2(b *testing.B) {
+	ins := benchInstance(b, 20, 2, 1.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(ins, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveN60K3(b *testing.B) {
+	ins := benchInstance(b, 60, 3, 1.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(ins, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveScaledN30(b *testing.B) {
+	ins := benchInstance(b, 30, 2, 1.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveScaled(ins, 0.25, 0.25, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhase1N60(b *testing.B) {
+	ins := benchInstance(b, 60, 3, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Phase1(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinCostKFlowN100(b *testing.B) {
+	ins := gen.ER(7, 100, 0.1, gen.DefaultWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, 2, shortest.CostWeight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFlowN200(b *testing.B) {
+	ins := gen.ER(7, 200, 0.05, gen.DefaultWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.MaxDisjointPaths(ins.G, ins.S, ins.T)
+	}
+}
+
+func BenchmarkRSPExactDP(b *testing.B) {
+	ins := benchInstance(b, 40, 1, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsp.ExactDP(ins.G, ins.S, ins.T, ins.Bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSPFPTAS(b *testing.B) {
+	ins := benchInstance(b, 40, 1, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsp.FPTAS(ins.G, ins.S, ins.T, ins.Bound, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSPLARAC(b *testing.B) {
+	ins := benchInstance(b, 40, 1, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsp.LARAC(ins.G, ins.S, ins.T, ins.Bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBicameralFind(b *testing.B) {
+	ins := benchInstance(b, 30, 2, 1.2)
+	f, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, ins.K, shortest.CostWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rg := residual.Build(ins.G, f.Edges)
+	dd := ins.Bound - f.Delay(ins.G)
+	if dd >= 0 {
+		b.Skip("min-cost flow already feasible on this seed")
+	}
+	p := bicameral.Params{DeltaD: dd, DeltaC: 10, CostCap: 1 << 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bicameral.Find(rg, p, bicameral.Options{})
+	}
+}
+
+func BenchmarkSPFAAllN2000(b *testing.B) {
+	ins := gen.ER(3, 200, 0.08, gen.DefaultWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shortest.SPFAAll(ins.G, shortest.CostWeight)
+	}
+}

@@ -1,0 +1,170 @@
+// Command krsp solves a kRSP instance from a file (or stdin) and prints
+// the k disjoint paths with a cost/delay certificate.
+//
+// Usage:
+//
+//	krsp [flags] [instance-file]
+//
+// Flags:
+//
+//	-algo     solver: solve (default), scaled, phase1, exact,
+//	          minsum, mindelay, greedy, sweep
+//	-eps      epsilon for -algo scaled (default 0.25)
+//	-engine   bicameral engine: comb (default), lp, or minratio
+//	-format   instance format: krsp (default) or dimacs (.gr extension)
+//	-dot      write a Graphviz rendering with the solution highlighted
+//	-quiet    print only the summary line
+//
+// The instance format is documented in internal/graph (WriteInstance).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/bicameral"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "krsp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("krsp", flag.ContinueOnError)
+	algo := fs.String("algo", "solve", "solver: solve|scaled|phase1|exact|minsum|mindelay|greedy|sweep")
+	eps := fs.Float64("eps", 0.25, "epsilon for -algo scaled")
+	engine := fs.String("engine", "comb", "bicameral engine: comb|lp|minratio")
+	dotPath := fs.String("dot", "", "write Graphviz output to this file")
+	format := fs.String("format", "krsp", "instance format: krsp|dimacs")
+	quiet := fs.Bool("quiet", false, "print only the summary line")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	var err error
+	if fs.NArg() > 0 {
+		var f *os.File
+		f, err = os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = fs.Arg(0)
+	}
+	var ins graph.Instance
+	switch *format {
+	case "krsp":
+		ins, err = graph.ReadInstance(in)
+	case "dimacs":
+		ins, err = graph.ReadDIMACS(in)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", name, err)
+	}
+	if err := ins.Validate(); err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	switch *engine {
+	case "comb":
+	case "lp":
+		opts.Engine = bicameral.EngineLP
+	case "minratio":
+		opts.Engine = bicameral.EngineMinRatio
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+
+	var (
+		sol        graph.Solution
+		cost, dly  int64
+		lowerBound int64 = -1
+		label            = *algo
+	)
+	switch *algo {
+	case "solve", "scaled", "phase1":
+		var res core.Result
+		switch *algo {
+		case "solve":
+			res, err = core.Solve(ins, opts)
+		case "scaled":
+			res, err = core.SolveScaled(ins, *eps, *eps, opts)
+		case "phase1":
+			opts.Phase1Only = true
+			res, err = core.Solve(ins, opts)
+		}
+		if err != nil {
+			return err
+		}
+		sol, cost, dly, lowerBound = res.Solution, res.Cost, res.Delay, res.LowerBound
+		if !*quiet {
+			fmt.Fprintf(out, "phase1 λ-iterations: %d, cancellations: %d (types %v)\n",
+				res.Stats.Phase1.LambdaIterations, res.Stats.Iterations, res.Stats.CyclesByType)
+			if res.Exact {
+				fmt.Fprintln(out, "solution is exactly optimal (min-cost flow met the bound)")
+			}
+		}
+	case "exact":
+		res, err := exact.BruteForce(ins, 0)
+		if err != nil {
+			return err
+		}
+		sol, cost, dly, lowerBound = res.Solution, res.Cost, res.Delay, res.Cost
+	case "minsum", "mindelay", "greedy", "sweep":
+		var fn baseline.Func
+		for _, b := range baseline.All() {
+			if b.Name == *algo {
+				fn = b.Run
+			}
+		}
+		res, err := fn(ins)
+		if err != nil {
+			return err
+		}
+		sol, cost, dly = res.Solution, res.Cost, res.Delay
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	fmt.Fprintf(out, "%s: k=%d cost=%d delay=%d bound=%d", label, ins.K, cost, dly, ins.Bound)
+	if lowerBound > 0 {
+		fmt.Fprintf(out, " lower-bound=%d (factor ≤ %.3f)", lowerBound, float64(cost)/float64(lowerBound))
+	}
+	if dly > ins.Bound {
+		fmt.Fprint(out, " [BOUND VIOLATED]")
+	}
+	fmt.Fprintln(out)
+	if !*quiet {
+		for i, p := range sol.Paths {
+			fmt.Fprintf(out, "  path %d: %s (cost %d, delay %d)\n",
+				i+1, p.Format(ins.G), p.Cost(ins.G), p.Delay(ins.G))
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graph.WriteDOT(f, ins.G, ins.Name, graph.NewEdgeSet(sol.EdgeIDs()...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

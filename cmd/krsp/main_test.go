@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func writeInstanceFile(t *testing.T) string {
+	t.Helper()
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(0, 3, 3, 5)
+	ins := graph.Instance{G: g, S: 0, T: 3, K: 2, Bound: 10, Name: "cli test"}
+	path := filepath.Join(t.TempDir(), "ins.krsp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteInstance(f, ins); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSolve(t *testing.T) {
+	path := writeInstanceFile(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "solve: k=2") || !strings.Contains(s, "lower-bound=") {
+		t.Fatalf("output:\n%s", s)
+	}
+	if strings.Contains(s, "BOUND VIOLATED") {
+		t.Fatalf("bound violated:\n%s", s)
+	}
+	if !strings.Contains(s, "path 1:") || !strings.Contains(s, "path 2:") {
+		t.Fatalf("paths missing:\n%s", s)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeInstanceFile(t)
+	for _, algo := range []string{"solve", "scaled", "phase1", "exact", "minsum", "mindelay", "greedy", "sweep"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo, path}, &out); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), algo+": k=2") {
+			t.Fatalf("%s output:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestRunLPEngineAndQuiet(t *testing.T) {
+	path := writeInstanceFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "lp", "-quiet", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "path 1:") {
+		t.Fatal("quiet mode printed paths")
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	path := writeInstanceFile(t)
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	var out bytes.Buffer
+	if err := run([]string{"-dot", dot, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") || !strings.Contains(string(data), "color=red") {
+		t.Fatalf("dot file:\n%s", data)
+	}
+}
+
+func TestRunDIMACSFormat(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	ins := graph.Instance{G: g, S: 0, T: 3, K: 2, Bound: 22}
+	path := filepath.Join(t.TempDir(), "ins.gr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteDIMACS(f, ins); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-format", "dimacs", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solve: k=2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if err := run([]string{"-format", "bogus", path}, &out); err == nil {
+		t.Fatal("bogus format accepted")
+	}
+}
+
+func TestRunMinRatioEngine(t *testing.T) {
+	path := writeInstanceFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "minratio", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "BOUND VIOLATED") {
+		t.Fatal("bound violated")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeInstanceFile(t)
+	cases := [][]string{
+		{"-algo", "bogus", path},
+		{"-engine", "bogus", path},
+		{"/nonexistent/file.krsp"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunInfeasibleInstance(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1, 10)
+	ins := graph.Instance{G: g, S: 0, T: 1, K: 2, Bound: 5}
+	path := filepath.Join(t.TempDir(), "bad.krsp")
+	f, _ := os.Create(path)
+	if err := graph.WriteInstance(f, ins); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func instanceBody(t *testing.T, bound int64, k int) *bytes.Buffer {
+	t.Helper()
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(0, 3, 3, 5)
+	ins := graph.Instance{G: g, S: 0, T: 3, K: k, Bound: bound}
+	var buf bytes.Buffer
+	if err := graph.WriteInstance(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Delay > 10 || out.Violated {
+		t.Fatalf("bound violated: %+v", out)
+	}
+	if out.Cost > 26 || out.Cost < 13 {
+		t.Fatalf("cost %d outside [OPT, 2·OPT]", out.Cost)
+	}
+	if len(out.Paths) != 2 {
+		t.Fatalf("%d paths", len(out.Paths))
+	}
+	for _, p := range out.Paths {
+		if p[0] != 0 || p[len(p)-1] != 3 {
+			t.Fatalf("path endpoints %v", p)
+		}
+	}
+}
+
+func TestSolveEndpointAlgos(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	for _, q := range []string{"?algo=phase1", "?algo=scaled&eps=0.5"} {
+		resp, err := http.Post(srv.URL+"/solve"+q, "text/plain", instanceBody(t, 10, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestSolveEndpointErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	// Malformed body.
+	resp, _ := http.Post(srv.URL+"/solve", "text/plain", strings.NewReader("garbage"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Infeasible instance → 422.
+	resp, _ = http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 3, 2))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Unknown algo.
+	resp, _ = http.Post(srv.URL+"/solve?algo=bogus", "text/plain", instanceBody(t, 10, 2))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus algo: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad eps.
+	resp, _ = http.Post(srv.URL+"/solve?algo=scaled&eps=-1", "text/plain", instanceBody(t, 10, 2))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad eps: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// GET not allowed.
+	resp, _ = http.Get(srv.URL + "/solve")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestFeasibleEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/feasible", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		MaxDisjoint int   `json:"maxDisjoint"`
+		MinDelay    int64 `json:"minDelay"`
+		OK          bool  `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxDisjoint != 3 || out.MinDelay != 7 || !out.OK {
+		t.Fatalf("feasible = %+v", out)
+	}
+}

@@ -1,0 +1,118 @@
+// Command krspexp runs the experiment suite (E1–E10 from DESIGN.md §5) and
+// prints the result tables; EXPERIMENTS.md is regenerated from this output.
+//
+// Usage:
+//
+//	krspexp               # run everything
+//	krspexp -run E3,E5    # selected experiments
+//	krspexp -quick        # smaller instances/seeds (smoke run)
+//	krspexp -csv dir/     # additionally write one CSV per experiment
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "krspexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("krspexp", flag.ContinueOnError)
+	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := fs.Bool("quick", false, "smoke mode: fewer seeds, smaller instances")
+	seeds := fs.Int("seeds", 0, "instances per cell (0 = default)")
+	csvDir := fs.String("csv", "", "write per-experiment CSVs into this directory")
+	parallel := fs.Bool("parallel", false, "run experiments concurrently (output stays ordered)")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := exp.Config{Quick: *quick, Seeds: *seeds}
+
+	var selected []exp.Experiment
+	if *runList == "" {
+		selected = exp.Registry()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			e := exp.Lookup(strings.TrimSpace(id))
+			if e == nil {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, *e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	type outcome struct {
+		text  bytes.Buffer
+		table *exp.Table
+		err   error
+	}
+	outcomes := make([]outcome, len(selected))
+	runOne := func(i int) {
+		e := selected[i]
+		o := &outcomes[i]
+		fmt.Fprintf(&o.text, "=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			o.err = fmt.Errorf("%s: %w", e.ID, err)
+			return
+		}
+		o.table = table
+		table.Render(&o.text)
+		fmt.Fprintf(&o.text, "(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range selected {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range selected {
+			runOne(i)
+		}
+	}
+	for i, e := range selected {
+		o := &outcomes[i]
+		if o.err != nil {
+			return o.err
+		}
+		if _, err := io.Copy(out, &o.text); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv"))
+			if err != nil {
+				return err
+			}
+			o.table.RenderCSV(f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-seeds", "2", "-run", "E3,E4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== E3:") || !strings.Contains(s, "=== E4:") {
+		t.Fatalf("output:\n%s", s)
+	}
+	if strings.Contains(s, "=== E1:") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-seeds", "2", "-run", "E9", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e9.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "mode,inst") {
+		t.Fatalf("csv:\n%s", data)
+	}
+}
+
+func TestRunParallelMatchesSequentialStructure(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-quick", "-seeds", "2", "-run", "E3,E9"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-seeds", "2", "-parallel", "-run", "E3,E9"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"=== E3:", "=== E9:"} {
+		if !strings.Contains(par.String(), want) {
+			t.Fatalf("parallel output missing %s", want)
+		}
+	}
+	// The solved values are deterministic, but any row with a wall-clock
+	// column differs run to run; compare with timing-bearing lines removed.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "(") || strings.Contains(line, "µs") ||
+				strings.Contains(line, "ms") || strings.Contains(line, "time") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Fatalf("parallel output diverged from sequential:\n%s\n---\n%s",
+			strip(seq.String()), strip(par.String()))
+	}
+}

@@ -1,0 +1,72 @@
+// Command krspgen generates kRSP instances in the repository's text format.
+//
+// Usage:
+//
+//	krspgen -topo er -n 40 -seed 7 -k 2 -slack 1.5 > instance.krsp
+//
+// Topologies: er, grid, layered, geometric, isp, figure1, figure2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "krspgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("krspgen", flag.ContinueOnError)
+	topo := fs.String("topo", "er", "topology: er|grid|layered|geometric|isp|figure1|figure2")
+	n := fs.Int("n", 30, "vertex count (er, geometric) or side length (grid)")
+	seed := fs.Int64("seed", 1, "random seed")
+	k := fs.Int("k", 2, "number of disjoint paths")
+	density := fs.Float64("density", 0.2, "edge density (er, layered)")
+	slack := fs.Float64("slack", 1.5, "delay bound as slack × minimal delay")
+	maxC := fs.Int64("maxcost", 20, "max edge cost")
+	maxD := fs.Int64("maxdelay", 20, "max edge delay")
+	corr := fs.Float64("corr", -0.8, "cost/delay correlation in [-1,1]")
+	figD := fs.Int64("figd", 8, "D parameter for figure1")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := gen.Weights{MaxCost: *maxC, MaxDelay: *maxD, Correlation: *corr}
+	var ins graph.Instance
+	switch *topo {
+	case "er":
+		ins = gen.ER(*seed, *n, *density, w)
+	case "grid":
+		ins = gen.Grid(*seed, *n, *n, w)
+	case "layered":
+		ins = gen.Layered(*seed, 5, *n/5+2, *density, w)
+	case "geometric":
+		ins = gen.Geometric(*seed, *n, 0.35, w)
+	case "isp":
+		ins = gen.ISP(*seed, *n/3+3, 2, w)
+	case "figure1":
+		ins, _ = gen.Figure1(10, *figD)
+		return graph.WriteInstance(out, ins)
+	case "figure2":
+		ins, _, _ = gen.Figure2()
+		return graph.WriteInstance(out, ins)
+	default:
+		return fmt.Errorf("unknown topology %q", *topo)
+	}
+	ins.K = *k
+	bounded, ok := gen.WithBound(ins, *slack)
+	if !ok {
+		return fmt.Errorf("instance cannot host k=%d disjoint paths; try another seed or topology", *k)
+	}
+	return graph.WriteInstance(out, bounded)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestGenerateAllTopologies(t *testing.T) {
+	for _, topo := range []string{"er", "grid", "layered", "geometric", "isp", "figure1", "figure2"} {
+		var out bytes.Buffer
+		args := []string{"-topo", topo, "-n", "12", "-seed", "3"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		ins, err := graph.ReadInstance(&out)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", topo, err)
+		}
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestGeneratedInstanceIsFeasible(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "er", "-n", "20", "-seed", "9", "-slack", "1.4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := graph.ReadInstance(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feas, err := core.CheckFeasible(ins)
+	if err != nil || !feas.OK {
+		t.Fatalf("generated instance infeasible: %+v %v", feas, err)
+	}
+	// Generated instances must be solvable end to end.
+	if _, err := core.Solve(ins, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-topo", "grid", "-n", "5", "-seed", "4"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topo", "grid", "-n", "5", "-seed", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "bogus"}, &out); err == nil {
+		t.Fatal("bogus topology accepted")
+	}
+	// A k larger than any topology supports.
+	if err := run([]string{"-topo", "grid", "-n", "3", "-k", "50"}, &out); err == nil {
+		t.Fatal("impossible k accepted")
+	}
+}
+
+func TestFigure1Flag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topo", "figure1", "-figd", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bound 16") {
+		t.Fatalf("figure1 bound not set:\n%s", out.String())
+	}
+}

@@ -1,0 +1,86 @@
+// Fault tolerance: the remaining benefit the paper's introduction lists
+// for multipath QoS routing. Provision k = 3 disjoint paths, then simulate
+// every single-link failure on them and show that (a) the surviving paths
+// keep carrying traffic instantly and (b) re-solving on the degraded
+// topology restores full capacity — comparing the re-solve cost against
+// the original.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	// Corner-anchored grids only guarantee two disjoint routes; scan seeds
+	// until the diagonal sprinkle yields a third.
+	var ins graph.Instance
+	found := false
+	for seed := int64(1); seed < 64 && !found; seed++ {
+		cand := gen.Grid(seed, 5, 6, gen.Weights{MaxCost: 15, MaxDelay: 15, Correlation: -0.7})
+		cand.K = 3
+		if bounded, ok := gen.WithBound(cand, 1.6); ok {
+			ins = bounded
+			found = true
+		}
+	}
+	if !found {
+		log.Fatal("no grid seed hosts 3 disjoint paths")
+	}
+
+	res, err := core.Solve(ins, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d disjoint paths, cost %d, delay %d ≤ %d\n\n",
+		ins.K, res.Cost, res.Delay, ins.Bound)
+
+	// Fail each provisioned link in turn.
+	failures, resolved, costSum := 0, 0, int64(0)
+	for _, p := range res.Solution.Paths {
+		for _, dead := range p.Edges {
+			failures++
+			survivors := 0
+			for _, q := range res.Solution.Paths {
+				alive := true
+				for _, id := range q.Edges {
+					if id == dead {
+						alive = false
+						break
+					}
+				}
+				if alive {
+					survivors++
+				}
+			}
+			// Rebuild the degraded topology and re-solve.
+			deg := graph.New(ins.G.NumNodes())
+			for _, e := range ins.G.Edges() {
+				if e.ID != dead {
+					deg.AddEdge(e.From, e.To, e.Cost, e.Delay)
+				}
+			}
+			dIns := graph.Instance{G: deg, S: ins.S, T: ins.T, K: ins.K, Bound: ins.Bound}
+			if r2, err := core.Solve(dIns, core.Options{}); err == nil {
+				resolved++
+				costSum += r2.Cost
+				if survivors != ins.K-1 {
+					log.Fatalf("edge-disjointness violated: %d survivors", survivors)
+				}
+			}
+		}
+	}
+	fmt.Printf("simulated %d single-link failures on provisioned paths:\n", failures)
+	fmt.Printf("  immediate survivors per failure: %d of %d paths (disjointness)\n", ins.K-1, ins.K)
+	fmt.Printf("  re-provisioning succeeded for %d/%d failures\n", resolved, failures)
+	if resolved > 0 {
+		fmt.Printf("  mean re-provisioned cost: %.1f (baseline %d)\n",
+			float64(costSum)/float64(resolved), res.Cost)
+	}
+}

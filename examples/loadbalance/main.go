@@ -1,0 +1,54 @@
+// Load balance, measured: provision k = 1, 2, 3 disjoint QoS paths with
+// the paper's algorithm, then push the SAME growing traffic demand through
+// each provisioning with the packet-level simulator. Single-path QoS
+// routing collapses past one link's capacity; disjoint multipath absorbs
+// it — the paper's §1 motivation as numbers.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netsim"
+)
+
+func main() {
+	base := gen.ER(314, 22, 0.25, gen.Weights{MaxCost: 10, MaxDelay: 10, Correlation: -0.7})
+	fmt.Printf("topology: %d nodes, %d links; provisioning s→t paths under a delay SLA\n\n",
+		base.G.NumNodes(), base.G.NumEdges())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "offered load\tk\tloss\tp99 delay\tbusiest link")
+	for _, load := range []float64{0.5, 1.0, 1.5, 2.0} {
+		for _, k := range []int{1, 2, 3} {
+			ins := base
+			ins.K = k
+			bounded, ok := gen.WithBound(ins, 1.5)
+			if !ok {
+				log.Fatalf("cannot host k=%d", k)
+			}
+			res, err := core.Solve(bounded, core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, err := netsim.Run(bounded.G, netsim.Config{QueueLimit: 32}, []netsim.Flow{
+				{Paths: res.Solution.Paths, Rate: load, Packets: 4000},
+			}, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%.1fx\t%d\t%5.1f%%\t%7.1f\t%5.1f%%\n",
+				load, k, 100*st.LossRate(), st.P99Delay, 100*st.MaxUtilization)
+		}
+		fmt.Fprintln(w, "\t\t\t\t")
+	}
+	w.Flush()
+	fmt.Println("loads are relative to a single link's capacity: beyond 1.0x only")
+	fmt.Println("multipath provisioning can carry the demand without loss.")
+}

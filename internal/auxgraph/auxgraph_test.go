@@ -1,0 +1,259 @@
+package auxgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// negDelayCycleBase: residual-like graph with a cost-0, delay-negative
+// 3-cycle 0→1→2→0.
+func negDelayCycleBase() *graph.Digraph {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2, 1)   // e0
+	g.AddEdge(1, 2, 1, 1)   // e1
+	g.AddEdge(2, 0, -3, -5) // e2 (reversed solution edge)
+	return g
+}
+
+func TestBuildSizesPlus(t *testing.T) {
+	g := negDelayCycleBase()
+	a := Build(g, 0, 3, Plus)
+	if a.H.NumNodes() != 3*4 {
+		t.Fatalf("nodes = %d", a.H.NumNodes())
+	}
+	// e0 (cost 2): layers 0,1 → 2 copies; e1 (cost 1): layers 0..2 → 3;
+	// e2 (cost −3): layer 3 → 1 copy; wraps: 3.
+	if a.H.NumEdges() != 2+3+1+3 {
+		t.Fatalf("edges = %d", a.H.NumEdges())
+	}
+	if err := a.H.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerNodeMapping(t *testing.T) {
+	g := negDelayCycleBase()
+	a := Build(g, 1, 2, TwoSided)
+	if _, ok := a.LayerNode(0, 3); ok {
+		t.Fatal("layer 3 should be out of range for B=2")
+	}
+	if _, ok := a.LayerNode(0, -3); ok {
+		t.Fatal("layer −3 should be out of range")
+	}
+	id, ok := a.LayerNode(2, -2)
+	if !ok {
+		t.Fatal("layer −2 must exist")
+	}
+	if int(id) >= a.H.NumNodes() {
+		t.Fatal("mapped node out of range")
+	}
+	if a.Start() != mustNode(t, a, 1, 0) {
+		t.Fatal("TwoSided start must be v^0")
+	}
+}
+
+func mustNode(t *testing.T, a *Aux, v graph.NodeID, l int64) graph.NodeID {
+	t.Helper()
+	id, ok := a.LayerNode(v, l)
+	if !ok {
+		t.Fatalf("layer %d missing", l)
+	}
+	return id
+}
+
+func TestStartAndCycleCostAt(t *testing.T) {
+	g := negDelayCycleBase()
+	plus := Build(g, 0, 3, Plus)
+	minus := Build(g, 0, 3, Minus)
+	two := Build(g, 0, 3, TwoSided)
+	if plus.StartLayer() != 0 || two.StartLayer() != 0 || minus.StartLayer() != 3 {
+		t.Fatal("start layers wrong")
+	}
+	if plus.CycleCostAt(2) != 2 || minus.CycleCostAt(1) != -2 || two.CycleCostAt(-3) != -3 {
+		t.Fatal("CycleCostAt wrong")
+	}
+	if plus.Kind.String() != "H+" || minus.Kind.String() != "H-" || two.Kind.String() != "H±" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestTwoSidedFindsZeroCostNegativeDelayCycle(t *testing.T) {
+	g := negDelayCycleBase()
+	a := Build(g, 0, 3, TwoSided)
+	// The base cycle has cost 0 with prefix sums 2,3,0 ∈ [−3,3]; it embeds
+	// as a negative-delay cycle in H (no wrap needed).
+	_, cyc, ok := shortest.BellmanFord(a.H, a.Start(), shortest.DelayWeight)
+	if ok {
+		t.Fatal("negative-delay cycle not detected in H")
+	}
+	projected := a.Project(cyc)
+	if len(projected) == 0 {
+		t.Fatal("projection empty")
+	}
+	var totC, totD int64
+	for _, c := range projected {
+		if err := c.Validate(g, false); err != nil {
+			t.Fatal(err)
+		}
+		totC += c.Cost(g)
+		totD += c.Delay(g)
+	}
+	if totD >= 0 {
+		t.Fatalf("projected delay %d not negative", totD)
+	}
+	if totC != cyc.Cost(a.H) {
+		t.Fatalf("projected cost %d != H cycle cost %d", totC, cyc.Cost(a.H))
+	}
+}
+
+// posCostNegDelayBase: 2-cycle with cost +2 and delay −3.
+func posCostNegDelayBase() *graph.Digraph {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1, -4)
+	g.AddEdge(1, 0, 1, 1)
+	return g
+}
+
+func TestPlusFindsPositiveCostCycleViaWrap(t *testing.T) {
+	g := posCostNegDelayBase()
+	a := Build(g, 0, 2, Plus)
+	// Cycle in H: 0^0 → 1^1 → 0^2 → wrap → 0^0, total delay −3 < 0.
+	_, cyc, ok := shortest.BellmanFord(a.H, a.Start(), shortest.DelayWeight)
+	if ok {
+		t.Fatal("expected negative cycle through wrap")
+	}
+	projected := a.Project(cyc)
+	var totC, totD int64
+	for _, c := range projected {
+		totC += c.Cost(g)
+		totD += c.Delay(g)
+	}
+	if totC <= 0 || totD >= 0 {
+		t.Fatalf("projected (c=%d, d=%d), want c>0, d<0", totC, totD)
+	}
+}
+
+func TestMinusFindsNegativeCostCycle(t *testing.T) {
+	// 2-cycle with cost −2, delay +3: only H_v^-(B) (or TwoSided) sees it
+	// as a layer-reachable cycle.
+	g := graph.New(2)
+	g.AddEdge(0, 1, -1, 4) // reversed expensive edge
+	g.AddEdge(1, 0, -1, -1)
+	a := Build(g, 0, 2, Minus)
+	// From v^2: 0^2 → 1^1 → 0^0 → wrap → 0^2; delay 3 ≥ 0, so no negative
+	// cycle: instead check reachability of the wrap source layer.
+	tr, _, ok := shortest.BellmanFord(a.H, a.Start(), shortest.DelayWeight)
+	if !ok {
+		// A negative-delay cycle may exist via other compositions; fine.
+		t.Skip("unexpected negative cycle; covered elsewhere")
+	}
+	n0 := mustNode(t, a, 0, 0)
+	if tr.Dist[n0] == shortest.Inf {
+		t.Fatal("layer 0 copy of v unreachable")
+	}
+	if got := a.CycleCostAt(0); got != -2 {
+		t.Fatalf("cycle cost at layer 0 = %d", got)
+	}
+	if tr.Dist[n0] != 3 {
+		t.Fatalf("min delay %d, want 3", tr.Dist[n0])
+	}
+}
+
+func TestProjectWalkDropsWraps(t *testing.T) {
+	g := posCostNegDelayBase()
+	a := Build(g, 0, 2, Plus)
+	// Hand-walk the known cycle: find H edges 0^0→1^1, 1^1→0^2, wrap.
+	var walk []graph.EdgeID
+	cur := a.Start()
+	targets := []graph.NodeID{mustNode(t, a, 1, 1), mustNode(t, a, 0, 2), a.Start()}
+	for _, want := range targets {
+		found := false
+		for _, id := range a.H.Out(cur) {
+			if a.H.Edge(id).To == want {
+				walk = append(walk, id)
+				cur = want
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge to %d missing", want)
+		}
+	}
+	cycles := a.ProjectWalk(walk)
+	if len(cycles) != 1 || cycles[0].Len() != 2 {
+		t.Fatalf("projected = %+v", cycles)
+	}
+	if err := cycles[0].Validate(g, true); err != nil {
+		t.Fatal(err)
+	}
+	if a.ProjectWalk(nil) != nil {
+		t.Fatal("empty walk should project to nothing")
+	}
+}
+
+// TestLemma15RoundTrip property: on random small residual-like graphs, for
+// every layer b of the TwoSided graph reachable from v^0 without negative
+// cycles, the projected closed walk (path + wrap) yields cycles whose
+// summed cost equals b and summed delay equals the H-distance.
+func TestLemma15RoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), int64(r.Intn(7)-3), int64(r.Intn(9)-2))
+			}
+		}
+		B := int64(3)
+		for v := 0; v < n; v++ {
+			a := Build(g, graph.NodeID(v), B, TwoSided)
+			tr, _, ok := shortest.BellmanFord(a.H, a.Start(), shortest.DelayWeight)
+			if !ok {
+				continue // negative cycle cases covered by other tests
+			}
+			for b := -B; b <= B; b++ {
+				if b == 0 {
+					continue
+				}
+				vb, okk := a.LayerNode(graph.NodeID(v), b)
+				if !okk || tr.Dist[vb] == shortest.Inf {
+					continue
+				}
+				p, _ := tr.PathTo(a.H, vb)
+				cycles := a.ProjectWalk(p.Edges) // wrap implied: ends at v
+				var totC, totD int64
+				for _, c := range cycles {
+					if c.Validate(g, false) != nil {
+						return false
+					}
+					totC += c.Cost(g)
+					totD += c.Delay(g)
+				}
+				if totC != b || totD != tr.Dist[vb] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPanicsOnBadBudget(t *testing.T) {
+	g := negDelayCycleBase()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(g, 0, 0, Plus)
+}

@@ -1,0 +1,88 @@
+package bicameral
+
+import (
+	"repro/internal/graph"
+	"repro/internal/residual"
+	"repro/internal/shortest"
+)
+
+// findMinRatio is the prior-work engine modelled on [12, 18]: those papers
+// zero out the COST of reversed residual edges so that all costs stay
+// nonnegative, then search for the cycle minimizing d(O)/c(O) — computable
+// in polynomial time precisely because only one weight goes negative. We
+// reproduce that search with a parametric negative-cycle test (μ = p/q,
+// weight q·d(e) − p·ĉ(e) with ĉ = max(c, 0)) and then classify the found
+// cycle against Definition 10 using the TRUE residual costs. The engine is
+// an E8 ablation arm: it shows what the pre-bicameral technique finds and
+// misses on residual graphs where both weights are negative.
+func findMinRatio(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
+	var st Stats
+	seeds := rg.ReversedSeeds()
+	if len(seeds) == 0 {
+		return Candidate{}, st, false
+	}
+	cHat := func(e graph.Edge) int64 {
+		if e.Cost < 0 {
+			return 0
+		}
+		return e.Cost
+	}
+
+	// Fast exits: a plain negative-delay cycle (the μ → −∞ limit).
+	st.Searches++
+	if _, cyc, ok := shortest.SPFAAll(rg.R, shortest.DelayWeight); !ok {
+		if cand, good := classifyCycle(rg, cyc, p, &st); good {
+			return cand, st, true
+		}
+	}
+
+	// Parametric search: the most negative feasible ratio μ = d/ĉ over
+	// cycles with ĉ > 0. Binary search on p/q with integer weights.
+	sumD := int64(0)
+	for _, e := range rg.R.Edges() {
+		if e.Delay >= 0 {
+			sumD += e.Delay
+		} else {
+			sumD -= e.Delay
+		}
+	}
+	lo, hi := -sumD, int64(0) // μ ∈ [−Σ|d|, 0]
+	var bestCycle graph.Cycle
+	haveCycle := false
+	for iter := 0; iter < 48 && lo < hi; iter++ {
+		mid := lo + (hi-lo)/2 // try to certify a cycle with d − μ·ĉ < 0
+		w := func(e graph.Edge) int64 { return e.Delay - mid*cHat(e) }
+		st.Searches++
+		if _, cyc, ok := shortest.SPFAAll(rg.R, w); !ok {
+			bestCycle = cyc
+			haveCycle = true
+			hi = mid // a cycle with ratio < mid exists: tighten upward bound
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !haveCycle {
+		return Candidate{}, st, false
+	}
+	if cand, good := classifyCycle(rg, bestCycle, p, &st); good {
+		return cand, st, true
+	}
+	return Candidate{}, st, false
+}
+
+// classifyCycle measures a residual cycle with TRUE weights and applies
+// Definition 10, recording a fallback when it only fails the cap.
+func classifyCycle(rg *residual.Graph, cyc graph.Cycle, p Params, st *Stats) (Candidate, bool) {
+	cc, dd := rg.CycleCost(cyc), rg.CycleDelay(cyc)
+	st.Candidates++
+	cand := Candidate{Cycles: []graph.Cycle{cyc}, Cost: cc, Delay: dd,
+		Type: Classify(cc, dd, p)}
+	if cand.Type != TypeNone {
+		return cand, true
+	}
+	if p.DeltaC*dd-p.DeltaD*cc < 0 && st.Fallback == nil {
+		c := cand
+		st.Fallback = &c
+	}
+	return cand, false
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// BatchItem is one result of SolveBatch, tagged with its input index so
+// callers can correlate out-of-order completion.
+type BatchItem struct {
+	Index  int
+	Result Result
+	Err    error
+}
+
+// SolveBatch solves many independent kRSP instances concurrently on a
+// bounded worker pool (an SDN controller re-provisioning many tunnel pairs
+// is the motivating workload). workers ≤ 0 selects GOMAXPROCS. Results are
+// returned in input order; each item carries its own error, so one
+// infeasible instance does not abort the batch.
+func SolveBatch(instances []graph.Instance, opt Options, workers int) []BatchItem {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	out := make([]BatchItem, len(instances))
+	if len(instances) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Solve(instances[i], opt)
+				out[i] = BatchItem{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range instances {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// SweepPoint is one (bound, result) pair of a tradeoff sweep.
+type SweepPoint struct {
+	Bound  int64
+	Result Result
+	Err    error
+}
+
+// SolveSweep solves the same topology across a set of delay bounds in
+// parallel, producing the cost/delay tradeoff curve an operator tunes an
+// SLA against. Bounds are processed on a worker pool; results are in input
+// order.
+func SolveSweep(ins graph.Instance, bounds []int64, opt Options, workers int) []SweepPoint {
+	instances := make([]graph.Instance, len(bounds))
+	for i, b := range bounds {
+		cp := ins
+		cp.Bound = b
+		instances[i] = cp
+	}
+	items := SolveBatch(instances, opt, workers)
+	out := make([]SweepPoint, len(bounds))
+	for i, it := range items {
+		out[i] = SweepPoint{Bound: bounds[i], Result: it.Result, Err: it.Err}
+	}
+	return out
+}

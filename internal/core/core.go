@@ -1,0 +1,150 @@
+// Package core implements the paper's kRSP algorithms behind one public
+// API:
+//
+//   - Phase1 — the LP-rounding first phase (Lemma 5): a solution whose
+//     delay/D + cost/C_LP is at most 2, computed combinatorially via a
+//     Lagrangian search over min-cost k-flows (exactly the LP optimum, by
+//     strong duality over the flow polytope with one budget row).
+//   - Solve — Algorithm 1 (Lemma 3): phase 1 followed by cycle
+//     cancellation with bicameral cycles, yielding delay ≤ D and cost
+//     ≤ 2·C_OPT in pseudo-polynomial time.
+//   - SolveScaled — Theorem 4: cost/delay scaling around Solve, yielding
+//     the polynomial (1+ε₁, 2+ε₂) bifactor guarantee.
+//
+// All public entry points validate the instance and return typed errors
+// for the two infeasibility modes (not enough disjoint paths; delay bound
+// unreachable).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bicameral"
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// ErrNoKPaths reports that fewer than k edge-disjoint s→t paths exist.
+var ErrNoKPaths = errors.New("krsp: fewer than k edge-disjoint paths exist")
+
+// ErrDelayInfeasible reports that even the delay-minimal k disjoint paths
+// exceed the bound D.
+var ErrDelayInfeasible = errors.New("krsp: no k disjoint paths within the delay bound")
+
+// Result is a solved kRSP instance.
+type Result struct {
+	Solution graph.Solution
+	Cost     int64
+	Delay    int64
+	// LowerBound is an integer lower bound on C_OPT (⌈C_LP⌉ from phase 1),
+	// certifying the approximation factor Cost/LowerBound.
+	LowerBound int64
+	// Exact reports that Cost is known to equal C_OPT (the unconstrained
+	// min-cost flow happened to satisfy the delay bound).
+	Exact bool
+	Stats Stats
+}
+
+// Stats instruments a solve.
+type Stats struct {
+	// Phase1 records the first-phase Lagrangian search.
+	Phase1 Phase1Stats
+	// Iterations counts cycle cancellations performed.
+	Iterations int
+	// CyclesByType counts applied candidates by bicameral type (0,1,2).
+	CyclesByType [3]int
+	// CRefEscalations counts how often the C_OPT stand-in had to grow
+	// because no bicameral cycle existed under the current cap.
+	CRefEscalations int
+	// RelaxedCap reports that the final answer used a cycle beyond the
+	// Definition-10 cost cap (a documented deviation used only when the
+	// cap-respecting search is exhausted; the cost bound then degrades).
+	RelaxedCap bool
+	// FellBackToPhase1 reports that the cancellation loop could not beat
+	// the feasible phase-1 flow, which was returned instead.
+	FellBackToPhase1 bool
+	// BudgetsTried accumulates bicameral search budget escalations.
+	BudgetsTried int
+	// Trace holds one record per cancellation iteration when
+	// Options.CollectTrace is set (nil otherwise).
+	Trace []IterationRecord
+}
+
+// IterationRecord captures the state of one Algorithm-1 iteration, enough
+// to verify Lemma 12's monotonicity (r = ΔD/ΔC nondecreasing) offline.
+type IterationRecord struct {
+	// Cost and Delay are the solution totals BEFORE applying the cycle.
+	Cost, Delay int64
+	// CRef is the C_OPT stand-in in force.
+	CRef int64
+	// CycleCost, CycleDelay and Type describe the applied candidate.
+	CycleCost, CycleDelay int64
+	Type                  int
+}
+
+// Options tune Solve and SolveScaled.
+type Options struct {
+	// Engine selects the bicameral search engine (default combinatorial).
+	Engine bicameral.Engine
+	// FullSweep uses Algorithm 3's unit-step budget schedule (ablation).
+	FullSweep bool
+	// MaxIterations caps cycle cancellations (default 10·m·k + 1000).
+	MaxIterations int
+	// Phase1Only stops after the first phase, returning the better of the
+	// two Lagrangian endpoint flows — the (2,2)-style baseline of [9].
+	Phase1Only bool
+	// DisableCostCap removes Definition 10's |c(O)| ≤ C_OPT constraint —
+	// the Figure 1 pathology switch (experiment E3). Never use it for real
+	// solving.
+	DisableCostCap bool
+	// Adversarial picks the most expensive qualifying cycle at every step
+	// (E3's worst-case-compliant selection). Never use it for real solving.
+	Adversarial bool
+	// OverestimateCRef replaces the LP lower bound with Σc(e) as the C_OPT
+	// stand-in, modelling an algorithm that lacks a principled bound — the
+	// second half of the Figure 1 pathology. Never use it for real solving.
+	OverestimateCRef bool
+	// NoSafetyNet disables returning the feasible phase-1 endpoint when it
+	// beats the cancelled solution — the paper's Algorithm 1 has no such
+	// net, and the Figure 1 ablation (E3) must run without it. Never use it
+	// for real solving.
+	NoSafetyNet bool
+	// CollectTrace records one IterationRecord per cancellation in
+	// Stats.Trace (off by default: it allocates).
+	CollectTrace bool
+	// AllowRelaxedCap permits consuming the relaxed-cap fallback candidate
+	// when the capped search is exhausted (keeps feasibility-first
+	// behaviour at the price of the cost bound). Defaults to true in
+	// Solve; set NoRelaxedCap to disable.
+	NoRelaxedCap bool
+}
+
+// Feasibility describes why an instance is (in)feasible.
+type Feasibility struct {
+	MaxDisjoint int   // max number of edge-disjoint s→t paths
+	MinDelay    int64 // min total delay of any k disjoint paths (if k fit)
+	OK          bool
+}
+
+// CheckFeasible computes the feasibility certificate: k ≤ max-flow and
+// min-delay k-flow ≤ D.
+func CheckFeasible(ins graph.Instance) (Feasibility, error) {
+	if err := ins.Validate(); err != nil {
+		return Feasibility{}, err
+	}
+	f := Feasibility{MaxDisjoint: flow.MaxDisjointPaths(ins.G, ins.S, ins.T)}
+	if f.MaxDisjoint < ins.K {
+		return f, nil
+	}
+	df, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, ins.K, delayWeight)
+	if err != nil {
+		return f, fmt.Errorf("krsp: internal: max-flow admitted k but min-cost flow failed: %w", err)
+	}
+	f.MinDelay = df.Delay(ins.G)
+	f.OK = f.MinDelay <= ins.Bound
+	return f, nil
+}
+
+func delayWeight(e graph.Edge) int64 { return e.Delay }
+func costWeight(e graph.Edge) int64  { return e.Cost }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLemma12Monotonicity verifies the paper's Lemma 12 empirically on
+// every traced cancellation: across iterations with a fixed C_ref, either
+// r = ΔD/ΔC strictly increases, or it stays equal while ΔD strictly
+// shrinks in magnitude. (C_ref escalations reset the frame, so only
+// consecutive records sharing a CRef are compared.)
+func TestLemma12Monotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randInstance(r, 5+r.Intn(5), 3, 10, 10, 1+r.Intn(2))
+		feas, err := CheckFeasible(withBigBound(ins))
+		if err != nil || feas.MaxDisjoint < ins.K {
+			return true
+		}
+		ins.Bound = feas.MinDelay + r.Int63n(12)
+		res, err := Solve(ins, Options{CollectTrace: true})
+		if err != nil {
+			return false
+		}
+		recs := res.Stats.Trace
+		for i := 1; i < len(recs); i++ {
+			prev, cur := recs[i-1], recs[i]
+			if prev.CRef != cur.CRef {
+				continue // escalation resets the frame
+			}
+			// r_i = (D − delay_i) / (CRef − cost_i) as exact rationals.
+			ri := big.NewRat(ins.Bound-prev.Delay, prev.CRef-prev.Cost)
+			rj := big.NewRat(ins.Bound-cur.Delay, cur.CRef-cur.Cost)
+			switch rj.Cmp(ri) {
+			case 1: // strictly increased: clause 2
+			case 0: // equal: clause 1 requires |ΔD| to shrink
+				if !(ins.Bound-cur.Delay > ins.Bound-prev.Delay) {
+					return false
+				}
+			default:
+				return false // r decreased: Lemma 12 violated
+			}
+		}
+		// Every traced cycle must also satisfy W < 0 or the boundary
+		// type-1 condition in its own frame.
+		for _, rec := range recs {
+			dd := ins.Bound - rec.Delay
+			dc := rec.CRef - rec.Cost
+			w := dc*rec.CycleDelay - dd*rec.CycleCost
+			if w > 0 {
+				return false
+			}
+			if w == 0 && rec.CycleDelay >= 0 {
+				return false // boundary cycles must still reduce delay
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceOffByDefault guards the zero-allocation default.
+func TestTraceOffByDefault(t *testing.T) {
+	ins := tradeoff(10)
+	res, err := Solve(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Trace != nil {
+		t.Fatal("trace collected without CollectTrace")
+	}
+	res, err = Solve(ins, Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations > 0 && len(res.Stats.Trace) != res.Stats.Iterations {
+		t.Fatalf("trace len %d vs iterations %d", len(res.Stats.Trace), res.Stats.Iterations)
+	}
+}

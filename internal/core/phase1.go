@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/shortest"
+)
+
+// Phase1Stats instruments the Lagrangian search.
+type Phase1Stats struct {
+	// LambdaIterations counts multiplier updates.
+	LambdaIterations int
+	// CLPNum/CLPDen is the exact rational LP lower bound C_LP = L(λ*).
+	CLPNum, CLPDen int64
+}
+
+// Phase1Result is the Lemma 5 outcome: two integral k-flows sandwiching
+// the delay bound whose convex combination is LP-optimal.
+type Phase1Result struct {
+	// Lo is a feasible flow (delay ≤ D); Hi violates the bound (delay > D)
+	// unless Exact, in which case Hi equals Lo.
+	Lo, Hi flow.UnitFlow
+	// Exact reports that Lo is exactly optimal (unconstrained min-cost
+	// flow met the bound; no Lagrangian search was needed).
+	Exact bool
+	// CLP is the LP lower bound as an exact rational; CLPFloor/CLPCeil are
+	// integer conveniences with ⌈C_LP⌉ ≤ C_OPT (costs are integral).
+	CLP     *big.Rat
+	CLPCeil int64
+	Stats   Phase1Stats
+}
+
+// ChooseByPotential returns the flow minimizing φ(f) = c(f)/C_LP + d(f)/D
+// among Lo and Hi — the Lemma 5 selection — using exact big-rational
+// arithmetic. By LP optimality min(φ) ≤ 2.
+func (p Phase1Result) ChooseByPotential(g *graph.Digraph, bound int64) flow.UnitFlow {
+	if p.Exact || p.CLP.Sign() == 0 {
+		// With C_LP = 0 the cost ratio is meaningless; Lo is feasible and
+		// cost-degenerate instances are solved by it directly.
+		return p.Lo
+	}
+	phi := func(f flow.UnitFlow) *big.Rat {
+		c := new(big.Rat).SetInt64(f.Cost(g))
+		d := new(big.Rat).SetInt64(f.Delay(g))
+		out := new(big.Rat).Quo(c, p.CLP)
+		return out.Add(out, d.Quo(d, new(big.Rat).SetInt64(bound)))
+	}
+	if phi(p.Lo).Cmp(phi(p.Hi)) <= 0 {
+		return p.Lo
+	}
+	return p.Hi
+}
+
+// Phase1 runs the first phase (Lemma 5): it computes the LP optimum of
+//
+//	min cᵀx  s.t.  x an s→t flow of value k, 0 ≤ x ≤ 1, dᵀx ≤ D
+//
+// via its Lagrangian dual max_λ [ MCF(c+λd) − λD ], keeping λ = p/q exact,
+// and returns the two integral minimizers at λ* that straddle the bound.
+// Either flow (chosen by potential) satisfies delay/D + cost/C_LP ≤ 2.
+func Phase1(ins graph.Instance) (Phase1Result, error) {
+	if err := ins.Validate(); err != nil {
+		return Phase1Result{}, err
+	}
+	g, s, t, k, bound := ins.G, ins.S, ins.T, ins.K, ins.Bound
+
+	fc, err := flow.MinCostKFlow(g, s, t, k, costWeight)
+	if err != nil {
+		return Phase1Result{}, fmt.Errorf("%w: %v", ErrNoKPaths, err)
+	}
+	if fc.Delay(g) <= bound {
+		clp := new(big.Rat).SetInt64(fc.Cost(g))
+		return Phase1Result{Lo: fc, Hi: fc, Exact: true,
+			CLP: clp, CLPCeil: fc.Cost(g),
+			Stats: Phase1Stats{CLPNum: fc.Cost(g), CLPDen: 1}}, nil
+	}
+	fd, err := flow.MinCostKFlow(g, s, t, k, delayWeight)
+	if err != nil {
+		return Phase1Result{}, fmt.Errorf("%w: %v", ErrNoKPaths, err)
+	}
+	if fd.Delay(g) > bound {
+		return Phase1Result{}, fmt.Errorf("%w: min delay %d > bound %d",
+			ErrDelayInfeasible, fd.Delay(g), bound)
+	}
+
+	hi, lo := fc, fd // hi: delay > D with min cost; lo: delay ≤ D
+	var st Phase1Stats
+	best := new(big.Rat).SetInt64(fc.Cost(g)) // L(0) = unconstrained min cost
+	for iter := 0; iter < 256; iter++ {
+		st.LambdaIterations++
+		// λ = (c(lo) − c(hi)) / (d(hi) − d(lo)) — the multiplier where the
+		// two endpoints' Lagrangians tie.
+		p := lo.Cost(g) - hi.Cost(g)
+		q := hi.Delay(g) - lo.Delay(g)
+		if q <= 0 {
+			return Phase1Result{}, fmt.Errorf("krsp: internal: lagrangian invariant broken (q=%d)", q)
+		}
+		if p < 0 {
+			p = 0 // cost(lo) < cost(hi) can only happen via ties; λ=0 ends it
+		}
+		w := shortest.Combine(q, p)
+		f, err := flow.MinCostKFlow(g, s, t, k, w)
+		if err != nil {
+			return Phase1Result{}, fmt.Errorf("krsp: internal: %v", err)
+		}
+		wf := f.Weight(g, w)
+		// Dual value L(p/q) = (wf − p·D)/q; track the max.
+		lval := new(big.Rat).SetFrac64(wf-p*bound, q)
+		if lval.Cmp(best) > 0 {
+			best = lval
+		}
+		if wf == hi.Weight(g, w) || wf == lo.Weight(g, w) {
+			break // λ* reached: f ties an endpoint
+		}
+		if f.Delay(g) <= bound {
+			lo = f
+		} else {
+			hi = f
+		}
+	}
+	res := Phase1Result{Lo: lo, Hi: hi, CLP: best}
+	num, den := best.Num(), best.Denom()
+	st.CLPNum, st.CLPDen = num.Int64(), den.Int64()
+	// ⌈C_LP⌉ is still a valid lower bound on the integral optimum.
+	ceil := new(big.Int).Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+	ceil.Div(ceil, den)
+	res.CLPCeil = ceil.Int64()
+	if res.CLPCeil < 1 {
+		res.CLPCeil = 1
+	}
+	res.Stats = st
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SolveScaled is Theorem 4: for fixed ε₁, ε₂ > 0 it rounds edge delays to
+// multiples of ε₁·D/n′ and edge costs to multiples of ε₂·Ĉ/n′ (n′ = k·n,
+// the maximum number of edges any solution can use; Ĉ is the phase-1 LP
+// lower bound standing in for C_OPT), runs the pseudo-polynomial Solve on
+// the scaled instance, and reports the chosen paths under the ORIGINAL
+// weights. The scaled instance has delays bounded by ⌊n′/ε₁⌋ and costs by
+// O(n′/ε₂), making Solve polynomial; rounding loses at most ε₁·D in delay
+// and ε₂·Ĉ in cost, giving the (1+ε₁, 2+ε₂) bifactor.
+func SolveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, error) {
+	if eps1 <= 0 || eps2 <= 0 {
+		return Result{}, fmt.Errorf("krsp: epsilons must be positive (got %g, %g)", eps1, eps2)
+	}
+	if err := ins.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Phase 1 on the ORIGINAL instance supplies Ĉ and settles feasibility
+	// questions exactly (scaling must not change feasibility verdicts).
+	p1, err := Phase1(ins)
+	if err != nil {
+		return Result{}, err
+	}
+	if p1.Exact {
+		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true)
+	}
+	g := ins.G
+	nPrime := int64(ins.K) * int64(g.NumNodes())
+	if nPrime < 1 {
+		nPrime = 1
+	}
+	// θd, θc are the rounding granularities; clamp to ≥ 1 (θ = 1 keeps the
+	// weight exact, which simply means the instance was already small).
+	thetaD := int64(eps1 * float64(ins.Bound) / float64(nPrime))
+	if thetaD < 1 {
+		thetaD = 1
+	}
+	cHat := p1.CLPCeil
+	thetaC := int64(eps2 * float64(cHat) / float64(nPrime))
+	if thetaC < 1 {
+		thetaC = 1
+	}
+
+	sg := graph.New(g.NumNodes())
+	for _, e := range g.Edges() {
+		sg.AddEdge(e.From, e.To, e.Cost/thetaC, e.Delay/thetaD)
+	}
+	scaled := graph.Instance{
+		G: sg, S: ins.S, T: ins.T, K: ins.K,
+		Bound: ins.Bound / thetaD,
+		Name:  ins.Name + " (scaled)",
+	}
+	sres, err := Solve(scaled, opt)
+	if err != nil {
+		// Rounding delays down can never make a feasible instance
+		// infeasible, so errors here are structural and propagate.
+		return Result{}, err
+	}
+	// Re-measure the chosen paths in original weights. Edge IDs coincide
+	// between g and sg by construction.
+	sol := sres.Solution
+	res := Result{
+		Solution:   sol,
+		Cost:       sol.Cost(g),
+		Delay:      sol.Delay(g),
+		LowerBound: p1.CLPCeil,
+		Stats:      sres.Stats,
+	}
+	res.Stats.Phase1 = p1.Stats
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bicameral"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/residual"
+)
+
+// Solve runs the paper's Algorithm 1 (Lemma 3): phase 1, then cycle
+// cancellation with bicameral cycles until the delay bound holds. On
+// feasible instances the output satisfies Delay ≤ D and, whenever the
+// cap-respecting search sufficed (Stats.RelaxedCap == false), Cost ≤
+// 2·C_OPT. Pseudo-polynomial in the weight magnitudes; use SolveScaled for
+// the polynomial (1+ε₁, 2+ε₂) variant.
+func Solve(ins graph.Instance, opt Options) (Result, error) {
+	p1, err := Phase1(ins)
+	if err != nil {
+		return Result{}, err
+	}
+	g := ins.G
+	if p1.Exact {
+		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true)
+	}
+	stats := Stats{Phase1: p1.Stats}
+	if opt.Phase1Only {
+		chosen := p1.ChooseByPotential(g, ins.Bound)
+		return finish(ins, chosen.Edges, p1, stats, false)
+	}
+
+	// Algorithm 1 proper: start from the bound-violating Lagrangian
+	// endpoint (its cost is ≤ C_LP, establishing Lemma 11's induction) and
+	// cancel bicameral cycles until the delay constraint holds. The
+	// feasible endpoint Lo remains a safety net.
+	cur := p1.Hi.Edges.Clone()
+	curCost := p1.Hi.Cost(g)
+	curDelay := p1.Hi.Delay(g)
+	loCost := p1.Lo.Cost(g)
+
+	// C_ref is the C_OPT stand-in: the LP lower bound, escalated on demand
+	// but never beyond the known feasible cost (C_OPT ≤ c(Lo)).
+	cRef := p1.CLPCeil
+	if opt.OverestimateCRef {
+		cRef = g.SumCost() + 1
+	}
+	if cRef <= curCost {
+		cRef = curCost + 1
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10*g.NumEdges()*ins.K + 1000
+	}
+
+	for curDelay > ins.Bound && stats.Iterations < maxIter {
+		rg := residual.Build(g, cur)
+		cap := cRef
+		if opt.DisableCostCap {
+			// Figure 1 ablation: “no cap” ≈ a cap beyond any cycle cost.
+			cap = g.SumCost() + 1
+		}
+		params := bicameral.Params{
+			DeltaD:  ins.Bound - curDelay,
+			DeltaC:  cRef - curCost,
+			CostCap: cap,
+		}
+		cand, bst, found := bicameral.Find(rg, params, bicameral.Options{
+			Engine:      opt.Engine,
+			FullSweep:   opt.FullSweep,
+			Adversarial: opt.Adversarial,
+		})
+		stats.BudgetsTried += bst.BudgetsTried
+		if !found {
+			// Lemma 9 guarantees a negative-delay cycle exists (the
+			// instance is feasible), so the cap must be too tight: C_ref
+			// underestimates C_OPT. Escalate toward the known upper bound.
+			if cRef < loCost {
+				stats.CRefEscalations++
+				cRef *= 2
+				if cRef > loCost {
+					cRef = loCost
+				}
+				continue
+			}
+			// Cap already at the feasible cost; last resort is the
+			// relaxed-cap fallback, unless disabled.
+			if bst.Fallback != nil && !opt.NoRelaxedCap {
+				stats.RelaxedCap = true
+				cand = *bst.Fallback
+			} else {
+				stats.FellBackToPhase1 = true
+				return finish(ins, p1.Lo.Edges, p1, stats, false)
+			}
+		}
+		next, err := rg.ApplyAll(cand.Cycles)
+		if err != nil {
+			return Result{}, fmt.Errorf("krsp: internal: cycle application failed: %v", err)
+		}
+		if opt.CollectTrace {
+			stats.Trace = append(stats.Trace, IterationRecord{
+				Cost: curCost, Delay: curDelay, CRef: cRef,
+				CycleCost: cand.Cost, CycleDelay: cand.Delay,
+				Type: int(cand.Type),
+			})
+		}
+		cur = next
+		curCost += cand.Cost
+		curDelay += cand.Delay
+		stats.Iterations++
+		if cand.Type >= 0 && int(cand.Type) < 3 {
+			stats.CyclesByType[cand.Type]++
+		}
+		if curCost >= cRef && curDelay > ins.Bound {
+			// Keep ΔC positive for the next round.
+			stats.CRefEscalations++
+			cRef = curCost + 1
+			if cRef < p1.CLPCeil {
+				cRef = p1.CLPCeil
+			}
+		}
+	}
+	if curDelay > ins.Bound {
+		// Iteration cap hit: fall back to the feasible endpoint.
+		stats.FellBackToPhase1 = true
+		return finish(ins, p1.Lo.Edges, p1, stats, false)
+	}
+	// Return the cheaper of the cancelled solution and the feasible
+	// endpoint (both meet the bound).
+	if loCost < curCost && !opt.NoSafetyNet {
+		stats.FellBackToPhase1 = true
+		return finish(ins, p1.Lo.Edges, p1, stats, false)
+	}
+	return finish(ins, cur, p1, stats, false)
+}
+
+// finish decomposes a feasible flow into paths and assembles the Result.
+// Flow cycles left over by decomposition are dropped: with nonnegative
+// weights that never increases cost or delay.
+func finish(ins graph.Instance, edges graph.EdgeSet, p1 Phase1Result, stats Stats, exact bool) (Result, error) {
+	paths, _, err := flow.Decompose(ins.G, edges, ins.S, ins.T, ins.K)
+	if err != nil {
+		return Result{}, fmt.Errorf("krsp: internal: decompose: %v", err)
+	}
+	sol := graph.Solution{Paths: paths}
+	res := Result{
+		Solution:   sol,
+		Cost:       sol.Cost(ins.G),
+		Delay:      sol.Delay(ins.G),
+		LowerBound: p1.CLPCeil,
+		Exact:      exact,
+		Stats:      stats,
+	}
+	return res, nil
+}

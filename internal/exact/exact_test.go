@@ -1,0 +1,74 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func tradeoff() graph.Instance {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10) // cheap slow
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1) // pricey fast
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(0, 3, 3, 5) // direct middle
+	return graph.Instance{G: g, S: 0, T: 3, K: 2, Bound: 25}
+}
+
+func TestBruteForceOptimal(t *testing.T) {
+	ins := tradeoff()
+	res, err := BruteForce(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2, D=25: {cheap(2,20), direct(3,5)} = cost 5 delay 25 fits.
+	if res.Cost != 5 || res.Delay != 25 {
+		t.Fatalf("got %d/%d", res.Cost, res.Delay)
+	}
+	if err := res.Solution.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceTightBound(t *testing.T) {
+	ins := tradeoff()
+	ins.Bound = 10
+	res, err := BruteForce(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must use {pricey(10,2), direct(3,5)} = 13/7.
+	if res.Cost != 13 || res.Delay != 7 {
+		t.Fatalf("got %d/%d", res.Cost, res.Delay)
+	}
+}
+
+func TestBruteForceInfeasible(t *testing.T) {
+	ins := tradeoff()
+	ins.Bound = 3
+	if _, err := BruteForce(ins, 0); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	ins.Bound = 25
+	ins.K = 4 // only 3 disjoint routes exist
+	if _, err := BruteForce(ins, 0); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBruteForceGuardrail(t *testing.T) {
+	ins := tradeoff()
+	if _, err := BruteForce(ins, 3); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBruteForceRejectsInvalidInstance(t *testing.T) {
+	ins := tradeoff()
+	ins.K = 0
+	if _, err := BruteForce(ins, 0); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

@@ -1,0 +1,359 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bicameral"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// RunE6 compares the paper's algorithm against every baseline across k,
+// measuring cost (normalized to the delay-oblivious min-sum lower bound)
+// and delay-bound violations — the multipath value proposition from the
+// paper's introduction.
+func RunE6(cfg Config) (*Table, error) {
+	t := NewTable("E6: algorithms vs baselines across k",
+		"k", "algo", "inst", "mean c/minsum", "feasible", "fails")
+	n := 24
+	if cfg.Quick {
+		n = 14
+	}
+	ks := []int{1, 2, 3, 4}
+	if cfg.Quick {
+		ks = []int{1, 2, 3}
+	}
+	for _, k := range ks {
+		// Collect per-algorithm aggregates over shared instances.
+		type agg struct {
+			ratios   []float64
+			feasible int
+			fails    int
+			runs     int
+		}
+		aggs := map[string]*agg{}
+		order := []string{}
+		for _, b := range baseline.All() {
+			aggs[b.Name] = &agg{}
+			order = append(order, b.Name)
+		}
+		for seed := int64(0); seed < int64(cfg.seeds()); seed++ {
+			mk := func(s int64) graph.Instance {
+				ins := gen.ER(s, n, 0.2, gen.DefaultWeights())
+				ins.K = k
+				return ins
+			}
+			ins, ok := boundedInstance(mk, seed+int64(k*1000), 1.5)
+			if !ok {
+				continue
+			}
+			ms, err := baseline.MinSum(ins)
+			if err != nil {
+				continue
+			}
+			for _, b := range baseline.All() {
+				a := aggs[b.Name]
+				a.runs++
+				r, err := b.Run(ins)
+				if err != nil {
+					a.fails++
+					continue
+				}
+				a.ratios = append(a.ratios, ratio(r.Cost, ms.Cost))
+				if r.Feasible {
+					a.feasible++
+				}
+			}
+		}
+		for _, name := range order {
+			a := aggs[name]
+			if a.runs == 0 {
+				continue
+			}
+			t.Add(k, name, a.runs, Mean(a.ratios),
+				fmt.Sprintf("%d/%d", a.feasible, a.runs),
+				fmt.Sprintf("%d/%d", a.fails, a.runs))
+		}
+	}
+	t.Note("minsum ignores the delay bound — its cost lower-bounds every algorithm, and its 'feasible' column shows how often delay-oblivious routing happens to meet the SLA")
+	return t, nil
+}
+
+// RunE7 fixes the algorithm and sweeps topologies.
+func RunE7(cfg Config) (*Table, error) {
+	t := NewTable("E7: robustness across topologies",
+		"topology", "inst", "mean c/LB", "max c/LB", "delay ok", "mean iters", "mean time")
+	quick := cfg.Quick
+	tops := []struct {
+		name string
+		mk   func(seed int64) graph.Instance
+	}{
+		{"er", func(s int64) graph.Instance {
+			n := 24
+			if quick {
+				n = 14
+			}
+			return gen.ER(s, n, 0.2, gen.DefaultWeights())
+		}},
+		{"grid", func(s int64) graph.Instance {
+			r, c := 5, 5
+			if quick {
+				r, c = 4, 4
+			}
+			return gen.Grid(s, r, c, gen.DefaultWeights())
+		}},
+		{"layered", func(s int64) graph.Instance {
+			return gen.Layered(s, 5, 4, 0.5, gen.DefaultWeights())
+		}},
+		{"geometric", func(s int64) graph.Instance {
+			n := 24
+			if quick {
+				n = 16
+			}
+			return gen.Geometric(s, n, 0.35, gen.DefaultWeights())
+		}},
+		{"isp", func(s int64) graph.Instance {
+			return gen.ISP(s, 8, 2, gen.DefaultWeights())
+		}},
+	}
+	for _, top := range tops {
+		var ratios, iters, times []float64
+		okDelay, count := 0, 0
+		for seed := int64(0); seed < int64(cfg.seeds()); seed++ {
+			ins, ok := boundedInstance(top.mk, seed+4242, 1.4)
+			if !ok {
+				continue
+			}
+			var res core.Result
+			dur, err := measure(func() error {
+				var e error
+				res, e = core.Solve(ins, core.Options{})
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E7: %s: %w", top.name, err)
+			}
+			count++
+			ratios = append(ratios, ratio(res.Cost, res.LowerBound))
+			iters = append(iters, float64(res.Stats.Iterations))
+			times = append(times, dur.Seconds())
+			if res.Delay <= ins.Bound {
+				okDelay++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		t.Add(top.name, count, Mean(ratios), Max(ratios),
+			fmt.Sprintf("%d/%d", okDelay, count), Mean(iters),
+			fmtDurationSec(Mean(times)))
+	}
+	t.Note("c/LB compares against the certified LP lower bound (≤ OPT), so values ≤ 2 verify the Lemma 3 factor without exact solving")
+	return t, nil
+}
+
+// RunE8 ablates the bicameral search: combinatorial vs LP engine, and
+// doubling vs unit-step (Algorithm 3) budget schedules.
+func RunE8(cfg Config) (*Table, error) {
+	t := NewTable("E8: bicameral engine ablation",
+		"engine", "schedule", "inst", "mean c/LB", "delay ok", "mean time", "agree")
+	n := 9
+	variants := []struct {
+		name     string
+		schedule string
+		opt      core.Options
+	}{
+		{"combinatorial", "doubling", core.Options{}},
+		{"combinatorial", "unit (Alg. 3)", core.Options{FullSweep: true}},
+		{"lp", "doubling", core.Options{Engine: bicameral.EngineLP}},
+		{"minratio [18]", "parametric", core.Options{Engine: bicameral.EngineMinRatio}},
+	}
+	type outcome struct {
+		cost  int64
+		valid bool
+	}
+	results := make([][]outcome, len(variants))
+	var instances []graph.Instance
+	for seed := int64(0); seed < int64(cfg.seeds()); seed++ {
+		mk := func(s int64) graph.Instance {
+			ins := gen.ER(s, n, 0.3, gen.Weights{MaxCost: 6, MaxDelay: 6, Correlation: -0.8})
+			ins.K = 2
+			return ins
+		}
+		ins, ok := boundedInstance(mk, seed+7777, 1.3)
+		if ok {
+			instances = append(instances, ins)
+		}
+	}
+	rows := make([]struct {
+		ratios, times []float64
+		okDelay       int
+	}, len(variants))
+	for i, v := range variants {
+		results[i] = make([]outcome, len(instances))
+		for j, ins := range instances {
+			var res core.Result
+			dur, err := measure(func() error {
+				var e error
+				res, e = core.Solve(ins, v.opt)
+				return e
+			})
+			if err != nil {
+				continue
+			}
+			results[i][j] = outcome{res.Cost, true}
+			rows[i].ratios = append(rows[i].ratios, ratio(res.Cost, res.LowerBound))
+			rows[i].times = append(rows[i].times, dur.Seconds())
+			if res.Delay <= ins.Bound {
+				rows[i].okDelay++
+			}
+		}
+	}
+	for i, v := range variants {
+		agree := 0
+		for j := range instances {
+			if results[i][j].valid && results[0][j].valid &&
+				results[i][j].cost == results[0][j].cost {
+				agree++
+			}
+		}
+		t.Add(v.name, v.schedule, len(rows[i].ratios), Mean(rows[i].ratios),
+			fmt.Sprintf("%d/%d", rows[i].okDelay, len(instances)),
+			fmtDurationSec(Mean(rows[i].times)),
+			fmt.Sprintf("%d/%d", agree, len(instances)))
+	}
+	t.Note("'agree' counts instances whose final cost matches the combinatorial/doubling reference")
+	t.Note("minratio is the pre-bicameral technique of [18] (reversed edges costed 0): it may fall back to phase 1 where the bicameral engines keep improving")
+	return t, nil
+}
+
+// RunE9 verifies infeasibility detection: instances with too few disjoint
+// paths and instances with unreachable delay bounds must produce the
+// matching typed errors (Algorithm 1 step 2a).
+func RunE9(cfg Config) (*Table, error) {
+	t := NewTable("E9: infeasibility detection",
+		"mode", "inst", "correct verdicts", "mean time")
+	n := 16
+	if cfg.Quick {
+		n = 10
+	}
+	modes := []struct {
+		name string
+		mk   func(seed int64) (graph.Instance, error)
+	}{
+		{"k > max-flow", func(seed int64) (graph.Instance, error) {
+			ins := gen.ER(seed, n, 0.15, gen.DefaultWeights())
+			feas, err := core.CheckFeasible(withHugeBound(ins))
+			if err != nil {
+				return ins, err
+			}
+			ins.K = feas.MaxDisjoint + 1
+			ins.Bound = 1 << 30
+			return ins, nil
+		}},
+		{"D < min delay", func(seed int64) (graph.Instance, error) {
+			ins := gen.ER(seed, n, 0.2, gen.DefaultWeights())
+			ins.K = 2
+			feas, err := core.CheckFeasible(withHugeBound(ins))
+			if err != nil || feas.MaxDisjoint < 2 {
+				return ins, fmt.Errorf("skip")
+			}
+			ins.Bound = feas.MinDelay - 1
+			if ins.Bound < 0 {
+				ins.Bound = 0
+			}
+			return ins, nil
+		}},
+	}
+	for _, mode := range modes {
+		correct, count := 0, 0
+		var times []float64
+		for seed := int64(0); seed < int64(cfg.seeds()); seed++ {
+			ins, err := mode.mk(seed + 31000)
+			if err != nil {
+				continue
+			}
+			count++
+			dur, solveErr := measure(func() error {
+				_, e := core.Solve(ins, core.Options{})
+				return e
+			})
+			times = append(times, dur.Seconds())
+			switch mode.name {
+			case "k > max-flow":
+				if errors.Is(solveErr, core.ErrNoKPaths) {
+					correct++
+				}
+			case "D < min delay":
+				if errors.Is(solveErr, core.ErrDelayInfeasible) {
+					correct++
+				}
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		t.Add(mode.name, count, fmt.Sprintf("%d/%d", correct, count),
+			fmtDurationSec(Mean(times)))
+	}
+	t.Note("minDelay−1 bounds are the tightest possible infeasible instances")
+	return t, nil
+}
+
+func withHugeBound(ins graph.Instance) graph.Instance {
+	ins.Bound = 1 << 40
+	if ins.K < 1 {
+		ins.K = 1
+	}
+	return ins
+}
+
+// RunE10 sweeps the delay-bound slack to find the crossover where phase 1
+// alone already suffices (no cycle cancellation needed).
+func RunE10(cfg Config) (*Table, error) {
+	t := NewTable("E10: delay-bound tightness sweep",
+		"slack", "inst", "exact shortcut", "mean iters", "mean c/LB", "delay ok")
+	n := 20
+	if cfg.Quick {
+		n = 12
+	}
+	slacks := []float64{1.05, 1.2, 1.5, 2.0, 3.0, 4.0}
+	for _, slack := range slacks {
+		var iters, ratios []float64
+		shortcut, okDelay, count := 0, 0, 0
+		for seed := int64(0); seed < int64(cfg.seeds()); seed++ {
+			mk := func(s int64) graph.Instance {
+				ins := gen.ER(s, n, 0.2, gen.DefaultWeights())
+				ins.K = 2
+				return ins
+			}
+			ins, ok := boundedInstance(mk, seed+int64(slack*100)+88000, slack)
+			if !ok {
+				continue
+			}
+			res, err := core.Solve(ins, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("E10: %w", err)
+			}
+			count++
+			if res.Exact {
+				shortcut++
+			}
+			iters = append(iters, float64(res.Stats.Iterations))
+			ratios = append(ratios, ratio(res.Cost, res.LowerBound))
+			if res.Delay <= ins.Bound {
+				okDelay++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		t.Add(slack, count, fmt.Sprintf("%d/%d", shortcut, count),
+			Mean(iters), Mean(ratios), fmt.Sprintf("%d/%d", okDelay, count))
+	}
+	t.Note("'exact shortcut' counts instances where the unconstrained min-cost flow already met the bound — the regime where the whole machinery is unnecessary")
+	return t, nil
+}

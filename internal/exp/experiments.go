@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seeds is the number of random instances per cell (default 10; Quick
+	// uses 3).
+	Seeds int
+	// Quick shrinks instance sizes and seed counts for smoke runs and
+	// benchmarks.
+	Quick bool
+}
+
+func (c Config) seeds() int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return 3
+	}
+	return 10
+}
+
+// Experiment is one reproducible experiment from DESIGN.md §5.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Table, error)
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "Approximation quality vs exact optimum (Lemma 3 / Thm 4)", RunE1},
+		{"E2", "Phase-1 invariant delay/D + cost/C_LP ≤ 2 (Lemma 5)", RunE2},
+		{"E3", "Figure 1 pathology: the cost cap in Definition 10", RunE3},
+		{"E4", "Auxiliary graph construction and projection (Lemma 15)", RunE4},
+		{"E5", "Scaling tradeoff: quality and work vs ε (Theorem 4)", RunE5},
+		{"E6", "Value of kRSP vs baselines across k", RunE6},
+		{"E7", "Robustness across topologies", RunE7},
+		{"E8", "Ablation: bicameral engines and budget schedules", RunE8},
+		{"E9", "Infeasibility detection", RunE9},
+		{"E10", "Delay-bound tightness sweep", RunE10},
+		{"E11", "Runtime scaling with instance size", RunE11},
+		{"E12", "Parallel batch speedup", RunE12},
+		{"E13", "Realized QoS under load (netsim)", RunE13},
+	}
+}
+
+// Lookup finds an experiment by ID (case-sensitive), or nil.
+func Lookup(id string) *Experiment {
+	for _, e := range Registry() {
+		if e.ID == id {
+			ex := e
+			return &ex
+		}
+	}
+	return nil
+}
+
+// measure runs f and returns its wall-clock duration.
+func measure(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+func withBound(ins graph.Instance, slack float64) (graph.Instance, bool) {
+	return gen.WithBound(ins, slack)
+}
+
+// ratio guards division by zero for cost ratios.
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return float64(num)
+	}
+	return float64(num) / float64(den)
+}
+
+// boundedInstance draws a generated instance with a feasible bound at the
+// given slack, retrying across seeds; ok=false after exhausting retries.
+func boundedInstance(mk func(seed int64) graph.Instance, seed int64, slack float64) (graph.Instance, bool) {
+	for attempt := int64(0); attempt < 8; attempt++ {
+		ins := mk(seed*1000 + attempt)
+		if bounded, ok := withBound(ins, slack); ok {
+			return bounded, true
+		}
+	}
+	return graph.Instance{}, false
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

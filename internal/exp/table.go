@@ -1,0 +1,107 @@
+// Package exp is the experiment harness: a registry of the E1–E10
+// experiments from DESIGN.md §5, runners that produce text tables (and
+// CSV), and small statistics helpers. cmd/krspexp and the repository-root
+// benchmarks both drive this package, so EXPERIMENTS.md is regenerable
+// from a single source of truth.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is an ordered result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes render under the table (assumptions, caveats).
+	Notes []string
+}
+
+// NewTable creates a table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; values are formatted with %v, floats with 3 decimals.
+func (t *Table) Add(vals ...any) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("exp: row has %d values, table %q has %d columns",
+			len(vals), t.Title, len(t.Columns)))
+	}
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	var head, rule strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(&head, "%-*s", widths[i]+2, c)
+		rule.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(head.String(), " "))
+	fmt.Fprintln(w, strings.TrimRight(rule.String(), " "))
+	for _, row := range t.Rows {
+		var b strings.Builder
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV (no notes).
+func (t *Table) RenderCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}

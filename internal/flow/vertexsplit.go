@@ -1,0 +1,54 @@
+package flow
+
+import (
+	"repro/internal/graph"
+)
+
+// SplitResult describes the vertex-splitting transform used to reduce
+// vertex-disjoint path problems to edge-disjoint ones: every vertex v
+// becomes v_in → v_out joined by a zero-cost zero-delay "gadget" edge; every
+// original edge u→v becomes u_out → v_in carrying the original weights.
+type SplitResult struct {
+	G *graph.Digraph
+	// In and Out map original vertices to their split halves.
+	In, Out []graph.NodeID
+	// EdgeOf maps split-graph edge IDs back to original edge IDs, or -1 for
+	// gadget edges.
+	EdgeOf []graph.EdgeID
+}
+
+// SplitVertices builds the vertex-splitting transform of g. The source's
+// out-half and the sink's in-half serve as terminals, which permits k paths
+// through s and t themselves while keeping interior vertices disjoint.
+func SplitVertices(g *graph.Digraph) SplitResult {
+	n := g.NumNodes()
+	sg := graph.New(2 * n)
+	res := SplitResult{
+		G:   sg,
+		In:  make([]graph.NodeID, n),
+		Out: make([]graph.NodeID, n),
+	}
+	for v := 0; v < n; v++ {
+		res.In[v] = graph.NodeID(2 * v)
+		res.Out[v] = graph.NodeID(2*v + 1)
+		sg.AddEdge(res.In[v], res.Out[v], 0, 0)
+		res.EdgeOf = append(res.EdgeOf, -1)
+	}
+	for _, e := range g.Edges() {
+		sg.AddEdge(res.Out[e.From], res.In[e.To], e.Cost, e.Delay)
+		res.EdgeOf = append(res.EdgeOf, e.ID)
+	}
+	return res
+}
+
+// ProjectPath maps a path in the split graph back to original edge IDs,
+// dropping gadget edges.
+func (r SplitResult) ProjectPath(p graph.Path) graph.Path {
+	var out []graph.EdgeID
+	for _, id := range p.Edges {
+		if orig := r.EdgeOf[id]; orig >= 0 {
+			out = append(out, orig)
+		}
+	}
+	return graph.Path{Edges: out}
+}

@@ -1,0 +1,274 @@
+// Package gen produces the synthetic kRSP workloads of the experiment
+// suite. The paper evaluates nothing (it is a brief announcement), so these
+// generators are the substitution documented in DESIGN.md §2: seeded,
+// deterministic topologies from the QoS-routing domain the paper motivates
+// (SDN/ISP networks), with tunable cost/delay anti-correlation — the regime
+// where the cost/delay tradeoff is actually hard.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Weights controls edge weight synthesis. Cost and delay are drawn from
+// [1, MaxCost] / [1, MaxDelay]; Correlation in [−1, 1] couples them:
+// +1 makes expensive edges slow, −1 makes expensive edges fast (the
+// tradeoff-hard regime, and the default for experiments).
+type Weights struct {
+	MaxCost     int64
+	MaxDelay    int64
+	Correlation float64
+}
+
+// DefaultWeights is the anti-correlated regime used across experiments.
+func DefaultWeights() Weights {
+	return Weights{MaxCost: 20, MaxDelay: 20, Correlation: -0.8}
+}
+
+func (w Weights) draw(r *rand.Rand) (cost, delay int64) {
+	if w.MaxCost < 1 {
+		w.MaxCost = 1
+	}
+	if w.MaxDelay < 1 {
+		w.MaxDelay = 1
+	}
+	u := r.Float64()
+	cost = 1 + int64(u*float64(w.MaxCost-1)+0.5)
+	// Blend an independent draw with the (anti-)correlated component.
+	v := r.Float64()
+	rho := w.Correlation
+	base := u
+	if rho < 0 {
+		base = 1 - u
+		rho = -rho
+	}
+	mix := rho*base + (1-rho)*v
+	delay = 1 + int64(mix*float64(w.MaxDelay-1)+0.5)
+	return cost, delay
+}
+
+// ER generates an Erdős–Rényi style random digraph with n vertices and
+// approximately density·n·(n−1) directed edges (self-loops excluded),
+// guaranteeing s→t structural connectivity by planting two disjoint paths.
+func ER(seed int64, n int, density float64, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if r.Float64() < density {
+				c, d := w.draw(r)
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), c, d)
+			}
+		}
+	}
+	ins := graph.Instance{G: g, S: 0, T: graph.NodeID(n - 1), K: 2,
+		Name: fmt.Sprintf("er-n%d-d%.2f-s%d", n, density, seed)}
+	plantPaths(r, &ins, w, 2)
+	return ins
+}
+
+// Grid generates a rows×cols mesh with rightward, downward and a sprinkle
+// of diagonal edges; s is the top-left corner, t the bottom-right. Meshes
+// model data-center style topologies with many short disjoint routes.
+func Grid(seed int64, rows, cols int, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(rows * cols)
+	at := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				c, d := w.draw(r)
+				g.AddEdge(at(i, j), at(i, j+1), c, d)
+			}
+			if i+1 < rows {
+				c, d := w.draw(r)
+				g.AddEdge(at(i, j), at(i+1, j), c, d)
+			}
+			if i+1 < rows && j+1 < cols && r.Float64() < 0.3 {
+				c, d := w.draw(r)
+				g.AddEdge(at(i, j), at(i+1, j+1), c, d)
+			}
+		}
+	}
+	return graph.Instance{G: g, S: at(0, 0), T: at(rows-1, cols-1), K: 2,
+		Name: fmt.Sprintf("grid-%dx%d-s%d", rows, cols, seed)}
+}
+
+// Layered generates a DAG of `layers` layers of `width` vertices each,
+// fully forward-connected layer to layer with probability density, plus a
+// source and sink. Layered DAGs are the classic RSP benchmark shape.
+func Layered(seed int64, layers, width int, density float64, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	n := layers*width + 2
+	g := graph.New(n)
+	s := graph.NodeID(n - 2)
+	t := graph.NodeID(n - 1)
+	at := func(l, i int) graph.NodeID { return graph.NodeID(l*width + i) }
+	for i := 0; i < width; i++ {
+		c, d := w.draw(r)
+		g.AddEdge(s, at(0, i), c, d)
+		c, d = w.draw(r)
+		g.AddEdge(at(layers-1, i), t, c, d)
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			linked := false
+			for j := 0; j < width; j++ {
+				if r.Float64() < density {
+					c, d := w.draw(r)
+					g.AddEdge(at(l, i), at(l+1, j), c, d)
+					linked = true
+				}
+			}
+			if !linked {
+				c, d := w.draw(r)
+				g.AddEdge(at(l, i), at(l+1, r.Intn(width)), c, d)
+			}
+		}
+	}
+	return graph.Instance{G: g, S: s, T: t, K: 2,
+		Name: fmt.Sprintf("layered-%dx%d-s%d", layers, width, seed)}
+}
+
+// Geometric scatters n points in the unit square and connects pairs within
+// the given radius (both directions). Cost is proportional to Euclidean
+// length (bandwidth rental), delay anti-correlates per Weights — the
+// Waxman-flavoured WAN model.
+func Geometric(seed int64, n int, radius float64, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{r.Float64(), r.Float64()}
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+			dist := math.Sqrt(dx*dx + dy*dy)
+			if dist <= radius {
+				c := 1 + int64(dist/radius*float64(w.MaxCost-1)+0.5)
+				_, d := w.draw(r)
+				g.AddEdge(graph.NodeID(i), graph.NodeID(j), c, d)
+			}
+		}
+	}
+	// Terminals: the most separated pair would be ideal; corner-most pair
+	// is a cheap deterministic proxy.
+	s, t := 0, 0
+	for i := 1; i < n; i++ {
+		if pts[i].x+pts[i].y < pts[s].x+pts[s].y {
+			s = i
+		}
+		if pts[i].x+pts[i].y > pts[t].x+pts[t].y {
+			t = i
+		}
+	}
+	ins := graph.Instance{G: g, S: graph.NodeID(s), T: graph.NodeID(t), K: 2,
+		Name: fmt.Sprintf("geo-n%d-r%.2f-s%d", n, radius, seed)}
+	plantPaths(r, &ins, w, 2)
+	return ins
+}
+
+// ISP builds a ring-of-trees topology: a bidirected core ring of `ring`
+// routers, each hanging a small access tree. s and t sit in access trees on
+// opposite ring sides — the shape of the paper's SDN motivation.
+func ISP(seed int64, ring, treeDepth int, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(ring)
+	addBi := func(u, v graph.NodeID) {
+		c, d := w.draw(r)
+		g.AddEdge(u, v, c, d)
+		c, d = w.draw(r)
+		g.AddEdge(v, u, c, d)
+	}
+	for i := 0; i < ring; i++ {
+		addBi(graph.NodeID(i), graph.NodeID((i+1)%ring))
+	}
+	// A chord or two for path diversity.
+	for i := 0; i < ring/3; i++ {
+		u := graph.NodeID(r.Intn(ring))
+		v := graph.NodeID(r.Intn(ring))
+		if u != v {
+			addBi(u, v)
+		}
+	}
+	// Access chains are dual-homed (every access node also uplinks to a
+	// second ring router) so that end hosts keep two disjoint routes — the
+	// standard ISP redundancy pattern, and a requirement for k = 2.
+	grow := func(root, backup graph.NodeID) graph.NodeID {
+		cur := root
+		for d := 0; d < treeDepth; d++ {
+			leaf := g.AddNode()
+			addBi(cur, leaf)
+			addBi(backup, leaf)
+			cur = leaf
+		}
+		return cur
+	}
+	s := grow(0, graph.NodeID(1%ring))
+	t := grow(graph.NodeID(ring/2), graph.NodeID((ring/2+1)%ring))
+	return graph.Instance{G: g, S: s, T: t, K: 2,
+		Name: fmt.Sprintf("isp-r%d-d%d-s%d", ring, treeDepth, seed)}
+}
+
+// plantPaths adds `count` vertex-disjoint random s→t paths so generated
+// instances admit at least that many disjoint routes.
+func plantPaths(r *rand.Rand, ins *graph.Instance, w Weights, count int) {
+	n := ins.G.NumNodes()
+	if n < 4 {
+		return
+	}
+	perm := r.Perm(n)
+	used := map[int]bool{int(ins.S): true, int(ins.T): true}
+	for p := 0; p < count; p++ {
+		hops := 1 + r.Intn(3)
+		prev := ins.S
+		for h := 0; h < hops; h++ {
+			var mid int = -1
+			for _, cand := range perm {
+				if !used[cand] {
+					mid = cand
+					break
+				}
+			}
+			if mid < 0 {
+				break
+			}
+			used[mid] = true
+			c, d := w.draw(r)
+			ins.G.AddEdge(prev, graph.NodeID(mid), c, d)
+			prev = graph.NodeID(mid)
+		}
+		c, d := w.draw(r)
+		ins.G.AddEdge(prev, ins.T, c, d)
+	}
+}
+
+// WithBound sets the delay bound to minDelay·slack (slack ≥ 1.0) using the
+// exact feasibility certificate, returning ok=false if the instance cannot
+// host K disjoint paths at all.
+func WithBound(ins graph.Instance, slack float64) (graph.Instance, bool) {
+	ins.Bound = 1 << 40 // temporarily unconstrained for validation
+	feas, err := core.CheckFeasible(ins)
+	if err != nil || feas.MaxDisjoint < ins.K {
+		return ins, false
+	}
+	b := int64(float64(feas.MinDelay) * slack)
+	if b < feas.MinDelay {
+		b = feas.MinDelay
+	}
+	ins.Bound = b
+	return ins, true
+}

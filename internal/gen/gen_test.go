@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func checkInstance(t *testing.T, ins graph.Instance) {
+	t.Helper()
+	ins.Bound = 1 << 40
+	if err := ins.Validate(); err != nil {
+		t.Fatalf("%s: %v", ins.Name, err)
+	}
+	if !ins.G.HasNonNegativeWeights() {
+		t.Fatalf("%s: negative weights", ins.Name)
+	}
+}
+
+func TestERDeterministicAndConnected(t *testing.T) {
+	a := ER(7, 20, 0.2, DefaultWeights())
+	b := ER(7, 20, 0.2, DefaultWeights())
+	checkInstance(t, a)
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for _, e := range a.G.Edges() {
+		if b.G.Edge(e.ID) != e {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	bounded, ok := WithBound(a, 1.5)
+	if !ok {
+		t.Fatal("planted paths should make k=2 feasible")
+	}
+	feas, err := core.CheckFeasible(bounded)
+	if err != nil || !feas.OK {
+		t.Fatalf("bounded instance infeasible: %+v %v", feas, err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	ins := Grid(3, 4, 5, DefaultWeights())
+	checkInstance(t, ins)
+	if ins.G.NumNodes() != 20 {
+		t.Fatalf("nodes = %d", ins.G.NumNodes())
+	}
+	if _, ok := WithBound(ins, 2.0); !ok {
+		t.Fatal("grid should admit 2 disjoint paths")
+	}
+}
+
+func TestLayered(t *testing.T) {
+	ins := Layered(11, 4, 3, 0.5, DefaultWeights())
+	checkInstance(t, ins)
+	if _, ok := WithBound(ins, 1.2); !ok {
+		t.Fatal("layered should admit 2 disjoint paths")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	ins := Geometric(5, 25, 0.35, DefaultWeights())
+	checkInstance(t, ins)
+	if ins.S == ins.T {
+		t.Fatal("degenerate terminals")
+	}
+	if _, ok := WithBound(ins, 1.5); !ok {
+		t.Fatal("geometric with planted paths should be feasible")
+	}
+}
+
+func TestISP(t *testing.T) {
+	ins := ISP(9, 8, 2, DefaultWeights())
+	checkInstance(t, ins)
+	if _, ok := WithBound(ins, 1.5); !ok {
+		t.Fatal("ring should admit 2 disjoint paths")
+	}
+}
+
+func TestWeightsCorrelation(t *testing.T) {
+	// Strong anti-correlation: cheap edges should tend to be slow. Check
+	// the sign of the sample covariance over many draws.
+	ins := ER(1, 40, 0.15, Weights{MaxCost: 100, MaxDelay: 100, Correlation: -1})
+	var sc, sd, scd float64
+	n := float64(ins.G.NumEdges())
+	for _, e := range ins.G.Edges() {
+		sc += float64(e.Cost)
+		sd += float64(e.Delay)
+	}
+	mc, md := sc/n, sd/n
+	for _, e := range ins.G.Edges() {
+		scd += (float64(e.Cost) - mc) * (float64(e.Delay) - md)
+	}
+	if scd >= 0 {
+		t.Fatalf("expected negative covariance, got %f", scd/n)
+	}
+}
+
+func TestFigure1Pathology(t *testing.T) {
+	ins, opt := Figure1(10, 4)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact optimum matches the documented C_OPT.
+	res, err := exact.BruteForce(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != opt || res.Delay != 4 {
+		t.Fatalf("OPT = %d/%d, want %d/4", res.Cost, res.Delay, opt)
+	}
+	// The paper's algorithm stays within 2·OPT.
+	cres, err := core.Solve(ins, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Delay > ins.Bound {
+		t.Fatalf("delay %d", cres.Delay)
+	}
+	if cres.Cost > 2*opt {
+		t.Fatalf("cost %d > 2·OPT=%d", cres.Cost, 2*opt)
+	}
+}
+
+func TestFigure1Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Figure1(0, 4)
+}
+
+func TestFigure2Shape(t *testing.T) {
+	ins, path, budget := Figure2()
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if budget != 6 {
+		t.Fatalf("budget = %d", budget)
+	}
+	p := graph.Path{Edges: path}
+	if err := p.Validate(ins.G, ins.S, ins.T, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardChainOptimum(t *testing.T) {
+	for _, stages := range []int{1, 2, 3} {
+		ins, opt := HardChain(stages, 7, 5)
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		res, err := exact.BruteForce(ins, 0)
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		if res.Cost != opt {
+			t.Fatalf("stages=%d: OPT=%d, documented %d", stages, res.Cost, opt)
+		}
+	}
+}
+
+func TestHardChainSolveBounds(t *testing.T) {
+	for _, stages := range []int{2, 4, 6} {
+		ins, opt := HardChain(stages, 7, 5)
+		res, err := core.Solve(ins, core.Options{})
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		if res.Delay > ins.Bound {
+			t.Fatalf("stages=%d: delay %d > %d", stages, res.Delay, ins.Bound)
+		}
+		if res.Cost > 2*opt {
+			t.Fatalf("stages=%d: cost %d > 2·OPT=%d", stages, res.Cost, 2*opt)
+		}
+	}
+}
+
+func TestHardChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HardChain(0, 1, 1)
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Figure1 reconstructs the paper's Figure 1 pathology family for a given
+// cost scale C and delay bound D (k = 2). The instance's structure matches
+// the caption exactly — vertices s, a, b, c, t with:
+//
+//   - the cheap but slow chain s→a→b→c→t (cost 0, delay 2D),
+//   - the trivial second path s→t (cost 0, delay 0),
+//   - the optimal shortcut b→t making {s·a·b·t, s·t} cost C and delay D,
+//   - the pathological shortcut a→t of cost C·(D+1)−1 and delay 0.
+//
+// An algorithm that cancels cycles without Definition 10's |c(O)| ≤ C_OPT
+// constraint can end at {s·a·t, s·t} paying ≈ (D+1)·OPT; with the
+// constraint the paper's (and this repo's) algorithm stays ≤ 2·OPT.
+// Experiment E3 sweeps D and measures both behaviours.
+func Figure1(scaleC, boundD int64) (graph.Instance, int64) {
+	if scaleC < 1 || boundD < 1 {
+		panic(fmt.Sprintf("gen: Figure1 wants positive parameters, got C=%d D=%d", scaleC, boundD))
+	}
+	g := graph.New(5)
+	const (
+		s = 0
+		a = 1
+		b = 2
+		c = 3
+		t = 4
+	)
+	g.AddEdge(s, a, 0, 0)                   // e0
+	g.AddEdge(a, b, 0, boundD)              // e1
+	g.AddEdge(b, c, 0, boundD)              // e2
+	g.AddEdge(c, t, 0, 0)                   // e3
+	g.AddEdge(s, t, 0, 0)                   // e4 second path
+	g.AddEdge(b, t, scaleC, 0)              // e5 optimal shortcut
+	g.AddEdge(a, t, scaleC*(boundD+1)-1, 0) // e6 pathological shortcut
+	ins := graph.Instance{G: g, S: s, T: t, K: 2, Bound: boundD,
+		Name: fmt.Sprintf("figure1-C%d-D%d", scaleC, boundD)}
+	return ins, scaleC // C_OPT = scaleC
+}
+
+// Figure2 reconstructs the shape of the paper's Figure 2 example: a path
+// s→x→y→z→t with shortcut edges, used to demonstrate residual and
+// auxiliary graph construction with cost budget B = 6. The figure's precise
+// weights are not recoverable from the text, so representative values are
+// used; the construction pipeline exercised (G → G̃ wrt s·x·y·z·t →
+// H_v(B)) is exactly the paper's.
+func Figure2() (ins graph.Instance, pathEdges []graph.EdgeID, budget int64) {
+	g := graph.New(5)
+	const (
+		s = 0
+		x = 1
+		y = 2
+		z = 3
+		t = 4
+	)
+	e0 := g.AddEdge(s, x, 1, 1)
+	e1 := g.AddEdge(x, y, 2, 1)
+	e2 := g.AddEdge(y, z, 1, 2)
+	e3 := g.AddEdge(z, t, 2, 1)
+	g.AddEdge(s, y, 2, 3)
+	g.AddEdge(x, z, 3, 1)
+	g.AddEdge(y, t, 1, 4)
+	ins = graph.Instance{G: g, S: s, T: t, K: 1, Bound: 5, Name: "figure2"}
+	return ins, []graph.EdgeID{e0, e1, e2, e3}, 6
+}
+
+// HardChain generalizes the Figure 1 gadget into a chain of `stages`
+// independent cost/delay traps: each stage carries a free-but-slow segment
+// (delay 2·stageD), a fair shortcut (cost stageC, halving the stage delay)
+// and an overpriced shortcut. Phase 1's min-cost flow takes every slow
+// segment, so Algorithm 1 must cancel one cycle per stage to meet the
+// bound — the family that exercises multi-iteration cancellation (unlike
+// random instances, which typically converge in one).
+func HardChain(stages int, stageC, stageD int64) (graph.Instance, int64) {
+	if stages < 1 || stageC < 1 || stageD < 1 {
+		panic(fmt.Sprintf("gen: HardChain wants positive parameters, got %d/%d/%d", stages, stageC, stageD))
+	}
+	// Per stage: in → a → b → out (free, delay stageD each hop), shortcut
+	// a→out (cost stageC, delay 0), trap a→b duplicate expensive? Keep two
+	// options per stage: slow free path (2·stageD) or paid fast path
+	// (stageC, delay 0 after hop a).
+	n := stages*3 + 1
+	g := graph.New(n + 1) // +1 for the parallel second route
+	at := func(stage, off int) graph.NodeID { return graph.NodeID(stage*3 + off) }
+	for s := 0; s < stages; s++ {
+		in, a, b, out := at(s, 0), at(s, 1), at(s, 2), at(s+1, 0)
+		g.AddEdge(in, a, 0, 0)
+		g.AddEdge(a, b, 0, stageD)
+		g.AddEdge(b, out, 0, stageD)
+		g.AddEdge(a, out, stageC, 0)                 // fair shortcut
+		g.AddEdge(a, out, stageC*(stageD+1), stageD) // overpriced decoy
+	}
+	// Second disjoint route: one long free edge chain via the extra vertex.
+	extra := graph.NodeID(n)
+	g.AddEdge(at(0, 0), extra, 0, 0)
+	g.AddEdge(extra, at(stages, 0), 0, 0)
+	// Bound: half the stages must take the paid shortcut.
+	bound := int64(stages) * stageD
+	ins := graph.Instance{G: g, S: at(0, 0), T: at(stages, 0), K: 2, Bound: bound,
+		Name: fmt.Sprintf("hardchain-%d-C%d-D%d", stages, stageC, stageD)}
+	// Optimal: pay the shortcut in ⌈stages/2⌉ stages (each paid stage saves
+	// 2·stageD; need total ≤ stages·stageD ⇒ ⌈stages/2⌉ shortcuts).
+	opt := int64((stages+1)/2) * stageC
+	return ins, opt
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := mkDiamond(t)
+	ins := Instance{G: g, S: 0, T: 3, K: 2, Bound: 12, Name: "dimacs demo"}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.S != ins.S || back.T != ins.T || back.K != ins.K || back.Bound != ins.Bound {
+		t.Fatalf("query mismatch: %+v", back)
+	}
+	if back.Name != ins.Name {
+		t.Fatalf("name %q", back.Name)
+	}
+	for _, e := range g.Edges() {
+		if back.G.Edge(e.ID) != e {
+			t.Fatalf("edge %d mismatch", e.ID)
+		}
+	}
+}
+
+func TestDIMACSOneBasedWire(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 7, 3)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, Instance{G: g, S: 0, T: 1, K: 1, Bound: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a 1 2 7 3") || !strings.Contains(out, "q 1 2 1 5") {
+		t.Fatalf("wire format not 1-based:\n%s", out)
+	}
+}
+
+func TestReadDIMACSPlainSingleWeight(t *testing.T) {
+	// A classic 9th-challenge .gr file: weight doubles as cost and delay.
+	src := "c tiny\np sp 3 2\na 1 2 4\na 2 3 6\n"
+	ins, err := ReadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.G.NumEdges() != 2 {
+		t.Fatalf("edges %d", ins.G.NumEdges())
+	}
+	e := ins.G.Edge(0)
+	if e.Cost != 4 || e.Delay != 4 {
+		t.Fatalf("edge %+v", e)
+	}
+	if ins.K != 0 || ins.Bound != 0 {
+		t.Fatal("absent query line should leave zero values")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"p sp x 2\n",
+		"a 1 2 3\n",              // arc before problem line
+		"p sp 2 1\na 1 9 3\n",    // endpoint out of range
+		"p sp 2 1\na 1 2\n",      // short arc
+		"p sp 2 1\nq 1 2\n",      // short query
+		"p sp 2 1\nz nonsense\n", // unknown line
+		"p tree 2 1\n",           // wrong problem type
+		"p sp 2 1\nq 1 2 1 zz\n", // bad bound
+		"p sp 2 1\na 1 2 3 zz\n", // bad delay
+	}
+	for i, src := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance: the text parser must never panic, and everything it
+// accepts must round-trip through WriteInstance.
+func FuzzReadInstance(f *testing.F) {
+	f.Add("krsp v1\nnodes 3\nst 0 2\nk 1\nbound 9\nedge 0 1 2 3\nedge 1 2 4 5\n")
+	f.Add("krsp v1\nnodes 0\n")
+	f.Add("krsp v1\n# comment\nnodes 2\nname x y z\nedge 0 1 -3 -4\n")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, src string) {
+		ins, err := ReadInstance(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := ins.G.Validate(); err != nil {
+			t.Fatalf("accepted inconsistent graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, ins); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, buf.String())
+		}
+		if back.G.NumNodes() != ins.G.NumNodes() || back.G.NumEdges() != ins.G.NumEdges() {
+			t.Fatal("round-trip changed graph size")
+		}
+		for _, e := range ins.G.Edges() {
+			if back.G.Edge(e.ID) != e {
+				t.Fatalf("round-trip changed edge %d", e.ID)
+			}
+		}
+	})
+}
+
+// FuzzReadDIMACS: same contract for the DIMACS-style parser.
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("c hello\np sp 3 2\nq 1 3 2 9\na 1 2 4 5\na 2 3 6\n")
+	f.Add("p sp 1 0\n")
+	f.Add("a 1 2 3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		ins, err := ReadDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := ins.G.Validate(); err != nil {
+			t.Fatalf("accepted inconsistent graph: %v", err)
+		}
+		// Accepted instances with in-range terminals must survive a
+		// write/read cycle.
+		n := ins.G.NumNodes()
+		if int(ins.S) < 0 || int(ins.S) >= n || int(ins.T) < 0 || int(ins.T) >= n {
+			return // query line may reference out-of-range vertices
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, ins); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, buf.String())
+		}
+		if back.G.NumEdges() != ins.G.NumEdges() {
+			t.Fatal("round-trip changed edge count")
+		}
+	})
+}

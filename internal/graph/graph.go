@@ -1,0 +1,270 @@
+// Package graph provides the directed-multigraph substrate used by every
+// other package in this repository. Graphs carry a nonnegative integral
+// cost and delay on every edge, matching the kRSP problem definition
+// (Definition 2 of the paper). Residual constructions elsewhere relax the
+// nonnegativity, so the types here deliberately allow negative weights and
+// parallel edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. Vertices are dense integers 0..NumNodes-1.
+type NodeID int32
+
+// EdgeID identifies an edge. Edges are dense integers 0..NumEdges-1 in
+// insertion order and are never reused; parallel edges get distinct IDs.
+type EdgeID int32
+
+// Edge is a directed edge with integral cost and delay.
+type Edge struct {
+	ID   EdgeID
+	From NodeID
+	To   NodeID
+	// Cost is the routing cost c(e). Nonnegative in problem inputs;
+	// residual graphs negate it on reversed edges.
+	Cost int64
+	// Delay is the QoS delay d(e). Same sign convention as Cost.
+	Delay int64
+}
+
+// Digraph is a directed multigraph with per-edge cost and delay.
+// The zero value is an empty graph with no nodes; use New to size it.
+type Digraph struct {
+	edges []Edge
+	out   [][]EdgeID
+	in    [][]EdgeID
+}
+
+// New returns an empty digraph with n vertices and no edges.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Digraph{
+		out: make([][]EdgeID, n),
+		in:  make([][]EdgeID, n),
+	}
+}
+
+// NumNodes reports the number of vertices.
+func (g *Digraph) NumNodes() int { return len(g.out) }
+
+// NumEdges reports the number of edges.
+func (g *Digraph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a fresh vertex and returns its ID.
+func (g *Digraph) AddNode() NodeID {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return NodeID(len(g.out) - 1)
+}
+
+// AddEdge inserts a directed edge from u to v and returns its ID.
+// Parallel edges and self-loops are permitted (residual graphs need the
+// former; generators reject the latter themselves where it matters).
+func (g *Digraph) AddEdge(u, v NodeID, cost, delay int64) EdgeID {
+	g.checkNode(u)
+	g.checkNode(v)
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: u, To: v, Cost: cost, Delay: delay})
+	g.out[u] = append(g.out[u], id)
+	g.in[v] = append(g.in[v], id)
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Digraph) Edge(id EdgeID) Edge {
+	return g.edges[id]
+}
+
+// Edges returns a copy of all edges in insertion order.
+func (g *Digraph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Out returns the IDs of edges leaving v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Digraph) Out(v NodeID) []EdgeID { g.checkNode(v); return g.out[v] }
+
+// In returns the IDs of edges entering v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Digraph) In(v NodeID) []EdgeID { g.checkNode(v); return g.in[v] }
+
+// OutDegree reports the number of edges leaving v.
+func (g *Digraph) OutDegree(v NodeID) int { g.checkNode(v); return len(g.out[v]) }
+
+// InDegree reports the number of edges entering v.
+func (g *Digraph) InDegree(v NodeID) int { g.checkNode(v); return len(g.in[v]) }
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{
+		edges: make([]Edge, len(g.edges)),
+		out:   make([][]EdgeID, len(g.out)),
+		in:    make([][]EdgeID, len(g.in)),
+	}
+	copy(c.edges, g.edges)
+	for v := range g.out {
+		c.out[v] = append([]EdgeID(nil), g.out[v]...)
+		c.in[v] = append([]EdgeID(nil), g.in[v]...)
+	}
+	return c
+}
+
+// Reverse returns a new graph with every edge direction flipped. Edge IDs,
+// costs and delays are preserved.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.NumNodes())
+	for _, e := range g.edges {
+		r.AddEdge(e.To, e.From, e.Cost, e.Delay)
+	}
+	return r
+}
+
+// TotalCost sums the cost of the identified edges.
+func (g *Digraph) TotalCost(ids []EdgeID) int64 {
+	var s int64
+	for _, id := range ids {
+		s += g.edges[id].Cost
+	}
+	return s
+}
+
+// TotalDelay sums the delay of the identified edges.
+func (g *Digraph) TotalDelay(ids []EdgeID) int64 {
+	var s int64
+	for _, id := range ids {
+		s += g.edges[id].Delay
+	}
+	return s
+}
+
+// SumCost returns Σ_e c(e) over all edges (the paper's Σc(e) bound).
+func (g *Digraph) SumCost() int64 {
+	var s int64
+	for _, e := range g.edges {
+		s += e.Cost
+	}
+	return s
+}
+
+// SumDelay returns Σ_e d(e) over all edges.
+func (g *Digraph) SumDelay() int64 {
+	var s int64
+	for _, e := range g.edges {
+		s += e.Delay
+	}
+	return s
+}
+
+// MaxCost returns the maximum edge cost, or 0 for an edgeless graph.
+func (g *Digraph) MaxCost() int64 {
+	var m int64
+	for _, e := range g.edges {
+		if e.Cost > m {
+			m = e.Cost
+		}
+	}
+	return m
+}
+
+// MaxDelay returns the maximum edge delay, or 0 for an edgeless graph.
+func (g *Digraph) MaxDelay() int64 {
+	var m int64
+	for _, e := range g.edges {
+		if e.Delay > m {
+			m = e.Delay
+		}
+	}
+	return m
+}
+
+// HasNonNegativeWeights reports whether every edge has cost ≥ 0 and
+// delay ≥ 0 (true for problem inputs, false for residual graphs).
+func (g *Digraph) HasNonNegativeWeights() bool {
+	for _, e := range g.edges {
+		if e.Cost < 0 || e.Delay < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FindEdges returns the IDs of all u→v parallel edges in insertion order.
+func (g *Digraph) FindEdges(u, v NodeID) []EdgeID {
+	var ids []EdgeID
+	for _, id := range g.out[u] {
+		if g.edges[id].To == v {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Validate checks internal adjacency consistency. It is used by tests and
+// by fuzz-style property checks; it returns a descriptive error on the
+// first inconsistency found.
+func (g *Digraph) Validate() error {
+	n := g.NumNodes()
+	seen := make(map[EdgeID]int)
+	for v := 0; v < n; v++ {
+		for _, id := range g.out[v] {
+			if int(id) >= len(g.edges) {
+				return fmt.Errorf("graph: out[%d] references unknown edge %d", v, id)
+			}
+			e := g.edges[id]
+			if e.From != NodeID(v) {
+				return fmt.Errorf("graph: edge %d in out[%d] has From=%d", id, v, e.From)
+			}
+			seen[id]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, id := range g.in[v] {
+			if int(id) >= len(g.edges) {
+				return fmt.Errorf("graph: in[%d] references unknown edge %d", v, id)
+			}
+			e := g.edges[id]
+			if e.To != NodeID(v) {
+				return fmt.Errorf("graph: edge %d in in[%d] has To=%d", id, v, e.To)
+			}
+			seen[id]++
+		}
+	}
+	for i, e := range g.edges {
+		if e.ID != EdgeID(i) {
+			return fmt.Errorf("graph: edge at index %d has ID %d", i, e.ID)
+		}
+		if int(e.From) >= n || int(e.To) >= n || e.From < 0 || e.To < 0 {
+			return fmt.Errorf("graph: edge %d endpoints out of range: %d→%d", i, e.From, e.To)
+		}
+		if seen[e.ID] != 2 {
+			return fmt.Errorf("graph: edge %d appears %d times in adjacency (want 2)", e.ID, seen[e.ID])
+		}
+	}
+	return nil
+}
+
+// String renders a compact human-readable summary.
+func (g *Digraph) String() string {
+	return fmt.Sprintf("Digraph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())
+}
+
+func (g *Digraph) checkNode(v NodeID) {
+	if v < 0 || int(v) >= len(g.out) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.out)))
+	}
+}
+
+// SortedEdgeIDs returns the IDs sorted ascending; handy for deterministic
+// output in tests and serialization.
+func SortedEdgeIDs(ids []EdgeID) []EdgeID {
+	out := append([]EdgeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

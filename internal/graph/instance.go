@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Instance is a complete kRSP problem instance (Definition 2 of the paper):
+// a digraph with costs and delays, terminals s and t, the number of
+// required edge-disjoint paths K, and the total delay bound D.
+type Instance struct {
+	G     *Digraph
+	S, T  NodeID
+	K     int
+	Bound int64 // D, the total delay bound
+	// Name labels the instance in experiment output; optional.
+	Name string
+}
+
+// ErrInvalidInstance wraps all instance validation failures.
+var ErrInvalidInstance = errors.New("invalid kRSP instance")
+
+// Validate checks structural sanity: terminals in range and distinct,
+// K ≥ 1, D ≥ 0, and nonnegative edge weights (required by Definition 2;
+// residual graphs are not Instances).
+func (ins Instance) Validate() error {
+	if ins.G == nil {
+		return fmt.Errorf("%w: nil graph", ErrInvalidInstance)
+	}
+	n := ins.G.NumNodes()
+	if ins.S < 0 || int(ins.S) >= n {
+		return fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalidInstance, ins.S, n)
+	}
+	if ins.T < 0 || int(ins.T) >= n {
+		return fmt.Errorf("%w: sink %d out of range [0,%d)", ErrInvalidInstance, ins.T, n)
+	}
+	if ins.S == ins.T {
+		return fmt.Errorf("%w: source equals sink (%d)", ErrInvalidInstance, ins.S)
+	}
+	if ins.K < 1 {
+		return fmt.Errorf("%w: k=%d, want ≥ 1", ErrInvalidInstance, ins.K)
+	}
+	if ins.Bound < 0 {
+		return fmt.Errorf("%w: delay bound %d < 0", ErrInvalidInstance, ins.Bound)
+	}
+	if !ins.G.HasNonNegativeWeights() {
+		return fmt.Errorf("%w: negative edge weights", ErrInvalidInstance)
+	}
+	return ins.G.Validate()
+}
+
+// Solution is a set of K edge-disjoint s→t paths.
+type Solution struct {
+	Paths []Path
+}
+
+// Cost sums the cost of all paths.
+func (s Solution) Cost(g *Digraph) int64 {
+	var c int64
+	for _, p := range s.Paths {
+		c += p.Cost(g)
+	}
+	return c
+}
+
+// Delay sums the delay of all paths.
+func (s Solution) Delay(g *Digraph) int64 {
+	var d int64
+	for _, p := range s.Paths {
+		d += p.Delay(g)
+	}
+	return d
+}
+
+// EdgeIDs returns all edges used across paths, sorted.
+func (s Solution) EdgeIDs() []EdgeID {
+	var ids []EdgeID
+	for _, p := range s.Paths {
+		ids = append(ids, p.Edges...)
+	}
+	return SortedEdgeIDs(ids)
+}
+
+// Validate checks that the solution consists of exactly ins.K edge-disjoint
+// s→t paths in ins.G. It does NOT check the delay bound: approximation
+// algorithms may legitimately exceed it by their bifactor; callers check
+// delay separately.
+func (s Solution) Validate(ins Instance) error {
+	if len(s.Paths) != ins.K {
+		return fmt.Errorf("solution has %d paths, want %d", len(s.Paths), ins.K)
+	}
+	seen := map[EdgeID]bool{}
+	for i, p := range s.Paths {
+		if err := p.Validate(ins.G, ins.S, ins.T, false); err != nil {
+			return fmt.Errorf("path %d: %w", i, err)
+		}
+		for _, id := range p.Edges {
+			if seen[id] {
+				return fmt.Errorf("paths share edge %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}

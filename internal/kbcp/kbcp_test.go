@@ -1,0 +1,124 @@
+package kbcp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func tradeoff() graph.Instance {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(0, 3, 3, 5)
+	return graph.Instance{G: g, S: 0, T: 3, K: 2}
+}
+
+func TestSolveBothBoundsLoose(t *testing.T) {
+	ins := tradeoff()
+	ins.Bound = 30 // D
+	res, err := Solve(ins, 20, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostFactor > 1 || res.DelayFactor > 1 {
+		t.Fatalf("loose bounds should be met: %+v", res)
+	}
+	if err := res.Solution.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTightCostBound(t *testing.T) {
+	// C = 5 forces the cheap pair (cost 5, delay 25): the cost-bounded
+	// orientation should find it, paying delay instead.
+	ins := tradeoff()
+	ins.Bound = 25
+	res, err := Solve(ins, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostFactor > 2.0+1e-9 || res.DelayFactor > 2.0+1e-9 {
+		t.Fatalf("bifactor blown: %+v", res)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	ins := tradeoff()
+	ins.Bound = 3 // below min delay 7
+	// Cost bound also below min cost 5 → both orientations fail.
+	if _, err := Solve(ins, 2, core.Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	ins := tradeoff()
+	ins.Bound = 10
+	if _, err := Solve(ins, -1, core.Options{}); err == nil {
+		t.Fatal("negative cost bound accepted")
+	}
+	ins.K = 0
+	if _, err := Solve(ins, 10, core.Options{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+// TestBifactorGuarantee: whenever BOTH bounds are simultaneously
+// satisfiable, at least one orientation returns a solution with one factor
+// ≤ 1 and the other ≤ 2 (the kRSP reduction's promise).
+func TestBifactorGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(4)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), int64(r.Intn(8)), int64(r.Intn(8)))
+			}
+		}
+		ins := graph.Instance{G: g, S: 0, T: graph.NodeID(n - 1), K: 1 + r.Intn(2)}
+		// Pick a simultaneously-achievable (C, D) pair by solving once with
+		// a loose bound and using that solution's own measures.
+		ins.Bound = 1 << 30
+		probe, err := core.Solve(ins, core.Options{})
+		if err != nil {
+			return true // no k disjoint paths at all: skip
+		}
+		costBound := probe.Cost + r.Int63n(5)
+		ins.Bound = probe.Delay + r.Int63n(5)
+		res, err := Solve(ins, costBound, core.Options{})
+		if err != nil {
+			return false // a feasible witness exists, kBCP must answer
+		}
+		minFac := res.CostFactor
+		maxFac := res.DelayFactor
+		if minFac > maxFac {
+			minFac, maxFac = maxFac, minFac
+		}
+		return minFac <= 1+1e-9 && maxFac <= 2+1e-9 &&
+			res.Solution.Validate(ins) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientationLabels(t *testing.T) {
+	ins := tradeoff()
+	ins.Bound = 25
+	res, err := Solve(ins, 100, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Orientation != "delay-bounded" && res.Orientation != "cost-bounded" {
+		t.Fatalf("orientation %q", res.Orientation)
+	}
+}

@@ -1,0 +1,276 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x-y s.t. x+y ≤ 4, x ≤ 3, y ≤ 2  → x=3,y=1? No: max x+y=4 at any
+	// point on x+y=4 within bounds; objective value -4.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, LE, 4)
+	p.AddBound(0, 3)
+	p.AddBound(1, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, -4) {
+		t.Fatalf("obj = %v", sol.Obj)
+	}
+	if !near(sol.X[0]+sol.X[1], 4) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x ≥ 4 (as GE row), y ≥ 0 → x=10,y=0? x≥4
+	// allows x=10: obj 20.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddRow([]Coef{{0, 1}}, GE, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, 20) || !near(sol.X[0], 10) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestGEBinding(t *testing.T) {
+	// min x+y s.t. x+2y ≥ 6, 2x+y ≥ 6 → x=y=2, obj 4.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddRow([]Coef{{0, 1}, {1, 2}}, GE, 6)
+	p.AddRow([]Coef{{0, 2}, {1, 1}}, GE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, 4) || !near(sol.X[0], 2) || !near(sol.X[1], 2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddRow([]Coef{{0, 1}}, GE, 5)
+	p.AddRow([]Coef{{0, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if !errors.Is(err, ErrInfeasible) || sol.Status != Infeasible {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddRow([]Coef{{0, 1}}, GE, 0)
+	sol, err := p.Solve()
+	if !errors.Is(err, ErrUnbounded) || sol.Status != Unbounded {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −3 (i.e. x ≥ 3) → 3.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddRow([]Coef{{0, -1}}, LE, -3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, 3) {
+		t.Fatalf("obj = %v", sol.Obj)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows exercise the redundant-row handling.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddRow([]Coef{{0, 2}, {1, 2}}, EQ, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, 0) || !near(sol.X[1], 5) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestDegenerateCyclingGuard(t *testing.T) {
+	// Classic Beale cycling example (degenerate); Bland's rule must
+	// terminate at optimum -0.05.
+	p := NewProblem(4)
+	obj := []float64{-0.75, 150, -0.02, 6}
+	for j, c := range obj {
+		p.SetObjective(j, c)
+	}
+	p.AddRow([]Coef{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddRow([]Coef{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddRow([]Coef{{2, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, -0.05) {
+		t.Fatalf("obj = %v", sol.Obj)
+	}
+}
+
+func TestTransportationLP(t *testing.T) {
+	// 2 plants (supply 20, 30) × 2 markets (demand 25, 25) min-cost
+	// transport; costs [[1,3],[2,1]] → optimal 20·1 + 5·2 + 25·1 = 55.
+	p := NewProblem(4) // x00 x01 x10 x11
+	costs := []float64{1, 3, 2, 1}
+	for j, c := range costs {
+		p.SetObjective(j, c)
+	}
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 20)
+	p.AddRow([]Coef{{2, 1}, {3, 1}}, EQ, 30)
+	p.AddRow([]Coef{{0, 1}, {2, 1}}, EQ, 25)
+	p.AddRow([]Coef{{1, 1}, {3, 1}}, EQ, 25)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, 55) {
+		t.Fatalf("obj = %v, x = %v", sol.Obj, sol.X)
+	}
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	// Random feasible-by-construction LPs: check returned point satisfies
+	// all rows and has objective ≤ any of a set of random feasible points.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, float64(r.Intn(21)-10))
+			p.AddBound(j, float64(1+r.Intn(9))) // box keeps it bounded
+		}
+		// A feasible reference point inside the box: the origin satisfies
+		// every row we add of form Σ a_j x_j ≤ rhs with rhs ≥ 0.
+		rows := 1 + r.Intn(4)
+		type rowRec struct {
+			coefs []Coef
+			rhs   float64
+		}
+		var recs []rowRec
+		for i := 0; i < rows; i++ {
+			var coefs []Coef
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					coefs = append(coefs, Coef{j, float64(r.Intn(11) - 5)})
+				}
+			}
+			rhs := float64(r.Intn(10))
+			p.AddRow(coefs, LE, rhs)
+			recs = append(recs, rowRec{coefs, rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false // origin is always feasible; bounded by box
+		}
+		for _, rec := range recs {
+			var lhs float64
+			for _, c := range rec.coefs {
+				lhs += c.Val * sol.X[c.Var]
+			}
+			if lhs > rec.rhs+1e-6 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			if sol.X[j] < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveMatchesX(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, -1)
+	p.SetObjective(2, 0.5)
+	p.AddRow([]Coef{{0, 1}, {1, 1}, {2, 1}}, EQ, 6)
+	p.AddBound(1, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 2*sol.X[0] - sol.X[1] + 0.5*sol.X[2]
+	if !near(got, sol.Obj) {
+		t.Fatalf("obj %v vs recomputed %v", sol.Obj, got)
+	}
+	if !near(sol.Obj, -3) { // x1=4, x2=2: -4+1 = -3
+		t.Fatalf("obj = %v", sol.Obj)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("op strings")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings")
+	}
+	if Op(99).String() != "?" || Status(99).String() != "?" {
+		t.Fatal("unknown strings")
+	}
+}
+
+func TestVarRangePanics(t *testing.T) {
+	p := NewProblem(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.SetObjective(2, 1)
+}
+
+func TestMinCostFlowAsLP(t *testing.T) {
+	// Min-cost 2-flow on the diamond graph, as an LP: matches the known
+	// combinatorial optimum 10 (cross-validates the flow package result).
+	// Vars: e0..e4 with costs 1,2,3,4,5; conservation at nodes 1,2;
+	// outflow 2 at source; x ≤ 1.
+	p := NewProblem(5)
+	costs := []float64{1, 2, 3, 4, 5}
+	for j, c := range costs {
+		p.SetObjective(j, c)
+		p.AddBound(j, 1)
+	}
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 2)           // source out
+	p.AddRow([]Coef{{0, 1}, {2, -1}, {4, -1}}, EQ, 0) // node 1
+	p.AddRow([]Coef{{1, 1}, {4, 1}, {3, -1}}, EQ, 0)  // node 2
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Obj, 10) {
+		t.Fatalf("obj = %v x=%v", sol.Obj, sol.X)
+	}
+}

@@ -1,0 +1,221 @@
+// Package netsim is a small discrete-event network simulator used to
+// measure the REALIZED quality of service of provisioned paths — the
+// paper's introduction motivates kRSP with bandwidth aggregation, load
+// balance and fault tolerance, and this simulator turns those claims into
+// measurable numbers (experiment E13).
+//
+// Model: each link serves packets FIFO at a fixed service rate and then
+// imposes its propagation delay (the kRSP edge delay). Queueing is modeled
+// with per-link virtual queues (busy-until timestamps): a packet arriving
+// at a link waits max(0, freeAt − now), is dropped if the implied backlog
+// exceeds the queue limit, and otherwise departs after service +
+// propagation. Traffic is Poisson per flow, split across a flow's paths
+// either per-packet (round robin) or by hashing (per-"connection"
+// stickiness). Deterministic for a fixed seed.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Config fixes the physical model.
+type Config struct {
+	// ServiceRate is packets per time unit a link serves (default 1.0).
+	ServiceRate float64
+	// QueueLimit is the max backlog (in packets) a link tolerates before
+	// dropping (default 64).
+	QueueLimit float64
+	// PropScale converts an edge's Delay weight into propagation time units
+	// (default 1.0).
+	PropScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ServiceRate <= 0 {
+		c.ServiceRate = 1
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.PropScale <= 0 {
+		c.PropScale = 1
+	}
+	return c
+}
+
+// Flow is one traffic source spread over a set of (ideally disjoint)
+// provisioned paths.
+type Flow struct {
+	// Paths carries the provisioned routes; empty paths are rejected.
+	Paths []graph.Path
+	// Rate is the Poisson arrival rate in packets per time unit.
+	Rate float64
+	// Packets is how many packets the flow emits.
+	Packets int
+	// Sticky routes by packet hash (per-connection stickiness) instead of
+	// round-robin spraying.
+	Sticky bool
+}
+
+// Stats summarizes one simulation run.
+type Stats struct {
+	Delivered int
+	Dropped   int
+	// Delay statistics over delivered packets.
+	MeanDelay float64
+	P50Delay  float64
+	P99Delay  float64
+	MaxDelay  float64
+	// MaxUtilization is the busiest link's busy-time fraction.
+	MaxUtilization float64
+}
+
+// LossRate is Dropped / (Delivered + Dropped), 0 for an empty run.
+func (s Stats) LossRate() float64 {
+	total := s.Delivered + s.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(total)
+}
+
+// event is a packet arriving at the head of its remaining hop list.
+type event struct {
+	at     float64
+	seq    int // tiebreaker for determinism
+	packet int
+	hop    int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Run simulates the flows over g and returns aggregate statistics.
+func Run(g *graph.Digraph, cfg Config, flows []Flow, seed int64) (Stats, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	type packet struct {
+		route   []graph.EdgeID
+		start   float64
+		arrival float64 // at current hop
+	}
+	var packets []packet
+	for fi, f := range flows {
+		if f.Rate <= 0 || f.Packets <= 0 {
+			return Stats{}, fmt.Errorf("netsim: flow %d needs positive rate and packet count", fi)
+		}
+		if len(f.Paths) == 0 {
+			return Stats{}, fmt.Errorf("netsim: flow %d has no paths", fi)
+		}
+		for pi, p := range f.Paths {
+			if p.Len() == 0 {
+				return Stats{}, fmt.Errorf("netsim: flow %d path %d is empty", fi, pi)
+			}
+		}
+		now := 0.0
+		for i := 0; i < f.Packets; i++ {
+			now += rng.ExpFloat64() / f.Rate
+			var route graph.Path
+			if f.Sticky {
+				route = f.Paths[rng.Intn(len(f.Paths))]
+			} else {
+				route = f.Paths[i%len(f.Paths)]
+			}
+			packets = append(packets, packet{route: route.Edges, start: now, arrival: now})
+		}
+	}
+
+	freeAt := make([]float64, g.NumEdges())
+	busy := make([]float64, g.NumEdges())
+	service := 1.0 / cfg.ServiceRate
+
+	var h eventHeap
+	for i, p := range packets {
+		h = append(h, event{at: p.start, seq: i, packet: i, hop: 0})
+	}
+	heap.Init(&h)
+
+	var delays []float64
+	dropped := 0
+	seq := len(packets)
+	var horizon float64
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		p := &packets[ev.packet]
+		id := p.route[ev.hop]
+		now := ev.at
+		// Virtual queue: implied backlog in packets.
+		backlog := math.Max(0, freeAt[id]-now) / service
+		if backlog > cfg.QueueLimit {
+			dropped++
+			continue
+		}
+		startService := math.Max(now, freeAt[id])
+		freeAt[id] = startService + service
+		busy[id] += service
+		depart := startService + service + float64(g.Edge(id).Delay)*cfg.PropScale
+		if depart > horizon {
+			horizon = depart
+		}
+		if ev.hop+1 < len(p.route) {
+			p.arrival = depart
+			seq++
+			heap.Push(&h, event{at: depart, seq: seq, packet: ev.packet, hop: ev.hop + 1})
+		} else {
+			delays = append(delays, depart-p.start)
+		}
+	}
+
+	st := Stats{Delivered: len(delays), Dropped: dropped}
+	if len(delays) > 0 {
+		sort.Float64s(delays)
+		var sum float64
+		for _, d := range delays {
+			sum += d
+		}
+		st.MeanDelay = sum / float64(len(delays))
+		st.P50Delay = quantile(delays, 0.50)
+		st.P99Delay = quantile(delays, 0.99)
+		st.MaxDelay = delays[len(delays)-1]
+	}
+	if horizon > 0 {
+		for _, b := range busy {
+			if u := b / horizon; u > st.MaxUtilization {
+				st.MaxUtilization = u
+			}
+		}
+	}
+	return st, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// line builds a 3-hop path graph with the given per-edge delay.
+func line(delay int64) (*graph.Digraph, graph.Path) {
+	g := graph.New(4)
+	e0 := g.AddEdge(0, 1, 1, delay)
+	e1 := g.AddEdge(1, 2, 1, delay)
+	e2 := g.AddEdge(2, 3, 1, delay)
+	return g, graph.Path{Edges: []graph.EdgeID{e0, e1, e2}}
+}
+
+func TestUncongestedDelayMatchesAnalytic(t *testing.T) {
+	g, p := line(5)
+	// Rate far below capacity: no queueing, so every packet's delay is
+	// 3·(service + prop) = 3·(1 + 5) = 18.
+	st, err := Run(g, Config{ServiceRate: 1, QueueLimit: 100}, []Flow{
+		{Paths: []graph.Path{p}, Rate: 0.01, Packets: 200},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 0 || st.Delivered != 200 {
+		t.Fatalf("delivered %d dropped %d", st.Delivered, st.Dropped)
+	}
+	if math.Abs(st.MeanDelay-18) > 0.5 {
+		t.Fatalf("mean delay %v, want ≈18", st.MeanDelay)
+	}
+	if st.MaxDelay > 18+10 {
+		t.Fatalf("max delay %v suggests phantom queueing", st.MaxDelay)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g, p := line(2)
+	flows := []Flow{{Paths: []graph.Path{p}, Rate: 0.8, Packets: 500}}
+	a, err := Run(g, Config{}, flows, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Config{}, flows, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, _ := Run(g, Config{}, flows, 43)
+	if a == c {
+		t.Fatal("different seeds produced identical stats (suspicious)")
+	}
+}
+
+func TestOverloadDrops(t *testing.T) {
+	g, p := line(1)
+	// Rate 3× capacity with a small queue must drop heavily.
+	st, err := Run(g, Config{ServiceRate: 1, QueueLimit: 8}, []Flow{
+		{Paths: []graph.Path{p}, Rate: 3, Packets: 2000},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LossRate() < 0.3 {
+		t.Fatalf("loss %.2f too low under 3x overload", st.LossRate())
+	}
+	if st.MaxUtilization < 0.8 {
+		t.Fatalf("bottleneck utilization %.2f", st.MaxUtilization)
+	}
+}
+
+// twoDisjoint builds two parallel 2-hop routes.
+func twoDisjoint(delay int64) (*graph.Digraph, graph.Path, graph.Path) {
+	g := graph.New(4)
+	a0 := g.AddEdge(0, 1, 1, delay)
+	a1 := g.AddEdge(1, 3, 1, delay)
+	b0 := g.AddEdge(0, 2, 1, delay)
+	b1 := g.AddEdge(2, 3, 1, delay)
+	return g, graph.Path{Edges: []graph.EdgeID{a0, a1}}, graph.Path{Edges: []graph.EdgeID{b0, b1}}
+}
+
+func TestMultipathBeatsSinglePathUnderLoad(t *testing.T) {
+	g, pa, pb := twoDisjoint(2)
+	load := Flow{Rate: 1.6, Packets: 4000} // 160% of one link's capacity
+	single := load
+	single.Paths = []graph.Path{pa}
+	multi := load
+	multi.Paths = []graph.Path{pa, pb}
+
+	sSingle, err := Run(g, Config{QueueLimit: 32}, []Flow{single}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMulti, err := Run(g, Config{QueueLimit: 32}, []Flow{multi}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMulti.LossRate() >= sSingle.LossRate() && sSingle.LossRate() > 0 {
+		t.Fatalf("multipath loss %.3f not better than single %.3f",
+			sMulti.LossRate(), sSingle.LossRate())
+	}
+	if sMulti.P99Delay >= sSingle.P99Delay {
+		t.Fatalf("multipath p99 %v not better than single %v",
+			sMulti.P99Delay, sSingle.P99Delay)
+	}
+}
+
+func TestStickySplitting(t *testing.T) {
+	g, pa, pb := twoDisjoint(1)
+	st, err := Run(g, Config{}, []Flow{
+		{Paths: []graph.Path{pa, pb}, Rate: 0.5, Packets: 300, Sticky: true},
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 300 {
+		t.Fatalf("delivered %d", st.Delivered)
+	}
+}
+
+func TestRunRejectsBadFlows(t *testing.T) {
+	g, p := line(1)
+	cases := []Flow{
+		{Paths: []graph.Path{p}, Rate: 0, Packets: 10},
+		{Paths: []graph.Path{p}, Rate: 1, Packets: 0},
+		{Paths: nil, Rate: 1, Packets: 10},
+		{Paths: []graph.Path{{}}, Rate: 1, Packets: 10},
+	}
+	for i, f := range cases {
+		if _, err := Run(g, Config{}, []Flow{f}, 1); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLossRateEmpty(t *testing.T) {
+	if (Stats{}).LossRate() != 0 {
+		t.Fatal("empty loss rate")
+	}
+}

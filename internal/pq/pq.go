@@ -1,0 +1,112 @@
+// Package pq provides an indexed binary min-heap keyed by int64 priorities.
+// It supports decrease-key by item index, which Dijkstra-style algorithms
+// need; indices are dense integers (vertex IDs).
+package pq
+
+// Heap is an indexed min-heap over items 0..n-1. The zero value is not
+// usable; construct with New.
+type Heap struct {
+	heap []int   // heap[i] = item at heap position i
+	pos  []int   // pos[item] = heap position, or -1 if absent
+	key  []int64 // key[item] = current priority
+}
+
+// New returns a heap able to hold items 0..n-1.
+func New(n int) *Heap {
+	h := &Heap{
+		heap: make([]int, 0, n),
+		pos:  make([]int, n),
+		key:  make([]int64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of queued items.
+func (h *Heap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is queued.
+func (h *Heap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Key returns item's current priority; valid only if Contains(item) or the
+// item was previously pushed (keys persist after Pop).
+func (h *Heap) Key(item int) int64 { return h.key[item] }
+
+// Push inserts item with the given key, or decreases/updates its key if it
+// is already queued. Increasing an existing key is also supported (sift
+// both directions), though Dijkstra never needs it.
+func (h *Heap) Push(item int, key int64) {
+	if h.pos[item] >= 0 {
+		h.key[item] = key
+		h.up(h.pos[item])
+		h.down(h.pos[item])
+		return
+	}
+	h.key[item] = key
+	h.heap = append(h.heap, item)
+	h.pos[item] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+// Pop removes and returns the item with minimum key. It panics on an empty
+// heap.
+func (h *Heap) Pop() (item int, key int64) {
+	item = h.heap[0]
+	key = h.key[item]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[item] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return item, key
+}
+
+// Reset empties the heap for reuse without reallocating.
+func (h *Heap) Reset() {
+	for _, item := range h.heap {
+		h.pos[item] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+func (h *Heap) less(i, j int) bool { return h.key[h.heap[i]] < h.key[h.heap[j]] }
+
+func (h *Heap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,109 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(5)
+	keys := []int64{42, 7, 19, 3, 25}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for _, wk := range want {
+		_, k := h.Pop()
+		if k != wk {
+			t.Fatalf("pop key %d, want %d", k, wk)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len %d after draining", h.Len())
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(3)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Push(2, 1) // decrease
+	item, k := h.Pop()
+	if item != 2 || k != 1 {
+		t.Fatalf("got %d/%d, want 2/1", item, k)
+	}
+}
+
+func TestIncreaseKey(t *testing.T) {
+	h := New(3)
+	h.Push(0, 1)
+	h.Push(1, 2)
+	h.Push(0, 99) // increase
+	item, _ := h.Pop()
+	if item != 1 {
+		t.Fatalf("got %d, want 1", item)
+	}
+}
+
+func TestContainsAndKey(t *testing.T) {
+	h := New(2)
+	h.Push(1, 5)
+	if !h.Contains(1) || h.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	if h.Key(1) != 5 {
+		t.Fatalf("Key = %d", h.Key(1))
+	}
+	h.Pop()
+	if h.Contains(1) {
+		t.Fatal("popped item still contained")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(4)
+	h.Push(0, 1)
+	h.Push(1, 2)
+	h.Reset()
+	if h.Len() != 0 || h.Contains(0) || h.Contains(1) {
+		t.Fatal("reset incomplete")
+	}
+	h.Push(2, 3)
+	if item, _ := h.Pop(); item != 2 {
+		t.Fatal("heap unusable after reset")
+	}
+}
+
+func TestQuickHeapSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		h := New(n)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(r.Intn(1000) - 500)
+			h.Push(i, keys[i])
+		}
+		// Random decrease-keys.
+		for j := 0; j < n/2; j++ {
+			i := r.Intn(n)
+			keys[i] -= int64(r.Intn(100))
+			h.Push(i, keys[i])
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, wk := range sorted {
+			if _, k := h.Pop(); k != wk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package shortest
+
+import (
+	"repro/internal/graph"
+)
+
+// MinMeanCycle computes a cycle minimizing mean weight Σw/len using Karp's
+// dynamic program. It returns the cycle, its mean as an exact rational
+// (num/den with den = cycle length > 0), and found=false for acyclic
+// graphs. Runs in O(n·m).
+//
+// The classic cycle-cancellation literature ([15] in the paper) applies
+// this to residual graphs whose reversed edges carry zero cost; the paper's
+// bicameral-cycle machinery exists precisely because min-mean search cannot
+// handle residual graphs with BOTH negative costs and negative delays. We
+// keep it as a baseline ingredient and for ablation E8.
+func MinMeanCycle(g *graph.Digraph, w Weight) (cycle graph.Cycle, num, den int64, found bool) {
+	n := g.NumNodes()
+	if n == 0 || g.NumEdges() == 0 {
+		return graph.Cycle{}, 0, 0, false
+	}
+	// dp[k][v] = min weight of a k-edge walk ending at v, from any start
+	// (dp[0][v] = 0). pred[k][v] = edge used at step k.
+	dp := make([][]int64, n+1)
+	pred := make([][]graph.EdgeID, n+1)
+	for k := 0; k <= n; k++ {
+		dp[k] = make([]int64, n)
+		pred[k] = make([]graph.EdgeID, n)
+		for v := range dp[k] {
+			if k == 0 {
+				dp[k][v] = 0
+			} else {
+				dp[k][v] = Inf
+			}
+			pred[k][v] = -1
+		}
+	}
+	edges := g.Edges()
+	for k := 1; k <= n; k++ {
+		for _, e := range edges {
+			if dp[k-1][e.From] == Inf {
+				continue
+			}
+			if nd := dp[k-1][e.From] + w(e); nd < dp[k][e.To] {
+				dp[k][e.To] = nd
+				pred[k][e.To] = e.ID
+			}
+		}
+	}
+	// μ* = min_v max_k (dp[n][v] − dp[k][v]) / (n − k), exact rationals.
+	bestV := -1
+	var bestNum, bestDen int64
+	for v := 0; v < n; v++ {
+		if dp[n][v] == Inf {
+			continue
+		}
+		var vNum, vDen int64
+		haveMax := false
+		for k := 0; k < n; k++ {
+			if dp[k][v] == Inf {
+				continue
+			}
+			cn := dp[n][v] - dp[k][v]
+			cd := int64(n - k)
+			// compare cn/cd > vNum/vDen (cd, vDen > 0)
+			if !haveMax || cn*vDen > vNum*cd {
+				vNum, vDen = cn, cd
+				haveMax = true
+			}
+		}
+		if !haveMax {
+			continue
+		}
+		if bestV < 0 || vNum*bestDen < bestNum*vDen {
+			bestV, bestNum, bestDen = v, vNum, vDen
+		}
+	}
+	if bestV < 0 {
+		return graph.Cycle{}, 0, 0, false
+	}
+	// Extract a cycle from the n-edge walk ending at bestV: walk pred
+	// pointers back from (n, bestV); the walk has n edges over n vertices so
+	// some vertex repeats; the segment between repeats is a cycle with mean
+	// ≤ μ* (and μ* is the minimum, so it equals μ* when the DP is tight).
+	// To be robust we extract the minimum-mean cycle among all segments.
+	type visit struct{ step int }
+	walkEdges := make([]graph.EdgeID, n) // walkEdges[k-1] = edge used at step k
+	v := graph.NodeID(bestV)
+	for k := n; k >= 1; k-- {
+		id := pred[k][v]
+		walkEdges[k-1] = id
+		v = g.Edge(id).From
+	}
+	// Find a repeated vertex along the walk and return that segment.
+	seen := map[graph.NodeID]visit{v: {0}}
+	cur := v
+	for k := 1; k <= n; k++ {
+		cur = g.Edge(walkEdges[k-1]).To
+		if first, ok := seen[cur]; ok {
+			seg := walkEdges[first.step:k]
+			return graph.Cycle{Edges: append([]graph.EdgeID(nil), seg...)}, bestNum, bestDen, true
+		}
+		seen[cur] = visit{k}
+	}
+	// Unreachable: an n-edge walk over n vertices must repeat one.
+	return graph.Cycle{}, 0, 0, false
+}

@@ -1,0 +1,107 @@
+package shortest
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Label is one Pareto-optimal (cost, delay) pair at a vertex together with
+// the path realizing it.
+type Label struct {
+	Cost  int64
+	Delay int64
+	Path  graph.Path
+}
+
+// ParetoFrontier enumerates all non-dominated (cost, delay) pairs of s→t
+// paths by label-setting over a priority queue ordered by (cost, delay).
+// Both criteria must be nonnegative. maxLabels bounds the total number of
+// labels settled across all vertices (0 means unlimited); ok=false reports
+// that the bound was hit and the frontier may be incomplete.
+//
+// This is the exact bicriteria engine: worst-case exponential, intended for
+// small instances (ground truth in tests) and for the RSP exact baseline.
+func ParetoFrontier(g *graph.Digraph, s, t graph.NodeID, maxLabels int) (frontier []Label, ok bool) {
+	type state struct {
+		cost, delay int64
+		v           graph.NodeID
+		parent      int          // index into settled, -1 for root
+		via         graph.EdgeID // edge into v
+	}
+	// Priority queue ordered lexicographically by (cost, delay). We embed
+	// both into a single int64 key only if safe; otherwise fall back to a
+	// sorted slice. For robustness use an explicit heap via sort on a
+	// slice-backed queue (small instances).
+	var queue []state
+	push := func(st state) {
+		queue = append(queue, st)
+	}
+	popMin := func() state {
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].cost < queue[best].cost ||
+				(queue[i].cost == queue[best].cost && queue[i].delay < queue[best].delay) {
+				best = i
+			}
+		}
+		st := queue[best]
+		queue[best] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		return st
+	}
+
+	n := g.NumNodes()
+	settledAt := make([][]state, n) // non-dominated settled labels per vertex
+	var settled []state
+	dominated := func(v graph.NodeID, c, d int64) bool {
+		for _, l := range settledAt[v] {
+			if l.cost <= c && l.delay <= d {
+				return true
+			}
+		}
+		return false
+	}
+	push(state{0, 0, s, -1, -1})
+	ok = true
+	for len(queue) > 0 {
+		st := popMin()
+		if dominated(st.v, st.cost, st.delay) {
+			continue
+		}
+		settled = append(settled, st)
+		settledAt[st.v] = append(settledAt[st.v], st)
+		if maxLabels > 0 && len(settled) > maxLabels {
+			ok = false
+			break
+		}
+		idx := len(settled) - 1
+		for _, id := range g.Out(st.v) {
+			e := g.Edge(id)
+			nc, nd := st.cost+e.Cost, st.delay+e.Delay
+			if !dominated(e.To, nc, nd) {
+				push(state{nc, nd, e.To, idx, id})
+			}
+		}
+	}
+	// Collect labels at t with reconstructed paths.
+	for _, st := range settledAt[t] {
+		var rev []graph.EdgeID
+		cur := st
+		for cur.via >= 0 {
+			rev = append(rev, cur.via)
+			cur = settled[cur.parent]
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		frontier = append(frontier, Label{Cost: st.cost, Delay: st.delay, Path: graph.Path{Edges: rev}})
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].Cost != frontier[j].Cost {
+			return frontier[i].Cost < frontier[j].Cost
+		}
+		return frontier[i].Delay < frontier[j].Delay
+	})
+	return frontier, ok
+}

@@ -1,0 +1,157 @@
+package shortest
+
+import (
+	"repro/internal/graph"
+)
+
+// SPFA is the queue-based Bellman–Ford variant (Shortest Path Faster
+// Algorithm). Semantics match BellmanFord: shortest paths from s under w
+// with negative weights allowed; if a negative cycle is reachable it is
+// returned with ok=false. Typically much faster than the classic pass-based
+// scan on sparse graphs, which matters because the bicameral search runs
+// negative-cycle detection on large layered graphs.
+func SPFA(g *graph.Digraph, s graph.NodeID, w Weight) (Tree, graph.Cycle, bool) {
+	n := g.NumNodes()
+	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	for v := range t.Dist {
+		t.Dist[v] = Inf
+		t.Parent[v] = -1
+	}
+	t.Dist[s] = 0
+	tree, cyc, ok, done := spfaCore(g, w, t, []graph.NodeID{s}, defaultBudget(g))
+	if done {
+		return tree, cyc, ok
+	}
+	// Relaxation budget blown without a certified verdict (possible when a
+	// negative cycle keeps the parent graph transiently acyclic): fall back
+	// to the pass-based scan, which always terminates with a proof.
+	return BellmanFord(g, s, w)
+}
+
+// SPFAAll runs SPFA from a virtual super-source (all distances start at 0),
+// detecting a negative cycle anywhere in the graph; on success the
+// distances are valid potentials.
+func SPFAAll(g *graph.Digraph, w Weight) (Tree, graph.Cycle, bool) {
+	n := g.NumNodes()
+	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	init := make([]graph.NodeID, n)
+	for v := range t.Dist {
+		t.Dist[v] = 0
+		t.Parent[v] = -1
+		init[v] = graph.NodeID(v)
+	}
+	tree, cyc, ok, done := spfaCore(g, w, t, init, defaultBudget(g))
+	if done {
+		return tree, cyc, ok
+	}
+	return BellmanFordAll(g, w)
+}
+
+func defaultBudget(g *graph.Digraph) int {
+	return 4*g.NumNodes()*g.NumEdges() + 256
+}
+
+// SPFAAllBounded is negative-cycle detection with an explicit relaxation
+// budget and no exact-distance promise: it returns (cycle, true, true) on
+// detection, (_, false, true) when the graph is certified cycle-free, and
+// (_, false, false) when the budget ran out first (no verdict). Large
+// derived graphs (the layered auxiliary graphs) use it to keep worst-case
+// time linear in the budget instead of O(V·E).
+func SPFAAllBounded(g *graph.Digraph, w Weight, budget int) (graph.Cycle, bool, bool) {
+	n := g.NumNodes()
+	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	init := make([]graph.NodeID, n)
+	for v := range t.Dist {
+		t.Dist[v] = 0
+		t.Parent[v] = -1
+		init[v] = graph.NodeID(v)
+	}
+	_, cyc, ok, done := spfaCore(g, w, t, init, budget)
+	if !done {
+		return graph.Cycle{}, false, false
+	}
+	return cyc, !ok, true
+}
+
+// spfaCore returns done=false when its relaxation budget is exhausted
+// before reaching a certified verdict; callers then fall back to the
+// pass-based Bellman–Ford (or accept the non-verdict).
+func spfaCore(g *graph.Digraph, w Weight, t Tree, seed []graph.NodeID, budget int) (Tree, graph.Cycle, bool, bool) {
+	n := g.NumNodes()
+	inQueue := make([]bool, n)
+	// pathLen[v] is the edge count of the tentative shortest walk to v; a
+	// walk of ≥ n edges repeats a vertex, certifying a negative cycle (the
+	// correct SPFA criterion — per-vertex relax counts are NOT bounded by n
+	// on negative-cycle-free graphs).
+	pathLen := make([]int, n)
+	queue := append([]graph.NodeID(nil), seed...)
+	for _, v := range seed {
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := t.Dist[u]
+		if du == Inf {
+			continue
+		}
+		for _, id := range g.Out(u) {
+			e := g.Edge(id)
+			if nd := du + w(e); nd < t.Dist[e.To] {
+				budget--
+				if budget < 0 {
+					return t, graph.Cycle{}, false, false
+				}
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = id
+				pathLen[e.To] = pathLen[u] + 1
+				if pathLen[e.To] >= n {
+					// Likely negative cycle. pathLen is a lazy snapshot, so
+					// verify against the live parent graph: a repeated
+					// vertex on the chain is a genuine negative cycle; a
+					// rootward exit means the trigger was stale — record
+					// the true length and move on.
+					if at, cyclic := chainRepeat(g, t.Parent, e.To); cyclic {
+						return t, extractParentCycle(g, t.Parent, at), false, true
+					}
+					pathLen[e.To] = chainLength(g, t.Parent, e.To)
+				}
+				if !inQueue[e.To] {
+					inQueue[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return t, graph.Cycle{}, true, true
+}
+
+// chainRepeat follows parent pointers from v and reports the first vertex
+// seen twice (a vertex on a parent-graph cycle), or cyclic=false if the
+// chain reaches a root.
+func chainRepeat(g *graph.Digraph, parent []graph.EdgeID, v graph.NodeID) (graph.NodeID, bool) {
+	seen := map[graph.NodeID]bool{v: true}
+	for {
+		id := parent[v]
+		if id < 0 {
+			return 0, false
+		}
+		v = g.Edge(id).From
+		if seen[v] {
+			return v, true
+		}
+		seen[v] = true
+	}
+}
+
+// chainLength counts parent-chain edges from v to its root. Callers only
+// invoke it after chainRepeat reported no cycle, so it terminates.
+func chainLength(g *graph.Digraph, parent []graph.EdgeID, v graph.NodeID) int {
+	length := 0
+	for parent[v] >= 0 {
+		v = g.Edge(parent[v]).From
+		length++
+	}
+	return length
+}

@@ -1,0 +1,85 @@
+package shortest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestSPFAMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), int64(r.Intn(41)-8), 0)
+			}
+		}
+		bfT, _, bfOK := BellmanFord(g, 0, CostWeight)
+		spT, spCyc, spOK := SPFA(g, 0, CostWeight)
+		if bfOK != spOK {
+			return false
+		}
+		if !spOK {
+			// Both found negative cycles; SPFA's must be genuinely negative.
+			return spCyc.Validate(g, true) == nil && spCyc.Cost(g) < 0
+		}
+		for v := 0; v < n; v++ {
+			if bfT.Dist[v] != spT.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPFAAllMatchesBellmanFordAll(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), int64(r.Intn(31)-6), 0)
+			}
+		}
+		_, _, bfOK := BellmanFordAll(g, CostWeight)
+		spT, spCyc, spOK := SPFAAll(g, CostWeight)
+		if bfOK != spOK {
+			return false
+		}
+		if !spOK {
+			return spCyc.Validate(g, true) == nil && spCyc.Cost(g) < 0
+		}
+		// Distances must be valid potentials.
+		for _, e := range g.Edges() {
+			if e.Cost+spT.Dist[e.From]-spT.Dist[e.To] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPFASimple(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 4, 0)
+	g.AddEdge(0, 2, 1, 0)
+	g.AddEdge(2, 1, -3, 0)
+	g.AddEdge(1, 3, 2, 0)
+	tr, _, ok := SPFA(g, 0, CostWeight)
+	if !ok || tr.Dist[1] != -2 || tr.Dist[3] != 0 {
+		t.Fatalf("ok=%v dist=%v", ok, tr.Dist)
+	}
+}
