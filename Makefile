@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench clean
+
+# The full CI gate: static checks, build, race-enabled tests, and a one-shot
+# benchmark smoke run (catches benchmarks that panic or regress to failure).
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the hot-path benchmark snapshot.
+bench:
+	$(GO) run ./cmd/krspbench -out BENCH_1.json
+
+clean:
+	$(GO) clean ./...

@@ -176,3 +176,100 @@ func BenchmarkSPFAAllN2000(b *testing.B) {
 		shortest.SPFAAll(ins.G, shortest.CostWeight)
 	}
 }
+
+// BenchmarkSPFAAllInto is the workspace-reusing counterpart of
+// BenchmarkSPFAAllN2000: the delta between the two is precisely the
+// per-search allocation cost the Workspace removes.
+func BenchmarkSPFAAllInto(b *testing.B) {
+	ins := gen.ER(3, 200, 0.08, gen.DefaultWeights())
+	ws := shortest.NewWorkspace(ins.G.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shortest.SPFAAllInto(ws, ins.G, shortest.CostWeight)
+	}
+}
+
+// BenchmarkSolveIncremental isolates the cancellation loop's residual
+// maintenance: a mid-size instance whose solve performs several
+// cancellations, so the incremental rg.Update path (vs a per-iteration
+// rebuild) dominates the measured delta.
+func BenchmarkSolveIncremental(b *testing.B) {
+	ins := benchInstance(b, 40, 3, 1.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(ins, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBicameralParallel runs the same search as BenchmarkBicameralFind
+// with the worker pool enabled; the ns/op ratio against the serial run is
+// the parallel speedup (results are bit-identical by construction).
+func BenchmarkBicameralParallel(b *testing.B) {
+	ins := benchInstance(b, 30, 2, 1.2)
+	f, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, ins.K, shortest.CostWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rg := residual.Build(ins.G, f.Edges)
+	dd := ins.Bound - f.Delay(ins.G)
+	if dd >= 0 {
+		b.Skip("min-cost flow already feasible on this seed")
+	}
+	p := bicameral.Params{DeltaD: dd, DeltaC: 10, CostCap: 1 << 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bicameral.Find(rg, p, bicameral.Options{Workers: 4})
+	}
+}
+
+// BenchmarkResidualUpdate measures one incremental Update against the full
+// Build it replaces, on a realistic solution-swap cycle set.
+func BenchmarkResidualUpdate(b *testing.B) {
+	ins := gen.ER(7, 100, 0.1, gen.DefaultWeights())
+	f1, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, 2, shortest.CostWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f2, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, 2, shortest.DelayWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rg := residual.Build(ins.G, f1.Edges)
+	fwd, err := rg.SolutionCycles(f2.Edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rg.Update(fwd); err != nil {
+		b.Fatal(err)
+	}
+	back, err := rg.SolutionCycles(f1.Edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rg.Update(back); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 2 {
+		if err := rg.Update(fwd); err != nil {
+			b.Fatal(err)
+		}
+		if err := rg.Update(back); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResidualBuild(b *testing.B) {
+	ins := gen.ER(7, 100, 0.1, gen.DefaultWeights())
+	f1, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, 2, shortest.CostWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		residual.Build(ins.G, f1.Edges)
+	}
+}

@@ -1,0 +1,225 @@
+// Command krspbench runs the hot-path benchmark suite via testing.Benchmark
+// and writes a machine-readable JSON report (BENCH_1.json by default): one
+// record per benchmark with ns/op, allocs/op and B/op. CI and the README
+// performance workflow diff these reports across commits.
+//
+// Usage:
+//
+//	krspbench                       # all benchmarks → BENCH_1.json
+//	krspbench -out report.json      # custom output path
+//	krspbench -run Solve,Residual   # substring-filtered subset
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/bicameral"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/residual"
+	"repro/internal/shortest"
+)
+
+// record is one benchmark result in the JSON report.
+type record struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the BENCH_1.json schema.
+type report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "krspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("krspbench", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_1.json", "output JSON path (- for stdout)")
+	filter := fs.String("run", "", "comma-separated substrings; empty = all")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var wanted []string
+	if *filter != "" {
+		wanted = strings.Split(*filter, ",")
+	}
+	rep := report{
+		Schema:     "krspbench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range suite() {
+		if !matches(bm.name, wanted) {
+			continue
+		}
+		// testing.Benchmark applies the standard ~1s auto-scaling.
+		res := testing.Benchmark(bm.fn)
+		if res.N == 0 {
+			fmt.Fprintf(out, "%-28s skipped\n", bm.name)
+			continue
+		}
+		rec := record{
+			Name:        bm.name,
+			Iters:       res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		fmt.Fprintf(out, "%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	return os.WriteFile(*outPath, data, 0o644)
+}
+
+func matches(name string, wanted []string) bool {
+	if len(wanted) == 0 {
+		return true
+	}
+	for _, w := range wanted {
+		if strings.Contains(strings.ToLower(name), strings.ToLower(strings.TrimSpace(w))) {
+			return true
+		}
+	}
+	return false
+}
+
+func benchInstance(n, k int, slack float64) graph.Instance {
+	ins := gen.ER(42, n, 0.2, gen.DefaultWeights())
+	ins.K = k
+	bounded, ok := gen.WithBound(ins, slack)
+	if !ok {
+		panic("krspbench: benchmark instance infeasible")
+	}
+	return bounded
+}
+
+// suite mirrors the hot-path subset of the repo-level bench_test.go — the
+// benchmarks whose regressions the performance workflow tracks.
+func suite() []bench {
+	return []bench{
+		{"SolveN20K2", func(b *testing.B) {
+			ins := benchInstance(20, 2, 1.3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(ins, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SolveN60K3", func(b *testing.B) {
+			ins := benchInstance(60, 3, 1.3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(ins, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SolveIncremental", func(b *testing.B) {
+			ins := benchInstance(40, 3, 1.15)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(ins, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BicameralFind", func(b *testing.B) {
+			rg, p, ok := bicameralInputs()
+			if !ok {
+				b.Skip("min-cost flow already feasible")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bicameral.Find(rg, p, bicameral.Options{})
+			}
+		}},
+		{"BicameralParallel", func(b *testing.B) {
+			rg, p, ok := bicameralInputs()
+			if !ok {
+				b.Skip("min-cost flow already feasible")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bicameral.Find(rg, p, bicameral.Options{Workers: 4})
+			}
+		}},
+		{"ResidualBuild", func(b *testing.B) {
+			ins := gen.ER(7, 100, 0.1, gen.DefaultWeights())
+			f1, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, 2, shortest.CostWeight)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				residual.Build(ins.G, f1.Edges)
+			}
+		}},
+		{"SPFAAll", func(b *testing.B) {
+			ins := gen.ER(3, 200, 0.08, gen.DefaultWeights())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shortest.SPFAAll(ins.G, shortest.CostWeight)
+			}
+		}},
+		{"SPFAAllInto", func(b *testing.B) {
+			ins := gen.ER(3, 200, 0.08, gen.DefaultWeights())
+			ws := shortest.NewWorkspace(ins.G.NumNodes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shortest.SPFAAllInto(ws, ins.G, shortest.CostWeight)
+			}
+		}},
+	}
+}
+
+func bicameralInputs() (*residual.Graph, bicameral.Params, bool) {
+	ins := benchInstance(30, 2, 1.2)
+	f, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, ins.K, shortest.CostWeight)
+	if err != nil {
+		panic(err)
+	}
+	rg := residual.Build(ins.G, f.Edges)
+	dd := ins.Bound - f.Delay(ins.G)
+	if dd >= 0 {
+		return nil, bicameral.Params{}, false
+	}
+	return rg, bicameral.Params{DeltaD: dd, DeltaC: 10, CostCap: 1 << 20}, true
+}

@@ -84,7 +84,7 @@ func Build(base *graph.Digraph, v graph.NodeID, bound int64, kind Kind) *Aux {
 	n := base.NumNodes()
 	a.H = graph.New(int(a.layers) * n)
 	// Layered copies of every base edge.
-	for _, e := range base.Edges() {
+	for _, e := range base.EdgesView() {
 		for l := a.lo; l <= a.hi(); l++ {
 			nl := l + e.Cost
 			if nl < a.lo || nl > a.hi() {
@@ -134,7 +134,7 @@ func BuildShared(base *graph.Digraph, anchors []graph.NodeID, bound int64) *Aux 
 		lo: -bound, layers: 2*bound + 1}
 	n := base.NumNodes()
 	a.H = graph.New(int(a.layers) * n)
-	for _, e := range base.Edges() {
+	for _, e := range base.EdgesView() {
 		for l := a.lo; l <= a.hi(); l++ {
 			nl := l + e.Cost
 			if nl < a.lo || nl > a.hi() {

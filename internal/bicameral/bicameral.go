@@ -141,6 +141,13 @@ type Options struct {
 	// pathology: what a worst-case-compliant selection could do); never
 	// enable it for real solving.
 	Adversarial bool
+	// Workers bounds the goroutines used by the combinatorial engine's
+	// anchor×budget sweep (the per-seed layered searches and the cycle
+	// enumerator). ≤ 1 runs serially; values above GOMAXPROCS are clamped.
+	// The parallel reduction replays the serial visit order (same better()
+	// tie-breaks, same step-budget accounting), so the returned Candidate
+	// and Stats.BudgetsTried are bit-identical for every worker count.
+	Workers int
 }
 
 // Stats instruments a search.
@@ -168,7 +175,7 @@ func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 	// and then by the lexicographic factor K ≈ n·max(|w|); keep the whole
 	// product comfortably inside int64.
 	var maxW int64 = 1
-	for _, e := range rg.R.Edges() {
+	for _, e := range rg.R.EdgesView() {
 		if a := abs64(e.Cost); a > maxW {
 			maxW = a
 		}

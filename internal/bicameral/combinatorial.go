@@ -25,7 +25,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 		return Candidate{}, st, false
 	}
 	sumAbs := int64(0)
-	for _, e := range rg.R.Edges() {
+	for _, e := range rg.R.EdgesView() {
 		if e.Cost >= 0 {
 			sumAbs += e.Cost
 		} else {
@@ -61,7 +61,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 	// cost (a boundary type-2). K > n·max(|d|,|c|) prevents the secondary
 	// term from flipping the primary's sign over any simple cycle.
 	maxW := int64(1)
-	for _, e := range rg.R.Edges() {
+	for _, e := range rg.R.EdgesView() {
 		if a := abs64(e.Delay); a > maxW {
 			maxW = a
 		}
@@ -98,12 +98,30 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 		alive[i] = true
 	}
 	anyNegative := false
-	weights := []shortest.Weight{wDelay, wCost}
+	// Excluded edges are masked by a sentinel weight instead of cloning the
+	// graph minus them (the clone dominated the engine's allocations): with
+	// all-sources detection every tentative distance is ≤ 0 and only ever
+	// decreases, so a relaxation through a sentinel edge (du + excludedW > 0)
+	// can never win — the edge is unreachable without rebuilding anything.
+	// Find's overflow guard keeps |du| < 2^61, so the sum cannot overflow.
+	const excludedW = int64(1) << 62
+	masked := func(w shortest.Weight) shortest.Weight {
+		return func(e graph.Edge) int64 {
+			if !alive[e.ID] {
+				return excludedW
+			}
+			return w(e)
+		}
+	}
+	weights := []shortest.Weight{masked(wDelay), masked(wCost)}
 	wi := 0
+	// One workspace serves every sequential search below: the detection
+	// rounds here and the shared layered sweeps (it grows to layered size on
+	// first use). The parallel per-seed sweep takes one workspace per worker.
+	ws := shortest.NewWorkspace(rg.R.NumNodes())
 	for round := 0; round <= 2*rg.R.NumEdges()+1; round++ {
 		st.Searches++
-		sub, mapping := filteredCopy(rg.R, alive)
-		_, cyc, noNeg := shortest.SPFAAll(sub, weights[wi])
+		_, cyc, noNeg := shortest.SPFAAllInto(ws, rg.R, weights[wi])
 		if noNeg {
 			if wi+1 < len(weights) {
 				// Switch to the cost-lexicographic weight with a fresh
@@ -117,11 +135,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 			break
 		}
 		anyNegative = true
-		orig := make([]graph.EdgeID, len(cyc.Edges))
-		for i, id := range cyc.Edges {
-			orig[i] = mapping[id]
-		}
-		base := graph.Cycle{Edges: orig}
+		base := graph.Cycle{Edges: cyc.Edges}
 		cc, dd := rg.CycleCost(base), rg.CycleDelay(base)
 		st.Candidates++
 		cand := Candidate{Cycles: []graph.Cycle{base}, Cost: cc, Delay: dd,
@@ -134,7 +148,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 			ccopy := cand
 			st.Fallback = &ccopy
 		}
-		for _, id := range orig {
+		for _, id := range cyc.Edges {
 			alive[id] = false
 		}
 	}
@@ -174,7 +188,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 		st.LastBudget = b
 		a := auxgraph.BuildShared(rg.R, seeds, b)
 		st.Searches++
-		hCyc, negFound, _ := shortest.SPFAAllBounded(a.H, wOf, relaxBudget)
+		hCyc, negFound, _ := shortest.SPFAAllBoundedInto(ws, a.H, wOf, relaxBudget)
 		if negFound {
 			cands := candidatesFromWalk(rg, a, hCyc.Edges, p, &st)
 			for _, c := range cands {
@@ -196,24 +210,8 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 			if int64(len(seeds))*(2*b+1)*nodes64 > maxStates {
 				perSeed = nil
 			}
-			for _, v := range perSeed {
-				av := auxgraph.Build(rg.R, v, b, auxgraph.TwoSided)
-				st.Searches++
-				cyc2, found2, _ := shortest.SPFAAllBounded(av.H, wOf, relaxBudget)
-				if !found2 {
-					continue
-				}
-				for _, c := range candidatesFromWalk(rg, av, cyc2.Edges, p, &st) {
-					if c.Type == TypeNone {
-						continue
-					}
-					if !haveBest || better(c, best, o.Adversarial) {
-						best, haveBest = c, true
-					}
-				}
-				if haveBest {
-					return best, st, true
-				}
+			if cand, found := sweepSeeds(rg, perSeed, b, wOf, relaxBudget, p, o, &st); found {
+				return cand, st, true
 			}
 		}
 		if b >= maxB {
@@ -229,20 +227,6 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 		}
 	}
 	return Candidate{}, st, false
-}
-
-// filteredCopy clones the alive edges of g, returning a new→old edge ID
-// mapping.
-func filteredCopy(g *graph.Digraph, alive []bool) (*graph.Digraph, []graph.EdgeID) {
-	sub := graph.New(g.NumNodes())
-	var mapping []graph.EdgeID
-	for _, e := range g.Edges() {
-		if alive[e.ID] {
-			sub.AddEdge(e.From, e.To, e.Cost, e.Delay)
-			mapping = append(mapping, e.ID)
-		}
-	}
-	return sub, mapping
 }
 
 // candidatesFromWalk projects a closed H-walk to residual cycles and emits
@@ -337,66 +321,4 @@ func candidatesFromWalk(rg *residual.Graph, a *auxgraph.Aux, hEdges []graph.Edge
 // flowSplit adapts flow.SplitClosedWalk for the projection of segments.
 func flowSplit(base *graph.Digraph, walk []graph.EdgeID) []graph.Cycle {
 	return flow.SplitClosedWalk(base, walk)
-}
-
-// enumerateQualifying DFS-enumerates vertex-simple residual cycles rooted
-// at their minimum vertex, classifying each against Definition 10. It stops
-// at the first type-0 candidate, otherwise returns the best per `better`.
-// exhausted=true means the step budget ran out and the enumeration is NOT a
-// completeness certificate.
-func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (best Candidate, found, exhausted bool) {
-	const stepBudget = 400000
-	g := rg.R
-	steps := 0
-	// Only cycles through reversed edges can have W < 0; still, rooting at
-	// every vertex keeps the canonical min-vertex enumeration simple.
-	visited := make(map[graph.NodeID]bool)
-	var stack []graph.EdgeID
-	var dfs func(start, cur graph.NodeID, cost, delay int64) bool
-	dfs = func(start, cur graph.NodeID, cost, delay int64) bool {
-		steps++
-		if steps > stepBudget {
-			exhausted = true
-			return true
-		}
-		for _, id := range g.Out(cur) {
-			e := g.Edge(id)
-			if e.To == start && len(stack) >= 0 {
-				c, d := cost+e.Cost, delay+e.Delay
-				ty := Classify(c, d, p)
-				if ty != TypeNone {
-					st.Candidates++
-					cyc := graph.Cycle{Edges: append(append([]graph.EdgeID(nil), stack...), id)}
-					cand := Candidate{Cycles: []graph.Cycle{cyc}, Cost: c, Delay: d, Type: ty}
-					if !found || better(cand, best, o.Adversarial) {
-						best, found = cand, true
-					}
-					if ty == Type0 && !o.Adversarial {
-						return true
-					}
-				}
-				continue
-			}
-			if e.To == start || visited[e.To] || e.To < start {
-				continue
-			}
-			visited[e.To] = true
-			stack = append(stack, id)
-			stop := dfs(start, e.To, cost+e.Cost, delay+e.Delay)
-			stack = stack[:len(stack)-1]
-			delete(visited, e.To)
-			if stop {
-				return true
-			}
-		}
-		return false
-	}
-	for v := 0; v < g.NumNodes(); v++ {
-		visited = map[graph.NodeID]bool{}
-		stack = stack[:0]
-		if dfs(graph.NodeID(v), graph.NodeID(v), 0, 0) {
-			break
-		}
-	}
-	return best, found, exhausted
 }

@@ -1,0 +1,126 @@
+package bicameral_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/bicameral"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/residual"
+)
+
+// findInputs builds realistic Find inputs the way Solve does: phase 1's
+// bound-violating endpoint against the LP-derived parameters. Instances
+// where phase 1 is already exact (no cancellation needed) return ok=false.
+func findInputs(t *testing.T, ins graph.Instance) (*residual.Graph, bicameral.Params, bool) {
+	t.Helper()
+	p1, err := core.Phase1(ins)
+	if err != nil || p1.Exact {
+		return nil, bicameral.Params{}, false
+	}
+	g := ins.G
+	cur := p1.Hi.Edges
+	curCost, curDelay := p1.Hi.Cost(g), p1.Hi.Delay(g)
+	if curDelay <= ins.Bound {
+		return nil, bicameral.Params{}, false
+	}
+	cRef := p1.CLPCeil
+	if cRef <= curCost {
+		cRef = curCost + 1
+	}
+	return residual.Build(g, cur), bicameral.Params{
+		DeltaD:  ins.Bound - curDelay,
+		DeltaC:  cRef - curCost,
+		CostCap: cRef,
+	}, true
+}
+
+// TestFindWorkerDeterminism: the combinatorial engine must return a
+// bit-identical Candidate and Stats for Workers ∈ {1, 4, GOMAXPROCS} — the
+// parallel sweep replays the serial visit order, so worker count may only
+// change wall-clock time, never the answer.
+func TestFindWorkerDeterminism(t *testing.T) {
+	mks := []func(seed int64) graph.Instance{
+		func(s int64) graph.Instance { return gen.ER(s, 14+int(s%10), 0.25, gen.DefaultWeights()) },
+		func(s int64) graph.Instance { return gen.Grid(s, 4, 4, gen.DefaultWeights()) },
+		func(s int64) graph.Instance { return gen.Layered(s, 4, 4, 0.6, gen.DefaultWeights()) },
+		func(s int64) graph.Instance { return gen.Geometric(s, 16, 0.4, gen.DefaultWeights()) },
+		func(s int64) graph.Instance { return gen.ISP(s, 7, 2, gen.DefaultWeights()) },
+	}
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	checked := 0
+	for round := 0; round < 30; round++ {
+		ins := mks[round%len(mks)](int64(round))
+		ins.K = 1 + round%2
+		bounded, ok := gen.WithBound(ins, 1.1+0.07*float64(round%5))
+		if !ok {
+			continue
+		}
+		rg, params, ok := findInputs(t, bounded)
+		if !ok {
+			continue
+		}
+		type outcome struct {
+			cand  bicameral.Candidate
+			stats bicameral.Stats
+			found bool
+		}
+		var base outcome
+		for ci, w := range counts {
+			// Find mutates nothing, so the same residual serves every run.
+			cand, stats, found := bicameral.Find(rg, params, bicameral.Options{Workers: w})
+			got := outcome{cand: cand, stats: stats, found: found}
+			if ci == 0 {
+				base = got
+				continue
+			}
+			if got.found != base.found {
+				t.Fatalf("%s: found=%v with %d workers, %v with 1", bounded.Name, got.found, w, base.found)
+			}
+			if !reflect.DeepEqual(got.cand, base.cand) {
+				t.Fatalf("%s: candidate differs with %d workers:\n  1: %+v\n  %d: %+v",
+					bounded.Name, w, base.cand, w, got.cand)
+			}
+			if got.stats.BudgetsTried != base.stats.BudgetsTried {
+				t.Fatalf("%s: BudgetsTried %d with %d workers, %d with 1",
+					bounded.Name, got.stats.BudgetsTried, w, base.stats.BudgetsTried)
+			}
+			if !reflect.DeepEqual(got.stats, base.stats) {
+				t.Fatalf("%s: stats differ with %d workers:\n  1: %+v\n  %d: %+v",
+					bounded.Name, w, base.stats, w, got.stats)
+			}
+		}
+		checked++
+	}
+	if checked < 8 {
+		t.Fatalf("only %d instances reached Find; generators too tame", checked)
+	}
+}
+
+// TestSolveWorkerDeterminism runs the whole solver with different worker
+// counts: identical Results, including iteration-level stats.
+func TestSolveWorkerDeterminism(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		ins := gen.ER(int64(100+round), 16, 0.3, gen.DefaultWeights())
+		ins.K = 1 + round%2
+		bounded, ok := gen.WithBound(ins, 1.15)
+		if !ok {
+			continue
+		}
+		r1, err1 := core.Solve(bounded, core.Options{Workers: 1})
+		rN, errN := core.Solve(bounded, core.Options{Workers: runtime.GOMAXPROCS(0)})
+		if (err1 == nil) != (errN == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", bounded.Name, err1, errN)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reflect.DeepEqual(r1, rN) {
+			t.Fatalf("%s: results differ across worker counts:\n  1: %+v\n  N: %+v",
+				bounded.Name, r1, rN)
+		}
+	}
+}

@@ -88,7 +88,7 @@ func lpCandidates(rg *residual.Graph, a *auxgraph.Aux, p Params, st *Stats) []Ca
 		return nil
 	}
 	prob := lp.NewProblem(m)
-	for _, e := range h.Edges() {
+	for _, e := range h.EdgesView() {
 		prob.SetObjective(int(e.ID), float64(e.Cost))
 		prob.AddBound(int(e.ID), 1)
 	}
@@ -111,7 +111,7 @@ func lpCandidates(rg *residual.Graph, a *auxgraph.Aux, p Params, st *Stats) []Ca
 	// Σ d(e) x(e) ≤ ΔD (< 0 while the delay bound is violated: forces a
 	// delay-negative circulation).
 	var dRow []lp.Coef
-	for _, e := range h.Edges() {
+	for _, e := range h.EdgesView() {
 		if e.Delay != 0 {
 			dRow = append(dRow, lp.Coef{Var: int(e.ID), Val: float64(e.Delay)})
 		}
@@ -164,7 +164,7 @@ func extractSupportCycle(h *graph.Digraph, x []float64) []graph.EdgeID {
 	const eps = 1e-7
 	next := make(map[graph.NodeID]graph.EdgeID)
 	var start graph.NodeID = -1
-	for _, e := range h.Edges() {
+	for _, e := range h.EdgesView() {
 		if x[e.ID] > eps {
 			if _, dup := next[e.From]; !dup {
 				next[e.From] = e.ID

@@ -39,7 +39,7 @@ func findMinRatio(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bo
 	// Parametric search: the most negative feasible ratio μ = d/ĉ over
 	// cycles with ĉ > 0. Binary search on p/q with integer weights.
 	sumD := int64(0)
-	for _, e := range rg.R.Edges() {
+	for _, e := range rg.R.EdgesView() {
 		if e.Delay >= 0 {
 			sumD += e.Delay
 		} else {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -21,6 +22,15 @@ type BatchItem struct {
 // returned in input order; each item carries its own error, so one
 // infeasible instance does not abort the batch.
 func SolveBatch(instances []graph.Instance, opt Options, workers int) []BatchItem {
+	return SolveBatchCtx(context.Background(), instances, opt, workers)
+}
+
+// SolveBatchCtx is SolveBatch honoring a context between items: once ctx is
+// done, no further instance is started and every unstarted item carries
+// ctx.Err(). Items already in flight run to completion — individual solves
+// are not interruptible — so cancellation latency is one solve, not the
+// whole batch.
+func SolveBatchCtx(ctx context.Context, instances []graph.Instance, opt Options, workers int) []BatchItem {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -31,22 +41,28 @@ func SolveBatch(instances []graph.Instance, opt Options, workers int) []BatchIte
 	if len(instances) == 0 {
 		return out
 	}
-	jobs := make(chan int)
+	// Buffered to the batch size: the producer loop below never blocks on a
+	// slow worker, and close() doubles as the only completion signal.
+	jobs := make(chan int, len(instances))
+	for i := range instances {
+		jobs <- i
+	}
+	close(jobs)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchItem{Index: i, Err: err}
+					continue
+				}
 				res, err := Solve(instances[i], opt)
 				out[i] = BatchItem{Index: i, Result: res, Err: err}
 			}
 		}()
 	}
-	for i := range instances {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	return out
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -160,6 +162,40 @@ func TestSolveVertexDisjointInfeasible(t *testing.T) {
 	ins.K = 4
 	if _, err := SolveVertexDisjoint(ins, Options{}); err == nil {
 		t.Fatal("k=4 vertex-disjoint should be infeasible")
+	}
+}
+
+// TestSolveBatchCtxCancellation: a cancelled context stops unstarted items
+// and tags them with the context's error, while already-delivered results
+// stay intact.
+func TestSolveBatchCtxCancellation(t *testing.T) {
+	ins := tradeoff(10)
+	instances := make([]graph.Instance, 16)
+	for i := range instances {
+		cp := ins
+		cp.Bound = int64(7 + i)
+		instances[i] = cp
+	}
+	// Already-cancelled context: nothing runs, every item carries the error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := SolveBatchCtx(ctx, instances, Options{}, 4)
+	if len(items) != len(instances) {
+		t.Fatalf("%d items", len(items))
+	}
+	for i, it := range items {
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("item %d: err = %v, want context.Canceled", i, it.Err)
+		}
+		if it.Index != i {
+			t.Fatalf("item %d tagged index %d", i, it.Index)
+		}
+	}
+	// Live context: identical to SolveBatch.
+	for i, it := range SolveBatchCtx(context.Background(), instances, Options{}, 4) {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
 	}
 }
 

@@ -113,6 +113,10 @@ type Options struct {
 	// CollectTrace records one IterationRecord per cancellation in
 	// Stats.Trace (off by default: it allocates).
 	CollectTrace bool
+	// Workers bounds the goroutines of the bicameral search's anchor×budget
+	// sweep (see bicameral.Options.Workers). ≤ 1 runs serially; results are
+	// bit-identical for every value.
+	Workers int
 	// AllowRelaxedCap permits consuming the relaxed-cap fallback candidate
 	// when the capped search is exhausted (keeps feasibility-first
 	// behaviour at the price of the cost bound). Defaults to true in

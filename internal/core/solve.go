@@ -53,8 +53,12 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 		maxIter = 10*g.NumEdges()*ins.K + 1000
 	}
 
+	// Build the residual once and maintain it incrementally: applying a
+	// candidate flips exactly the edges on its cycles (rg.Update), which is
+	// bit-identical to rebuilding against the new solution but costs
+	// O(cycle length) instead of O(m) per iteration.
+	rg := residual.Build(g, cur)
 	for curDelay > ins.Bound && stats.Iterations < maxIter {
-		rg := residual.Build(g, cur)
 		cap := cRef
 		if opt.DisableCostCap {
 			// Figure 1 ablation: “no cap” ≈ a cap beyond any cycle cost.
@@ -69,6 +73,7 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 			Engine:      opt.Engine,
 			FullSweep:   opt.FullSweep,
 			Adversarial: opt.Adversarial,
+			Workers:     opt.Workers,
 		})
 		stats.BudgetsTried += bst.BudgetsTried
 		if !found {
@@ -96,6 +101,9 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 		next, err := rg.ApplyAll(cand.Cycles)
 		if err != nil {
 			return Result{}, fmt.Errorf("krsp: internal: cycle application failed: %v", err)
+		}
+		if err := rg.Update(cand.Cycles); err != nil {
+			return Result{}, fmt.Errorf("krsp: internal: residual update failed: %v", err)
 		}
 		if opt.CollectTrace {
 			stats.Trace = append(stats.Trace, IterationRecord{

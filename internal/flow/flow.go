@@ -102,18 +102,25 @@ type UnitFlow struct {
 	Value int
 }
 
-// Cost sums edge costs of the flow.
-func (f UnitFlow) Cost(g *graph.Digraph) int64 { return g.TotalCost(f.Edges.IDs()) }
+// Cost sums edge costs of the flow. Summation is order-independent, so the
+// set is walked directly rather than sorted.
+func (f UnitFlow) Cost(g *graph.Digraph) int64 {
+	var s int64
+	f.Edges.Each(func(id graph.EdgeID) { s += g.Edge(id).Cost })
+	return s
+}
 
 // Delay sums edge delays of the flow.
-func (f UnitFlow) Delay(g *graph.Digraph) int64 { return g.TotalDelay(f.Edges.IDs()) }
+func (f UnitFlow) Delay(g *graph.Digraph) int64 {
+	var s int64
+	f.Edges.Each(func(id graph.EdgeID) { s += g.Edge(id).Delay })
+	return s
+}
 
 // Weight sums an arbitrary edge weight over the flow.
 func (f UnitFlow) Weight(g *graph.Digraph, w shortest.Weight) int64 {
 	var s int64
-	for _, id := range f.Edges.IDs() {
-		s += w(g.Edge(id))
-	}
+	f.Edges.Each(func(id graph.EdgeID) { s += w(g.Edge(id)) })
 	return s
 }
 
@@ -128,28 +135,37 @@ func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight)
 	}
 	n := g.NumNodes()
 	inFlow := make([]bool, g.NumEdges())
-	// Potentials initialized by a plain Dijkstra (weights nonnegative).
-	pot := shortest.Dijkstra(g, s, w).Dist
+	// Potentials initialized by a plain Dijkstra (weights nonnegative). The
+	// workspace-backed tree aliases ws, which is not reused below, so its
+	// Dist doubles as the (mutated) potential array without a copy.
+	ws := shortest.NewWorkspace(n)
+	pot := shortest.DijkstraInto(ws, g, s, w).Dist
 
 	type arc struct {
 		edge graph.EdgeID
 		fwd  bool // true: push on unused edge; false: cancel used edge
 	}
 
+	// Scratch shared by the k augmentation rounds: allocating it per round
+	// dominated small-instance solves (Phase1 calls this in a Lagrangian
+	// loop, so the savings multiply).
+	dist := make([]int64, n)
+	parent := make([]arc, n)
+	settled := make([]bool, n)
+	h := pq.New(n)
+
 	for it := 0; it < k; it++ {
 		// Dijkstra over the residual structure with reduced weights.
-		dist := make([]int64, n)
-		parent := make([]arc, n)
-		settled := make([]bool, n)
 		for v := range dist {
 			dist[v] = shortest.Inf
 			parent[v] = arc{edge: -1}
+			settled[v] = false
 		}
 		if pot[s] == shortest.Inf {
 			return UnitFlow{}, ErrInfeasible
 		}
 		dist[s] = 0
-		h := pq.New(n)
+		h.Reset()
 		h.Push(int(s), 0)
 		for h.Len() > 0 {
 			ui, du := h.Pop()

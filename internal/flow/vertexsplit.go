@@ -34,7 +34,7 @@ func SplitVertices(g *graph.Digraph) SplitResult {
 		sg.AddEdge(res.In[v], res.Out[v], 0, 0)
 		res.EdgeOf = append(res.EdgeOf, -1)
 	}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		sg.AddEdge(res.Out[e.From], res.In[e.To], e.Cost, e.Delay)
 		res.EdgeOf = append(res.EdgeOf, e.ID)
 	}

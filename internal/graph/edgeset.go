@@ -27,6 +27,14 @@ func (s EdgeSet) Has(id EdgeID) bool { _, ok := s.m[id]; return ok }
 // Len reports the cardinality.
 func (s EdgeSet) Len() int { return len(s.m) }
 
+// Each calls fn for every member in unspecified order. Order-insensitive
+// consumers (sums, counts) use it to skip the sort-and-allocate of IDs.
+func (s EdgeSet) Each(fn func(EdgeID)) {
+	for id := range s.m {
+		fn(id)
+	}
+}
+
 // IDs returns the members sorted ascending (deterministic).
 func (s EdgeSet) IDs() []EdgeID {
 	out := make([]EdgeID, 0, len(s.m))

@@ -87,6 +87,61 @@ func (g *Digraph) Edges() []Edge {
 	return out
 }
 
+// EdgesView returns the graph's edge slice without copying. The slice is
+// owned by the graph and must not be modified or retained across mutations;
+// hot loops use it to avoid the per-call allocation of Edges.
+func (g *Digraph) EdgesView() []Edge { return g.edges }
+
+// SetEdgeWeights overwrites the cost and delay of an existing edge in
+// place. Endpoints and ID are untouched, so adjacency stays valid.
+func (g *Digraph) SetEdgeWeights(id EdgeID, cost, delay int64) {
+	e := &g.edges[id]
+	e.Cost = cost
+	e.Delay = delay
+}
+
+// FlipEdge reverses the direction of edge id in place, negating its cost
+// and delay, and keeping its ID. This is the residual-graph primitive: a
+// solution edge u→v (c, d) becomes the reversed copy v→u (−c, −d) and vice
+// versa, without rebuilding the graph.
+//
+// Adjacency lists built by AddEdge alone are ascending in edge ID, and
+// searches iterate them in list order, so FlipEdge re-inserts in sorted
+// position: a graph mutated by any sequence of flips has exactly the
+// adjacency a fresh construction with the final directions would have,
+// which keeps incremental residual maintenance bit-identical to a rebuild.
+func (g *Digraph) FlipEdge(id EdgeID) {
+	e := &g.edges[id]
+	g.removeAdj(&g.out[e.From], id)
+	g.removeAdj(&g.in[e.To], id)
+	e.From, e.To = e.To, e.From
+	e.Cost, e.Delay = -e.Cost, -e.Delay
+	g.insertAdj(&g.out[e.From], id)
+	g.insertAdj(&g.in[e.To], id)
+}
+
+// removeAdj deletes id from an adjacency list, preserving the order of the
+// remaining entries.
+func (g *Digraph) removeAdj(list *[]EdgeID, id EdgeID) {
+	l := *list
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= id })
+	if i == len(l) || l[i] != id {
+		panic(fmt.Sprintf("graph: edge %d missing from adjacency", id))
+	}
+	*list = append(l[:i], l[i+1:]...)
+}
+
+// insertAdj inserts id into an ascending adjacency list at its sorted
+// position.
+func (g *Digraph) insertAdj(list *[]EdgeID, id EdgeID) {
+	l := *list
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= id })
+	l = append(l, 0)
+	copy(l[i+1:], l[i:])
+	l[i] = id
+	*list = l
+}
+
 // Out returns the IDs of edges leaving v. The returned slice is owned by
 // the graph and must not be modified.
 func (g *Digraph) Out(v NodeID) []EdgeID { g.checkNode(v); return g.out[v] }
@@ -101,17 +156,26 @@ func (g *Digraph) OutDegree(v NodeID) int { g.checkNode(v); return len(g.out[v])
 // InDegree reports the number of edges entering v.
 func (g *Digraph) InDegree(v NodeID) int { g.checkNode(v); return len(g.in[v]) }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. Adjacency lists are carved out of two
+// shared backing arrays with capacity clamped to length: the whole clone
+// costs O(1) allocations, and a later append to any one list reallocates
+// just that list (copy-on-write) instead of corrupting its neighbours.
 func (g *Digraph) Clone() *Digraph {
 	c := &Digraph{
-		edges: make([]Edge, len(g.edges)),
+		edges: append([]Edge(nil), g.edges...),
 		out:   make([][]EdgeID, len(g.out)),
 		in:    make([][]EdgeID, len(g.in)),
 	}
-	copy(c.edges, g.edges)
+	outBack := make([]EdgeID, len(g.edges))
+	inBack := make([]EdgeID, len(g.edges))
+	var o, i int
 	for v := range g.out {
-		c.out[v] = append([]EdgeID(nil), g.out[v]...)
-		c.in[v] = append([]EdgeID(nil), g.in[v]...)
+		n := copy(outBack[o:], g.out[v])
+		c.out[v] = outBack[o : o+n : o+n]
+		o += n
+		n = copy(inBack[i:], g.in[v])
+		c.in[v] = inBack[i : i+n : i+n]
+		i += n
 	}
 	return c
 }

@@ -73,6 +73,28 @@ func (h *Heap) Reset() {
 	h.heap = h.heap[:0]
 }
 
+// Grow ensures the heap can hold items 0..n-1, reallocating the index
+// arrays only when n exceeds the current capacity. Queued items survive a
+// growing call; workspace reuse across graphs of different sizes depends on
+// this (callers Reset between uses, Grow only when the universe expands).
+func (h *Heap) Grow(n int) {
+	if n <= len(h.pos) {
+		return
+	}
+	pos := make([]int, n)
+	key := make([]int64, n)
+	copy(pos, h.pos)
+	copy(key, h.key)
+	for i := len(h.pos); i < n; i++ {
+		pos[i] = -1
+	}
+	h.pos = pos
+	h.key = key
+}
+
+// Cap reports the size of the item universe the heap currently supports.
+func (h *Heap) Cap() int { return len(h.pos) }
+
 func (h *Heap) less(i, j int) bool { return h.key[h.heap[i]] < h.key[h.heap[j]] }
 
 func (h *Heap) swap(i, j int) {

@@ -30,21 +30,76 @@ type Graph struct {
 }
 
 // Build constructs G̃ with respect to the unit flow `sol` (the edges used
-// by the current k disjoint paths).
+// by the current k disjoint paths). Residual edge IDs equal original edge
+// IDs by construction (edges are inserted in insertion order), which both
+// Update and SolutionCycles rely on.
 func Build(g *graph.Digraph, sol graph.EdgeSet) *Graph {
-	r := graph.New(g.NumNodes())
-	res := &Graph{R: r, Orig: g, sol: sol.Clone()}
-	for _, e := range g.Edges() {
-		if sol.Has(e.ID) {
-			r.AddEdge(e.To, e.From, -e.Cost, -e.Delay)
-			res.reversed = append(res.reversed, true)
-		} else {
-			r.AddEdge(e.From, e.To, e.Cost, e.Delay)
-			res.reversed = append(res.reversed, false)
+	m := g.NumEdges()
+	// Clone the input and flip the solution edges in place: FlipEdge is
+	// exactly the Definition-6 transform (reverse, negate both weights) and
+	// re-inserts at sorted adjacency position, so the result is identical to
+	// re-inserting every edge one by one — at a fraction of the allocations.
+	r := g.Clone()
+	res := &Graph{
+		R: r, Orig: g, sol: sol.Clone(),
+		origEdge: make([]graph.EdgeID, m),
+		reversed: make([]bool, m),
+	}
+	for i := 0; i < m; i++ {
+		id := graph.EdgeID(i)
+		res.origEdge[i] = id
+		if sol.Has(id) {
+			r.FlipEdge(id)
+			res.reversed[i] = true
 		}
-		res.origEdge = append(res.origEdge, e.ID)
 	}
 	return res
+}
+
+// Update re-points the residual graph at the solution obtained by applying
+// the given edge-disjoint residual cycles (the same set a preceding
+// ApplyAll consumed): every residual edge on a cycle flips direction and
+// sign in place, and the tracked solution set is updated accordingly.
+// Update is the incremental counterpart of Build — after a successful call,
+// the receiver is bit-identical (edges, adjacency order, bookkeeping) to
+// Build(Orig, newSol) — but costs O(Σ|O_i|·log deg) instead of O(m), which
+// is what makes per-iteration residual maintenance in the cancellation loop
+// cheap. The cycles are validated first; on error the receiver is
+// unchanged.
+func (rg *Graph) Update(applied []graph.Cycle) error {
+	seen := graph.NewEdgeSet()
+	for _, cyc := range applied {
+		if err := cyc.Validate(rg.R, false); err != nil {
+			return fmt.Errorf("residual: bad cycle: %w", err)
+		}
+		for _, id := range cyc.Edges {
+			if seen.Has(id) {
+				return fmt.Errorf("residual: cycles share residual edge %d", id)
+			}
+			seen.Add(id)
+			orig := rg.origEdge[id]
+			if rg.reversed[id] {
+				if !rg.sol.Has(orig) {
+					return fmt.Errorf("residual: cycle removes absent edge %d", orig)
+				}
+			} else if rg.sol.Has(orig) {
+				return fmt.Errorf("residual: cycle re-adds edge %d", orig)
+			}
+		}
+	}
+	for _, cyc := range applied {
+		for _, id := range cyc.Edges {
+			orig := rg.origEdge[id]
+			if rg.reversed[id] {
+				rg.sol.Remove(orig)
+			} else {
+				rg.sol.Add(orig)
+			}
+			rg.reversed[id] = !rg.reversed[id]
+			rg.R.FlipEdge(id)
+		}
+	}
+	return nil
 }
 
 // OrigEdge maps a residual edge ID to its originating edge ID.
@@ -62,18 +117,20 @@ func (rg *Graph) Solution() graph.EdgeSet { return rg.sol.Clone() }
 // traverse at least one reversed edge (original weights are nonnegative),
 // so cycle searches need only be seeded at these vertices.
 func (rg *Graph) ReversedSeeds() []graph.NodeID {
-	seen := map[graph.NodeID]bool{}
+	seen := make([]bool, rg.R.NumNodes())
 	var out []graph.NodeID
 	for i, rev := range rg.reversed {
 		if !rev {
 			continue
 		}
 		e := rg.R.Edge(graph.EdgeID(i))
-		for _, v := range []graph.NodeID{e.From, e.To} {
-			if !seen[v] {
-				seen[v] = true
-				out = append(out, v)
-			}
+		if !seen[e.From] {
+			seen[e.From] = true
+			out = append(out, e.From)
+		}
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
 		}
 	}
 	return out
@@ -151,7 +208,7 @@ func (rg *Graph) ApplyAll(cycles []graph.Cycle) (graph.EdgeSet, error) {
 func (rg *Graph) SolutionCycles(other graph.EdgeSet) ([]graph.Cycle, error) {
 	// Residual edge for original e: same ID by construction.
 	var resEdges []graph.EdgeID
-	for _, e := range rg.Orig.Edges() {
+	for _, e := range rg.Orig.EdgesView() {
 		inCur := rg.sol.Has(e.ID)
 		inOther := other.Has(e.ID)
 		if inCur == inOther {

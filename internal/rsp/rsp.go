@@ -151,8 +151,12 @@ func ExactDP(g *graph.Digraph, s, t graph.NodeID, bound int64) (Result, error) {
 // multiplier λ = p/q is kept rational and paths are computed under the
 // integer weight q·c + p·d.
 func LARAC(g *graph.Digraph, s, t graph.NodeID, bound int64) (Result, error) {
+	// One workspace serves every Dijkstra below: the Lagrangian loop runs up
+	// to 256 searches over the same graph, and paths are materialized before
+	// the next search clobbers the tree.
+	ws := shortest.NewWorkspace(g.NumNodes())
 	// Cost-minimal path: if feasible, it is exactly optimal.
-	tc := shortest.Dijkstra(g, s, shortest.CostWeight)
+	tc := shortest.DijkstraInto(ws, g, s, shortest.CostWeight)
 	pc, ok := tc.PathTo(g, t)
 	if !ok {
 		return Result{}, ErrInfeasible
@@ -162,7 +166,7 @@ func LARAC(g *graph.Digraph, s, t graph.NodeID, bound int64) (Result, error) {
 		return Result{Path: pc, Cost: c, Delay: pc.Delay(g), LowerBound: c}, nil
 	}
 	// Delay-minimal path: if infeasible, the instance is infeasible.
-	td := shortest.Dijkstra(g, s, shortest.DelayWeight)
+	td := shortest.DijkstraInto(ws, g, s, shortest.DelayWeight)
 	pd, ok := td.PathTo(g, t)
 	if !ok || pd.Delay(g) > bound {
 		return Result{}, ErrInfeasible
@@ -182,7 +186,7 @@ func LARAC(g *graph.Digraph, s, t graph.NodeID, bound int64) (Result, error) {
 			break
 		}
 		w := shortest.Combine(q, p)
-		tr := shortest.Dijkstra(g, s, w)
+		tr := shortest.DijkstraInto(ws, g, s, w)
 		r, _ := tr.PathTo(g, t)
 		wr := weightOf(g, r, w)
 		// Lagrangian lower bound: (wλ(r) − p·D) / q ≤ OPT.
@@ -215,15 +219,17 @@ func FPTAS(g *graph.Digraph, s, t graph.NodeID, bound int64, eps float64) (Resul
 	if eps <= 0 {
 		return Result{}, fmt.Errorf("rsp: eps must be positive, got %g", eps)
 	}
-	// Feasibility + upper bound: min-delay path.
-	td := shortest.Dijkstra(g, s, shortest.DelayWeight)
+	// Feasibility + upper bound: min-delay path. Both probes and their paths
+	// are materialized off one workspace.
+	ws := shortest.NewWorkspace(g.NumNodes())
+	td := shortest.DijkstraInto(ws, g, s, shortest.DelayWeight)
 	pd, ok := td.PathTo(g, t)
 	if !ok || pd.Delay(g) > bound {
 		return Result{}, ErrInfeasible
 	}
 	ub := pd.Cost(g)
 	// Lower bound: unconstrained min cost; exact answer if feasible.
-	tc := shortest.Dijkstra(g, s, shortest.CostWeight)
+	tc := shortest.DijkstraInto(ws, g, s, shortest.CostWeight)
 	pc, _ := tc.PathTo(g, t)
 	if pc.Delay(g) <= bound {
 		c := pc.Cost(g)

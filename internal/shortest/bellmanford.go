@@ -8,8 +8,13 @@ import (
 // weights. If a negative cycle is reachable from s, ok=false and the cycle
 // is returned; otherwise ok=true and cycle is empty.
 func BellmanFord(g *graph.Digraph, s graph.NodeID, w Weight) (t Tree, cycle graph.Cycle, ok bool) {
-	n := g.NumNodes()
-	t = Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	return BellmanFordInto(NewWorkspace(g.NumNodes()), g, s, w)
+}
+
+// BellmanFordInto is BellmanFord over caller-provided scratch. The returned
+// Tree aliases the workspace (see Workspace).
+func BellmanFordInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) (Tree, graph.Cycle, bool) {
+	t := ws.tree(g.NumNodes())
 	for v := range t.Dist {
 		t.Dist[v] = Inf
 		t.Parent[v] = -1
@@ -23,8 +28,13 @@ func BellmanFord(g *graph.Digraph, s graph.NodeID, w Weight) (t Tree, cycle grap
 // negative cycle anywhere in the graph; otherwise the distances form valid
 // potentials: dist[v] ≤ dist[u] + w(u→v) for every edge.
 func BellmanFordAll(g *graph.Digraph, w Weight) (t Tree, cycle graph.Cycle, ok bool) {
-	n := g.NumNodes()
-	t = Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	return BellmanFordAllInto(NewWorkspace(g.NumNodes()), g, w)
+}
+
+// BellmanFordAllInto is BellmanFordAll over caller-provided scratch. The
+// returned Tree aliases the workspace (see Workspace).
+func BellmanFordAllInto(ws *Workspace, g *graph.Digraph, w Weight) (Tree, graph.Cycle, bool) {
+	t := ws.tree(g.NumNodes())
 	for v := range t.Dist {
 		t.Dist[v] = 0
 		t.Parent[v] = -1
@@ -34,7 +44,7 @@ func BellmanFordAll(g *graph.Digraph, w Weight) (t Tree, cycle graph.Cycle, ok b
 
 func bfCore(g *graph.Digraph, w Weight, t Tree) (Tree, graph.Cycle, bool) {
 	n := g.NumNodes()
-	edges := g.Edges()
+	edges := g.EdgesView()
 	var lastRelaxed graph.NodeID = -1
 	for pass := 0; pass < n; pass++ {
 		changed := false

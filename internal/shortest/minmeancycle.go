@@ -35,7 +35,7 @@ func MinMeanCycle(g *graph.Digraph, w Weight) (cycle graph.Cycle, num, den int64
 			pred[k][v] = -1
 		}
 	}
-	edges := g.Edges()
+	edges := g.EdgesView()
 	for k := 1; k <= n; k++ {
 		for _, e := range edges {
 			if dp[k-1][e.From] == Inf {

@@ -9,7 +9,6 @@ import (
 	"math"
 
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // Inf is the sentinel distance for unreachable vertices.
@@ -93,20 +92,34 @@ func Dijkstra(g *graph.Digraph, s graph.NodeID, w Weight) Tree {
 // the ORIGINAL weight. pot may be nil for plain Dijkstra. Reduced weights
 // must be nonnegative; vertices with pot[v] == Inf are treated as removed.
 func DijkstraPotentials(g *graph.Digraph, s graph.NodeID, w Weight, pot []int64) Tree {
+	return DijkstraPotentialsInto(NewWorkspace(g.NumNodes()), g, s, w, pot)
+}
+
+// DijkstraInto is Dijkstra over caller-provided scratch. The returned Tree
+// aliases the workspace (see Workspace).
+func DijkstraInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) Tree {
+	return DijkstraPotentialsInto(ws, g, s, w, nil)
+}
+
+// DijkstraPotentialsInto is DijkstraPotentials over caller-provided
+// scratch. The returned Tree aliases the workspace (see Workspace).
+func DijkstraPotentialsInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight, pot []int64) Tree {
 	n := g.NumNodes()
-	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	t := ws.tree(n)
+	done := ws.done[:n]
 	for v := range t.Dist {
 		t.Dist[v] = Inf
 		t.Parent[v] = -1
+		done[v] = false
 	}
 	if pot != nil && pot[s] == Inf {
 		return t
 	}
 	// dist here is in reduced weights; convert on exit.
 	t.Dist[s] = 0
-	h := pq.New(n)
+	h := ws.heap
+	h.Reset()
 	h.Push(int(s), 0)
-	done := make([]bool, n)
 	for h.Len() > 0 {
 		ui, du := h.Pop()
 		u := graph.NodeID(ui)
@@ -152,7 +165,7 @@ func DijkstraPotentials(g *graph.Digraph, s graph.NodeID, w Weight, pot []int64)
 func Topological(g *graph.Digraph) (order []graph.NodeID, ok bool) {
 	n := g.NumNodes()
 	indeg := make([]int, n)
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		indeg[e.To]++
 	}
 	var queue []graph.NodeID

@@ -11,40 +11,50 @@ import (
 // scan on sparse graphs, which matters because the bicameral search runs
 // negative-cycle detection on large layered graphs.
 func SPFA(g *graph.Digraph, s graph.NodeID, w Weight) (Tree, graph.Cycle, bool) {
+	return SPFAInto(NewWorkspace(g.NumNodes()), g, s, w)
+}
+
+// SPFAInto is SPFA over caller-provided scratch. The returned Tree aliases
+// the workspace (see Workspace).
+func SPFAInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) (Tree, graph.Cycle, bool) {
 	n := g.NumNodes()
-	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
+	t := ws.tree(n)
 	for v := range t.Dist {
 		t.Dist[v] = Inf
 		t.Parent[v] = -1
 	}
 	t.Dist[s] = 0
-	tree, cyc, ok, done := spfaCore(g, w, t, []graph.NodeID{s}, defaultBudget(g))
+	tree, cyc, ok, done := spfaCore(ws, g, w, t, s, true, defaultBudget(g))
 	if done {
 		return tree, cyc, ok
 	}
 	// Relaxation budget blown without a certified verdict (possible when a
 	// negative cycle keeps the parent graph transiently acyclic): fall back
 	// to the pass-based scan, which always terminates with a proof.
-	return BellmanFord(g, s, w)
+	return BellmanFordInto(ws, g, s, w)
 }
 
 // SPFAAll runs SPFA from a virtual super-source (all distances start at 0),
 // detecting a negative cycle anywhere in the graph; on success the
 // distances are valid potentials.
 func SPFAAll(g *graph.Digraph, w Weight) (Tree, graph.Cycle, bool) {
+	return SPFAAllInto(NewWorkspace(g.NumNodes()), g, w)
+}
+
+// SPFAAllInto is SPFAAll over caller-provided scratch. The returned Tree
+// aliases the workspace (see Workspace).
+func SPFAAllInto(ws *Workspace, g *graph.Digraph, w Weight) (Tree, graph.Cycle, bool) {
 	n := g.NumNodes()
-	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
-	init := make([]graph.NodeID, n)
+	t := ws.tree(n)
 	for v := range t.Dist {
 		t.Dist[v] = 0
 		t.Parent[v] = -1
-		init[v] = graph.NodeID(v)
 	}
-	tree, cyc, ok, done := spfaCore(g, w, t, init, defaultBudget(g))
+	tree, cyc, ok, done := spfaCore(ws, g, w, t, 0, false, defaultBudget(g))
 	if done {
 		return tree, cyc, ok
 	}
-	return BellmanFordAll(g, w)
+	return BellmanFordAllInto(ws, g, w)
 }
 
 func defaultBudget(g *graph.Digraph) int {
@@ -58,15 +68,18 @@ func defaultBudget(g *graph.Digraph) int {
 // derived graphs (the layered auxiliary graphs) use it to keep worst-case
 // time linear in the budget instead of O(V·E).
 func SPFAAllBounded(g *graph.Digraph, w Weight, budget int) (graph.Cycle, bool, bool) {
+	return SPFAAllBoundedInto(NewWorkspace(g.NumNodes()), g, w, budget)
+}
+
+// SPFAAllBoundedInto is SPFAAllBounded over caller-provided scratch.
+func SPFAAllBoundedInto(ws *Workspace, g *graph.Digraph, w Weight, budget int) (graph.Cycle, bool, bool) {
 	n := g.NumNodes()
-	t := Tree{Dist: make([]int64, n), Parent: make([]graph.EdgeID, n)}
-	init := make([]graph.NodeID, n)
+	t := ws.tree(n)
 	for v := range t.Dist {
 		t.Dist[v] = 0
 		t.Parent[v] = -1
-		init[v] = graph.NodeID(v)
 	}
-	_, cyc, ok, done := spfaCore(g, w, t, init, budget)
+	_, cyc, ok, done := spfaCore(ws, g, w, t, 0, false, budget)
 	if !done {
 		return graph.Cycle{}, false, false
 	}
@@ -75,22 +88,30 @@ func SPFAAllBounded(g *graph.Digraph, w Weight, budget int) (graph.Cycle, bool, 
 
 // spfaCore returns done=false when its relaxation budget is exhausted
 // before reaching a certified verdict; callers then fall back to the
-// pass-based Bellman–Ford (or accept the non-verdict).
-func spfaCore(g *graph.Digraph, w Weight, t Tree, seed []graph.NodeID, budget int) (Tree, graph.Cycle, bool, bool) {
+// pass-based Bellman–Ford (or accept the non-verdict). With single=true the
+// queue is seeded with s alone; otherwise every vertex is seeded (the
+// virtual super-source).
+func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID, single bool, budget int) (Tree, graph.Cycle, bool, bool) {
 	n := g.NumNodes()
-	inQueue := make([]bool, n)
 	// pathLen[v] is the edge count of the tentative shortest walk to v; a
 	// walk of ≥ n edges repeats a vertex, certifying a negative cycle (the
 	// correct SPFA criterion — per-vertex relax counts are NOT bounded by n
 	// on negative-cycle-free graphs).
-	pathLen := make([]int, n)
-	queue := append([]graph.NodeID(nil), seed...)
-	for _, v := range seed {
-		inQueue[v] = true
+	inQueue, pathLen, queue := ws.resetFlags(n)
+	defer func() { ws.queue = queue[:0] }()
+	if single {
+		queue = append(queue, s)
+		inQueue[s] = true
+	} else {
+		for v := 0; v < n; v++ {
+			queue = append(queue, graph.NodeID(v))
+			inQueue[v] = true
+		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	head := 0
+	for head < len(queue) {
+		u := queue[head]
+		head++
 		inQueue[u] = false
 		du := t.Dist[u]
 		if du == Inf {

@@ -1,0 +1,85 @@
+package shortest
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Workspace holds the scratch arrays shared by every kernel in this
+// package: distances, parent pointers, the SPFA queue and in-queue flags,
+// and an indexed heap for Dijkstra. Allocating these dominates the cost of
+// a single search on small graphs, and the solver's hot loops (cycle
+// cancellation, budget sweeps, Lagrangian iterations) run thousands of
+// searches over graphs of identical or slowly-growing size — a Workspace
+// amortizes the allocations to zero.
+//
+// A Workspace may be reused freely across calls and across graphs of
+// different sizes (Grow reallocates only on expansion), but it is NOT safe
+// for concurrent use; parallel searches take one Workspace per worker.
+//
+// Trees returned by the *_Into kernels alias the workspace's dist/parent
+// arrays: they are valid until the next *_Into call on the same Workspace.
+// Callers that need the tree to outlive the workspace must copy it.
+type Workspace struct {
+	dist    []int64
+	parent  []graph.EdgeID
+	inQueue []bool
+	pathLen []int
+	queue   []graph.NodeID
+	done    []bool
+	heap    *pq.Heap
+}
+
+// NewWorkspace returns a workspace sized for graphs of up to n vertices.
+// It grows on demand, so n is a hint, not a limit.
+func NewWorkspace(n int) *Workspace {
+	ws := &Workspace{}
+	ws.Grow(n)
+	return ws
+}
+
+// Grow ensures capacity for n vertices, reallocating only on expansion.
+func (ws *Workspace) Grow(n int) {
+	if n <= cap(ws.dist) {
+		return
+	}
+	ws.dist = make([]int64, n)
+	ws.parent = make([]graph.EdgeID, n)
+	ws.inQueue = make([]bool, n)
+	ws.pathLen = make([]int, n)
+	ws.done = make([]bool, n)
+	if ws.heap == nil {
+		ws.heap = pq.New(n)
+	} else {
+		ws.heap.Grow(n)
+	}
+}
+
+// tree returns a Tree backed by the workspace, sized (and re-sliced) to n
+// vertices. Contents are NOT initialized; kernels do that themselves.
+func (ws *Workspace) tree(n int) Tree {
+	ws.Grow(n)
+	return Tree{Dist: ws.dist[:n], Parent: ws.parent[:n]}
+}
+
+// resetFlags clears the SPFA bookkeeping for n vertices and returns the
+// (emptied) queue buffer.
+func (ws *Workspace) resetFlags(n int) (inQueue []bool, pathLen []int, queue []graph.NodeID) {
+	ws.Grow(n)
+	inQueue = ws.inQueue[:n]
+	pathLen = ws.pathLen[:n]
+	for i := 0; i < n; i++ {
+		inQueue[i] = false
+		pathLen[i] = 0
+	}
+	return inQueue, pathLen, ws.queue[:0]
+}
+
+// Clone of a workspace-backed tree into fresh memory, for callers that keep
+// results across further workspace use.
+func (t Tree) Clone() Tree {
+	return Tree{
+		Dist:   append([]int64(nil), t.Dist...),
+		Parent: append([]graph.EdgeID(nil), t.Parent...),
+	}
+}
