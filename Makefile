@@ -1,13 +1,24 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench clean
+.PHONY: check vet fmt-check lint build test race bench-smoke bench clean
 
-# The full CI gate: static checks, build, race-enabled tests, and a one-shot
-# benchmark smoke run (catches benchmarks that panic or regress to failure).
-check: vet build race bench-smoke
+# The full CI gate: static checks (vet, gofmt, krsplint), build, race-enabled
+# tests, and a one-shot benchmark smoke run (catches benchmarks that panic or
+# regress to failure).
+check: vet fmt-check lint build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: fail if any file needs reformatting.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Project-invariant static analysis (internal/lint): determinism,
+# panic-freedom, zero-alloc hot paths, wall-clock bans, overflow guards.
+# Exits nonzero on any unsuppressed diagnostic.
+lint:
+	$(GO) run ./cmd/krsplint ./...
 
 build:
 	$(GO) build ./...

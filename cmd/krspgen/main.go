@@ -55,7 +55,10 @@ func run(args []string, out io.Writer) error {
 	case "isp":
 		ins = gen.ISP(*seed, *n/3+3, 2, w)
 	case "figure1":
-		ins, _ = gen.Figure1(10, *figD)
+		ins, _, err := gen.Figure1(10, *figD)
+		if err != nil {
+			return err
+		}
 		return graph.WriteInstance(out, ins)
 	case "figure2":
 		ins, _, _ = gen.Figure2()

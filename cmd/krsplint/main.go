@@ -1,0 +1,70 @@
+// Command krsplint runs the project-invariant static-analysis suite
+// (internal/lint) over the module: determinism of map iteration, panic
+// freedom in library packages, zero-alloc kernel discipline on the solve
+// path, wall-clock/unseeded-randomness bans, and overflow guards on int64
+// weight arithmetic.
+//
+// Usage:
+//
+//	krsplint [-only name[,name...]] [packages]
+//
+// The only accepted package pattern is ./... (the default): the loader
+// always analyzes the whole module so cross-package reachability is exact.
+// Exit status is 0 when no unsuppressed diagnostic is found, 1 otherwise,
+// 2 on loader errors. The report is sorted (file, line, column, analyzer)
+// so CI diffs are deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	flag.Parse()
+
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "krsplint: only the ./... pattern is supported, got %q\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var bad string
+		analyzers, bad = lint.ByName(strings.Split(*only, ","))
+		if bad != "" {
+			fmt.Fprintf(os.Stderr, "krsplint: unknown analyzer %q\n", bad)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "krsplint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lint.NewProgram(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "krsplint: %v\n", err)
+		os.Exit(2)
+	}
+	if err := prog.LoadAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "krsplint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.StringRel(prog.ModuleRoot()))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "krsplint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -25,7 +25,10 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "D\tOPT\twith cap (paper)\twithout cap (ablated)\tblow-up")
 	for _, d := range []int64{2, 4, 8, 16, 32} {
-		ins, opt := gen.Figure1(10, d)
+		ins, opt, err := gen.Figure1(10, d)
+		if err != nil {
+			log.Fatal(err)
+		}
 		good, err := core.Solve(ins, core.Options{})
 		if err != nil {
 			log.Fatal(err)

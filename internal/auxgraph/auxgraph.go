@@ -70,6 +70,7 @@ type Aux struct {
 // Build constructs the auxiliary graph of the given kind. B must be ≥ 1.
 func Build(base *graph.Digraph, v graph.NodeID, bound int64, kind Kind) *Aux {
 	if bound < 1 {
+		//lint:allow nopanic B is solver-computed and ≥ 1 by construction; programmer error
 		panic(fmt.Sprintf("auxgraph: budget %d < 1", bound))
 	}
 	a := &Aux{Base: base, V: v, B: bound, Kind: kind}
@@ -79,6 +80,7 @@ func Build(base *graph.Digraph, v graph.NodeID, bound int64, kind Kind) *Aux {
 	case TwoSided:
 		a.lo, a.layers = -bound, 2*bound+1
 	default:
+		//lint:allow nopanic exhaustive Kind switch; unreachable
 		panic("auxgraph: unknown kind")
 	}
 	n := base.NumNodes()
@@ -86,7 +88,7 @@ func Build(base *graph.Digraph, v graph.NodeID, bound int64, kind Kind) *Aux {
 	// Layered copies of every base edge.
 	for _, e := range base.EdgesView() {
 		for l := a.lo; l <= a.hi(); l++ {
-			nl := l + e.Cost
+			nl := l + e.Cost //lint:allow weightovf layer index: |l| ≤ B and cost is MaxWeight-capped
 			if nl < a.lo || nl > a.hi() {
 				continue
 			}
@@ -125,9 +127,11 @@ func Build(base *graph.Digraph, v graph.NodeID, bound int64, kind Kind) *Aux {
 // anchor for display only.
 func BuildShared(base *graph.Digraph, anchors []graph.NodeID, bound int64) *Aux {
 	if bound < 1 {
+		//lint:allow nopanic B is solver-computed and ≥ 1 by construction; programmer error
 		panic(fmt.Sprintf("auxgraph: budget %d < 1", bound))
 	}
 	if len(anchors) == 0 {
+		//lint:allow nopanic callers derive anchors from ReversedSeeds and check emptiness first
 		panic("auxgraph: no anchors")
 	}
 	a := &Aux{Base: base, V: anchors[0], B: bound, Kind: TwoSided,
@@ -136,7 +140,7 @@ func BuildShared(base *graph.Digraph, anchors []graph.NodeID, bound int64) *Aux 
 	a.H = graph.New(int(a.layers) * n)
 	for _, e := range base.EdgesView() {
 		for l := a.lo; l <= a.hi(); l++ {
-			nl := l + e.Cost
+			nl := l + e.Cost //lint:allow weightovf layer index: |l| ≤ B and cost is MaxWeight-capped
 			if nl < a.lo || nl > a.hi() {
 				continue
 			}

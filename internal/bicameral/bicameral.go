@@ -41,7 +41,7 @@ type Params struct {
 // Instances should keep ΔC·d and ΔD·c below 2^62 to avoid overflow; the
 // solver guards this at construction.
 func (p Params) Weight(e graph.Edge) int64 {
-	return p.DeltaC*e.Delay - p.DeltaD*e.Cost
+	return p.DeltaC*e.Delay - p.DeltaD*e.Cost //lint:allow weightovf Find's entry guard keeps |Δ|·maxW·K below 2^61
 }
 
 // CycleType labels Definition 10's cases.
@@ -77,11 +77,11 @@ func Classify(cost, delay int64, p Params) CycleType {
 	case (delay < 0 && cost <= 0) || (delay <= 0 && cost < 0):
 		return Type0
 	case delay < 0 && cost > 0 && cost <= p.CostCap:
-		if p.DeltaC > 0 && delay*p.DeltaC <= p.DeltaD*cost {
+		if p.DeltaC > 0 && delay*p.DeltaC <= p.DeltaD*cost { //lint:allow weightovf cycle aggregates × Δ bounded by Find's entry guard
 			return Type1
 		}
 	case delay >= 0 && cost < 0 && -cost <= p.CostCap:
-		if p.DeltaC > 0 && delay*p.DeltaC <= p.DeltaD*cost {
+		if p.DeltaC > 0 && delay*p.DeltaC <= p.DeltaD*cost { //lint:allow weightovf cycle aggregates × Δ bounded by Find's entry guard
 			return Type2
 		}
 	}
@@ -166,9 +166,11 @@ type Stats struct {
 // without a cap-respecting candidate (Stats.Fallback may still be set).
 func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 	if p.DeltaC <= 0 {
+		//lint:allow nopanic caller contract (core escalates C_ref before calling); programmer error
 		panic(fmt.Sprintf("bicameral: DeltaC=%d must be positive (escalate C_ref first)", p.DeltaC))
 	}
 	if p.CostCap < 1 {
+		//lint:allow nopanic caller contract; Definition 10 needs a positive cap
 		panic(fmt.Sprintf("bicameral: CostCap=%d must be ≥ 1", p.CostCap))
 	}
 	// Overflow guard: the combined weight multiplies ΔC/ΔD by edge weights
@@ -188,10 +190,12 @@ func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 		scale = a
 	}
 	if maxW > (int64(1)<<60)/int64(rg.R.NumNodes()+2) {
+		//lint:allow nopanic exact-arithmetic guard; unreachable for MaxWeight-capped instances
 		panic(fmt.Sprintf("bicameral: edge weights up to %d overflow the layered factor; rescale the instance", maxW))
 	}
 	k := int64(rg.R.NumNodes()+1)*maxW + 1
 	if scale > (int64(1)<<61)/(2*maxW)/k {
+		//lint:allow nopanic exact-arithmetic guard; unreachable for MaxWeight-capped instances
 		panic(fmt.Sprintf("bicameral: weights too large for exact arithmetic "+
 			"(|Δ|=%d, max edge weight %d, n=%d); rescale the instance",
 			scale, maxW, rg.R.NumNodes()))
@@ -241,11 +245,11 @@ func better(a, b Candidate, adversarial bool) bool {
 	case Type1:
 		// Most negative d/c: a.Delay/a.Cost < b.Delay/b.Cost with positive
 		// denominators ⇔ a.Delay·b.Cost < b.Delay·a.Cost.
-		return a.Delay*b.Cost < b.Delay*a.Cost
+		return a.Delay*b.Cost < b.Delay*a.Cost //lint:allow weightovf cross-multiplied ratio of cycle aggregates; bounded by Find's entry guard
 	case Type2:
 		// Largest d/c (least damage): with both costs negative,
 		// a.Delay/a.Cost > b.Delay/b.Cost ⇔ a.Delay·b.Cost > b.Delay·a.Cost.
-		return a.Delay*b.Cost > b.Delay*a.Cost
+		return a.Delay*b.Cost > b.Delay*a.Cost //lint:allow weightovf cross-multiplied ratio of cycle aggregates; bounded by Find's entry guard
 	}
 	return false
 }

@@ -247,9 +247,9 @@ func candidatesFromWalk(rg *residual.Graph, a *auxgraph.Aux, hEdges []graph.Edge
 			return
 		}
 		// Track a relaxed-cap fallback: W < 0 but |cost| over the cap.
-		if p.DeltaC*c.Delay-p.DeltaD*c.Cost < 0 {
-			if st.Fallback == nil || p.DeltaC*c.Delay-p.DeltaD*c.Cost <
-				p.DeltaC*st.Fallback.Delay-p.DeltaD*st.Fallback.Cost {
+		if p.DeltaC*c.Delay-p.DeltaD*c.Cost < 0 { //lint:allow weightovf combined weight W; bounded by Find's entry guard
+			if st.Fallback == nil || p.DeltaC*c.Delay-p.DeltaD*c.Cost < //lint:allow weightovf combined weight W; bounded by Find's entry guard
+				p.DeltaC*st.Fallback.Delay-p.DeltaD*st.Fallback.Cost { //lint:allow weightovf combined weight W; bounded by Find's entry guard
 				cc := c
 				st.Fallback = &cc
 			}
@@ -292,8 +292,8 @@ func candidatesFromWalk(rg *residual.Graph, a *auxgraph.Aux, hEdges []graph.Edge
 			segDisjoint := true
 			var c, d int64
 			for _, sc := range segCycles {
-				c += rg.CycleCost(sc)
-				d += rg.CycleDelay(sc)
+				c += rg.CycleCost(sc)  //lint:allow weightovf cycle sums over MaxWeight-capped edges; ≤ m·MaxWeight
+				d += rg.CycleDelay(sc) //lint:allow weightovf cycle sums over MaxWeight-capped edges; ≤ m·MaxWeight
 				for _, id := range sc.Edges {
 					if segSeen.Has(id) {
 						segDisjoint = false

@@ -27,10 +27,13 @@ func findMinRatio(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bo
 		}
 		return e.Cost
 	}
+	// One workspace for the whole parametric search: up to ~50 SPFA sweeps
+	// share it (extracted cycles are fresh slices, so reuse is safe).
+	ws := shortest.NewWorkspace(rg.R.NumNodes())
 
 	// Fast exits: a plain negative-delay cycle (the μ → −∞ limit).
 	st.Searches++
-	if _, cyc, ok := shortest.SPFAAll(rg.R, shortest.DelayWeight); !ok {
+	if _, cyc, ok := shortest.SPFAAllInto(ws, rg.R, shortest.DelayWeight); !ok {
 		if cand, good := classifyCycle(rg, cyc, p, &st); good {
 			return cand, st, true
 		}
@@ -41,7 +44,7 @@ func findMinRatio(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bo
 	sumD := int64(0)
 	for _, e := range rg.R.EdgesView() {
 		if e.Delay >= 0 {
-			sumD += e.Delay
+			sumD += e.Delay //lint:allow weightovf Σ|d| over MaxWeight-capped edges; ≤ m·MaxWeight
 		} else {
 			sumD -= e.Delay
 		}
@@ -53,7 +56,7 @@ func findMinRatio(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bo
 		mid := lo + (hi-lo)/2 // try to certify a cycle with d − μ·ĉ < 0
 		w := func(e graph.Edge) int64 { return e.Delay - mid*cHat(e) }
 		st.Searches++
-		if _, cyc, ok := shortest.SPFAAll(rg.R, w); !ok {
+		if _, cyc, ok := shortest.SPFAAllInto(ws, rg.R, w); !ok {
 			bestCycle = cyc
 			haveCycle = true
 			hi = mid // a cycle with ratio < mid exists: tighten upward bound

@@ -84,8 +84,8 @@ func mergeFallback(st *Stats, fb *Candidate, p Params) {
 	if fb == nil {
 		return
 	}
-	if st.Fallback == nil || p.DeltaC*fb.Delay-p.DeltaD*fb.Cost <
-		p.DeltaC*st.Fallback.Delay-p.DeltaD*st.Fallback.Cost {
+	if st.Fallback == nil || p.DeltaC*fb.Delay-p.DeltaD*fb.Cost < //lint:allow weightovf combined weight W; bounded by Find's entry guard
+		p.DeltaC*st.Fallback.Delay-p.DeltaD*st.Fallback.Cost { //lint:allow weightovf combined weight W; bounded by Find's entry guard
 		c := *fb
 		st.Fallback = &c
 	}
@@ -208,7 +208,7 @@ func enumerateRoot(rg *residual.Graph, start graph.NodeID, p Params, o Options, 
 		for _, id := range g.Out(cur) {
 			e := g.Edge(id)
 			if e.To == start {
-				c, d := cost+e.Cost, delay+e.Delay
+				c, d := cost+e.Cost, delay+e.Delay //lint:allow weightovf DFS path aggregates ≤ n·MaxWeight
 				ty := Classify(c, d, p)
 				if ty != TypeNone {
 					res.candidates++
@@ -229,7 +229,7 @@ func enumerateRoot(rg *residual.Graph, start graph.NodeID, p Params, o Options, 
 			}
 			scr.visited[e.To] = true
 			scr.stack = append(scr.stack, id)
-			stop := dfs(e.To, cost+e.Cost, delay+e.Delay)
+			stop := dfs(e.To, cost+e.Cost, delay+e.Delay) //lint:allow weightovf DFS path aggregates ≤ n·MaxWeight
 			scr.stack = scr.stack[:len(scr.stack)-1]
 			scr.visited[e.To] = false
 			if stop {
@@ -259,6 +259,7 @@ func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (be
 	results := make([]rootResult, n)
 	scratch := make([]*enumScratch, workers)
 	for i := range scratch {
+		//lint:allow hotalloc one-time per-worker scratch, bounded by Options.Workers
 		scratch[i] = &enumScratch{visited: make([]bool, n)}
 	}
 	var stopAt atomic.Int64 // lowest root index that hit a type-0

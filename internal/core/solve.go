@@ -113,8 +113,8 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 			})
 		}
 		cur = next
-		curCost += cand.Cost
-		curDelay += cand.Delay
+		curCost += cand.Cost   //lint:allow weightovf solution aggregate over MaxWeight-capped edges; ≤ m·MaxWeight
+		curDelay += cand.Delay //lint:allow weightovf solution aggregate over MaxWeight-capped edges; ≤ m·MaxWeight
 		stats.Iterations++
 		if cand.Type >= 0 && int(cand.Type) < 3 {
 			stats.CyclesByType[cand.Type]++

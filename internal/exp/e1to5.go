@@ -138,7 +138,10 @@ func RunE3(cfg Config) (*Table, error) {
 	}
 	const scaleC = 10
 	for _, d := range ds {
-		ins, opt := gen.Figure1(scaleC, d)
+		ins, opt, err := gen.Figure1(scaleC, d)
+		if err != nil {
+			return nil, fmt.Errorf("E3: %w", err)
+		}
 		capped, err := core.Solve(ins, core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E3: capped solve: %w", err)

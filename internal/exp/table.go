@@ -28,6 +28,7 @@ func NewTable(title string, columns ...string) *Table {
 // Add appends a row; values are formatted with %v, floats with 3 decimals.
 func (t *Table) Add(vals ...any) {
 	if len(vals) != len(t.Columns) {
+		//lint:allow nopanic arity mismatch is a programmer error in experiment code
 		panic(fmt.Sprintf("exp: row has %d values, table %q has %d columns",
 			len(vals), t.Title, len(t.Columns)))
 	}

@@ -11,7 +11,9 @@ import (
 // covering the remaining flow edges. It errors if the edge set does not
 // satisfy flow conservation with net outflow k at s and net inflow k at t.
 func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) ([]graph.Path, []graph.Cycle, error) {
-	// Per-vertex unused outgoing flow edges.
+	// Per-vertex unused outgoing flow edges. Maps keep the footprint
+	// proportional to the flow (not the graph); every scan below resolves
+	// ties by minimum vertex ID so nothing depends on map iteration order.
 	outAvail := make(map[graph.NodeID][]graph.EdgeID)
 	balance := make(map[graph.NodeID]int)
 	for _, id := range edges.IDs() {
@@ -20,15 +22,27 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 		balance[e.From]++
 		balance[e.To]--
 	}
+	bad := graph.NodeID(-1)
+	//lint:allow detmap min-selection over the range is order-insensitive
 	for v, b := range balance {
-		switch {
-		case v == s && b != k:
-			return nil, nil, fmt.Errorf("flow: source balance %d, want %d", b, k)
-		case v == t && b != -k:
-			return nil, nil, fmt.Errorf("flow: sink balance %d, want %d", b, -k)
-		case v != s && v != t && b != 0:
-			return nil, nil, fmt.Errorf("flow: vertex %d unbalanced (%d)", v, b)
+		want := 0
+		switch v {
+		case s:
+			want = k
+		case t:
+			want = -k
 		}
+		if b != want && (bad < 0 || v < bad) {
+			bad = v
+		}
+	}
+	switch {
+	case bad == s && bad >= 0:
+		return nil, nil, fmt.Errorf("flow: source balance %d, want %d", balance[s], k)
+	case bad == t && bad >= 0:
+		return nil, nil, fmt.Errorf("flow: sink balance %d, want %d", balance[t], -k)
+	case bad >= 0:
+		return nil, nil, fmt.Errorf("flow: vertex %d unbalanced (%d)", bad, balance[bad])
 	}
 	if k > 0 && balance[s] != k {
 		return nil, nil, fmt.Errorf("flow: source missing outflow")
@@ -80,11 +94,11 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 	// Peel remaining edges into cycles.
 	var cycles []graph.Cycle
 	for {
-		var start graph.NodeID = -1
+		start := graph.NodeID(-1)
+		//lint:allow detmap min-selection over the range is order-insensitive
 		for v, avail := range outAvail {
-			if len(avail) > 0 {
+			if len(avail) > 0 && (start < 0 || v < start) {
 				start = v
-				break
 			}
 		}
 		if start < 0 {

@@ -106,21 +106,21 @@ type UnitFlow struct {
 // set is walked directly rather than sorted.
 func (f UnitFlow) Cost(g *graph.Digraph) int64 {
 	var s int64
-	f.Edges.Each(func(id graph.EdgeID) { s += g.Edge(id).Cost })
+	f.Edges.Each(func(id graph.EdgeID) { s += g.Edge(id).Cost }) //lint:allow weightovf flow sum over MaxWeight-capped edges; ≤ m·MaxWeight
 	return s
 }
 
 // Delay sums edge delays of the flow.
 func (f UnitFlow) Delay(g *graph.Digraph) int64 {
 	var s int64
-	f.Edges.Each(func(id graph.EdgeID) { s += g.Edge(id).Delay })
+	f.Edges.Each(func(id graph.EdgeID) { s += g.Edge(id).Delay }) //lint:allow weightovf flow sum over MaxWeight-capped edges; ≤ m·MaxWeight
 	return s
 }
 
 // Weight sums an arbitrary edge weight over the flow.
 func (f UnitFlow) Weight(g *graph.Digraph, w shortest.Weight) int64 {
 	var s int64
-	f.Edges.Each(func(id graph.EdgeID) { s += w(g.Edge(id)) })
+	f.Edges.Each(func(id graph.EdgeID) { s += w(g.Edge(id)) }) //lint:allow weightovf flow sum; callers pass MaxWeight-bounded weightings
 	return s
 }
 
@@ -180,6 +180,7 @@ func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight)
 				}
 				rw := wt + pot[u] - pot[to]
 				if rw < 0 {
+					//lint:allow nopanic potential-validity invariant; a violation is a solver bug, not bad input
 					panic(fmt.Sprintf("flow: negative reduced weight %d", rw))
 				}
 				if nd := du + rw; nd < dist[to] {

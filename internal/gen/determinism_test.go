@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fingerprint serialises an instance's full edge list (plus terminals and
+// bound) to bytes, so equality means byte-identical generator output.
+func fingerprint(ins graph.Instance) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "n=%d m=%d s=%d t=%d k=%d bound=%d\n",
+		ins.G.NumNodes(), ins.G.NumEdges(), ins.S, ins.T, ins.K, ins.Bound)
+	for _, e := range ins.G.EdgesView() {
+		fmt.Fprintf(&buf, "%d %d %d %d %d\n", e.ID, e.From, e.To, e.Cost, e.Delay)
+	}
+	return buf.Bytes()
+}
+
+// TestGeneratorsSeedDeterministic regenerates every random family with the
+// same seed — twice back to back and once more after a forced GC — and
+// requires byte-identical edge lists each time. This is the invariant the
+// detmap/wallclock analyzers exist to protect: a seed fully determines the
+// instance, independent of map iteration order or allocator state.
+func TestGeneratorsSeedDeterministic(t *testing.T) {
+	w := DefaultWeights()
+	families := []struct {
+		name string
+		make func(seed int64) graph.Instance
+	}{
+		{"ER", func(seed int64) graph.Instance { return ER(seed, 40, 0.15, w) }},
+		{"Grid", func(seed int64) graph.Instance { return Grid(seed, 5, 6, w) }},
+		{"Layered", func(seed int64) graph.Instance { return Layered(seed, 4, 5, 0.5, w) }},
+		{"Geometric", func(seed int64) graph.Instance { return Geometric(seed, 40, 0.3, w) }},
+		{"ISP", func(seed int64) graph.Instance { return ISP(seed, 6, 2, w) }},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 42} {
+				want := fingerprint(fam.make(seed))
+				got := fingerprint(fam.make(seed))
+				if !bytes.Equal(want, got) {
+					t.Fatalf("seed %d: second run differs from first", seed)
+				}
+				runtime.GC()
+				got = fingerprint(fam.make(seed))
+				if !bytes.Equal(want, got) {
+					t.Fatalf("seed %d: run after GC differs from first", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestPaperConstructionsDeterministic covers the deterministic (seedless)
+// paper constructions: repeated calls must agree byte for byte.
+func TestPaperConstructionsDeterministic(t *testing.T) {
+	f1 := func() []byte {
+		ins, _, err := Figure1(10, 8)
+		if err != nil {
+			t.Fatalf("Figure1: %v", err)
+		}
+		return fingerprint(ins)
+	}
+	if !bytes.Equal(f1(), f1()) {
+		t.Fatal("Figure1 output differs across calls")
+	}
+	f2 := func() []byte {
+		ins, _, _ := Figure2()
+		return fingerprint(ins)
+	}
+	if !bytes.Equal(f2(), f2()) {
+		t.Fatal("Figure2 output differs across calls")
+	}
+	hc := func() []byte {
+		ins, _, err := HardChain(4, 5, 3)
+		if err != nil {
+			t.Fatalf("HardChain: %v", err)
+		}
+		return fingerprint(ins)
+	}
+	if !bytes.Equal(hc(), hc()) {
+		t.Fatal("HardChain output differs across calls")
+	}
+}

@@ -99,7 +99,10 @@ func TestWeightsCorrelation(t *testing.T) {
 }
 
 func TestFigure1Pathology(t *testing.T) {
-	ins, opt := Figure1(10, 4)
+	ins, opt, err := Figure1(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ins.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +127,13 @@ func TestFigure1Pathology(t *testing.T) {
 	}
 }
 
-func TestFigure1Panics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Figure1(0, 4)
+func TestFigure1BadParams(t *testing.T) {
+	if _, _, err := Figure1(0, 4); err == nil {
+		t.Fatal("expected error for C=0")
+	}
+	if _, _, err := Figure1(10, 0); err == nil {
+		t.Fatal("expected error for D=0")
+	}
 }
 
 func TestFigure2Shape(t *testing.T) {
@@ -149,7 +152,10 @@ func TestFigure2Shape(t *testing.T) {
 
 func TestHardChainOptimum(t *testing.T) {
 	for _, stages := range []int{1, 2, 3} {
-		ins, opt := HardChain(stages, 7, 5)
+		ins, opt, err := HardChain(stages, 7, 5)
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
 		if err := ins.Validate(); err != nil {
 			t.Fatalf("stages=%d: %v", stages, err)
 		}
@@ -165,7 +171,10 @@ func TestHardChainOptimum(t *testing.T) {
 
 func TestHardChainSolveBounds(t *testing.T) {
 	for _, stages := range []int{2, 4, 6} {
-		ins, opt := HardChain(stages, 7, 5)
+		ins, opt, err := HardChain(stages, 7, 5)
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
 		res, err := core.Solve(ins, core.Options{})
 		if err != nil {
 			t.Fatalf("stages=%d: %v", stages, err)
@@ -179,11 +188,14 @@ func TestHardChainSolveBounds(t *testing.T) {
 	}
 }
 
-func TestHardChainPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	HardChain(0, 1, 1)
+func TestHardChainBadParams(t *testing.T) {
+	if _, _, err := HardChain(0, 1, 1); err == nil {
+		t.Fatal("expected error for stages=0")
+	}
+	if _, _, err := HardChain(2, 0, 1); err == nil {
+		t.Fatal("expected error for stageC=0")
+	}
+	if _, _, err := HardChain(2, 1, 0); err == nil {
+		t.Fatal("expected error for stageD=0")
+	}
 }

@@ -19,9 +19,12 @@ import (
 // constraint can end at {s·a·t, s·t} paying ≈ (D+1)·OPT; with the
 // constraint the paper's (and this repo's) algorithm stays ≤ 2·OPT.
 // Experiment E3 sweeps D and measures both behaviours.
-func Figure1(scaleC, boundD int64) (graph.Instance, int64) {
+//
+// The parameters typically come straight from command-line flags, so bad
+// values are reported as an error rather than a panic.
+func Figure1(scaleC, boundD int64) (graph.Instance, int64, error) {
 	if scaleC < 1 || boundD < 1 {
-		panic(fmt.Sprintf("gen: Figure1 wants positive parameters, got C=%d D=%d", scaleC, boundD))
+		return graph.Instance{}, 0, fmt.Errorf("gen: Figure1 wants positive parameters, got C=%d D=%d", scaleC, boundD)
 	}
 	g := graph.New(5)
 	const (
@@ -40,7 +43,7 @@ func Figure1(scaleC, boundD int64) (graph.Instance, int64) {
 	g.AddEdge(a, t, scaleC*(boundD+1)-1, 0) // e6 pathological shortcut
 	ins := graph.Instance{G: g, S: s, T: t, K: 2, Bound: boundD,
 		Name: fmt.Sprintf("figure1-C%d-D%d", scaleC, boundD)}
-	return ins, scaleC // C_OPT = scaleC
+	return ins, scaleC, nil // C_OPT = scaleC
 }
 
 // Figure2 reconstructs the shape of the paper's Figure 2 example: a path
@@ -75,10 +78,11 @@ func Figure2() (ins graph.Instance, pathEdges []graph.EdgeID, budget int64) {
 // and an overpriced shortcut. Phase 1's min-cost flow takes every slow
 // segment, so Algorithm 1 must cancel one cycle per stage to meet the
 // bound — the family that exercises multi-iteration cancellation (unlike
-// random instances, which typically converge in one).
-func HardChain(stages int, stageC, stageD int64) (graph.Instance, int64) {
+// random instances, which typically converge in one). Like Figure1, the
+// parameters are flag-shaped, so bad values come back as an error.
+func HardChain(stages int, stageC, stageD int64) (graph.Instance, int64, error) {
 	if stages < 1 || stageC < 1 || stageD < 1 {
-		panic(fmt.Sprintf("gen: HardChain wants positive parameters, got %d/%d/%d", stages, stageC, stageD))
+		return graph.Instance{}, 0, fmt.Errorf("gen: HardChain wants positive parameters, got %d/%d/%d", stages, stageC, stageD)
 	}
 	// Per stage: in → a → b → out (free, delay stageD each hop), shortcut
 	// a→out (cost stageC, delay 0), trap a→b duplicate expensive? Keep two
@@ -106,5 +110,5 @@ func HardChain(stages int, stageC, stageD int64) (graph.Instance, int64) {
 	// Optimal: pay the shortcut in ⌈stages/2⌉ stages (each paid stage saves
 	// 2·stageD; need total ≤ stages·stageD ⇒ ⌈stages/2⌉ shortcuts).
 	opt := int64((stages+1)/2) * stageC
-	return ins, opt
+	return ins, opt, nil
 }

@@ -38,6 +38,7 @@ func (s EdgeSet) Each(fn func(EdgeID)) {
 // IDs returns the members sorted ascending (deterministic).
 func (s EdgeSet) IDs() []EdgeID {
 	out := make([]EdgeID, 0, len(s.m))
+	//lint:allow detmap collection order is erased by the sort below
 	for id := range s.m {
 		out = append(out, id)
 	}
@@ -114,7 +115,16 @@ func OPlus(g *Digraph, e1, e2 EdgeSet) EdgeSet {
 		buckets[k] = append(buckets[k], id)
 	}
 	dropped := NewEdgeSet()
-	for k, members := range buckets {
+	// Re-walk ids so buckets are processed in first-seen (ascending edge
+	// ID) order; ranging over the map would order cancellations by hash.
+	for _, id := range ids {
+		e := g.Edge(id)
+		k := norm(e.From, e.To)
+		members, pending := buckets[k]
+		if !pending {
+			continue
+		}
+		delete(buckets, k)
 		var fwd, bwd []EdgeID // k.a→k.b and k.b→k.a respectively
 		for _, id := range members {
 			if g.Edge(id).From == k.a {

@@ -41,6 +41,7 @@ type Digraph struct {
 // New returns an empty digraph with n vertices and no edges.
 func New(n int) *Digraph {
 	if n < 0 {
+		//lint:allow nopanic negative size is a programmer error, not runtime input
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
 	return &Digraph{
@@ -126,6 +127,7 @@ func (g *Digraph) removeAdj(list *[]EdgeID, id EdgeID) {
 	l := *list
 	i := sort.Search(len(l), func(i int) bool { return l[i] >= id })
 	if i == len(l) || l[i] != id {
+		//lint:allow nopanic adjacency-consistency invariant; violation means a corrupted Digraph
 		panic(fmt.Sprintf("graph: edge %d missing from adjacency", id))
 	}
 	*list = append(l[:i], l[i+1:]...)
@@ -194,7 +196,7 @@ func (g *Digraph) Reverse() *Digraph {
 func (g *Digraph) TotalCost(ids []EdgeID) int64 {
 	var s int64
 	for _, id := range ids {
-		s += g.edges[id].Cost
+		s += g.edges[id].Cost //lint:allow weightovf Σ over ≤ m MaxWeight-capped weights stays < 2^61
 	}
 	return s
 }
@@ -203,7 +205,7 @@ func (g *Digraph) TotalCost(ids []EdgeID) int64 {
 func (g *Digraph) TotalDelay(ids []EdgeID) int64 {
 	var s int64
 	for _, id := range ids {
-		s += g.edges[id].Delay
+		s += g.edges[id].Delay //lint:allow weightovf Σ over ≤ m MaxWeight-capped weights stays < 2^61
 	}
 	return s
 }
@@ -212,7 +214,7 @@ func (g *Digraph) TotalDelay(ids []EdgeID) int64 {
 func (g *Digraph) SumCost() int64 {
 	var s int64
 	for _, e := range g.edges {
-		s += e.Cost
+		s += e.Cost //lint:allow weightovf Σ over ≤ m MaxWeight-capped weights stays < 2^61
 	}
 	return s
 }
@@ -221,7 +223,7 @@ func (g *Digraph) SumCost() int64 {
 func (g *Digraph) SumDelay() int64 {
 	var s int64
 	for _, e := range g.edges {
-		s += e.Delay
+		s += e.Delay //lint:allow weightovf Σ over ≤ m MaxWeight-capped weights stays < 2^61
 	}
 	return s
 }
@@ -247,6 +249,16 @@ func (g *Digraph) MaxDelay() int64 {
 	}
 	return m
 }
+
+// MaxWeight is the largest edge cost or delay a problem Instance may carry;
+// Instance.Validate enforces it on every solver entry point. Capping inputs
+// at 2^30 keeps every aggregate the pipeline forms — weight sums over
+// m < 2^31 edges, cross-multiplied Definition 10 ratios, and the layered
+// lexicographic factors — strictly below the 2^62 sentinel used by the
+// bicameral engine's masking trick, so interior int64 arithmetic cannot
+// wrap. Residual graphs and derived weightings inherit the bound (their
+// entries are ± sums of capped inputs).
+const MaxWeight int64 = 1 << 30
 
 // HasNonNegativeWeights reports whether every edge has cost ≥ 0 and
 // delay ≥ 0 (true for problem inputs, false for residual graphs).
@@ -321,6 +333,7 @@ func (g *Digraph) String() string {
 
 func (g *Digraph) checkNode(v NodeID) {
 	if v < 0 || int(v) >= len(g.out) {
+		//lint:allow nopanic index-range invariant, same contract as slice indexing
 		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.out)))
 	}
 }

@@ -46,7 +46,17 @@ func (ins Instance) Validate() error {
 	if !ins.G.HasNonNegativeWeights() {
 		return fmt.Errorf("%w: negative edge weights", ErrInvalidInstance)
 	}
+	if c, d := ins.G.MaxCost(), ins.G.MaxDelay(); c > MaxWeight || d > MaxWeight {
+		return fmt.Errorf("%w: edge weight %d exceeds MaxWeight=%d", ErrInvalidInstance, max64(c, d), MaxWeight)
+	}
 	return ins.G.Validate()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Solution is a set of K edge-disjoint s→t paths.
@@ -58,7 +68,7 @@ type Solution struct {
 func (s Solution) Cost(g *Digraph) int64 {
 	var c int64
 	for _, p := range s.Paths {
-		c += p.Cost(g)
+		c += p.Cost(g) //lint:allow weightovf Σ over ≤ m MaxWeight-capped weights stays < 2^61
 	}
 	return c
 }
@@ -67,7 +77,7 @@ func (s Solution) Cost(g *Digraph) int64 {
 func (s Solution) Delay(g *Digraph) int64 {
 	var d int64
 	for _, p := range s.Paths {
-		d += p.Delay(g)
+		d += p.Delay(g) //lint:allow weightovf Σ over ≤ m MaxWeight-capped weights stays < 2^61
 	}
 	return d
 }

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPackages is the deterministic set: every package whose outputs must be
+// bit-identical across runs and worker counts. Matching is by path segment
+// so golden test packages mounted under these paths inherit the rules.
+var detPackages = map[string]bool{
+	"core": true, "bicameral": true, "residual": true, "graph": true,
+	"flow": true, "rsp": true, "shortest": true, "gen": true,
+}
+
+// Detmap flags `range` over a map whose body performs an order-sensitive
+// write in a deterministic package. Go randomizes map iteration order, so a
+// body that appends to an outer slice, assigns to an outer variable or
+// container, calls a builder/accumulator method on an outer value, or
+// returns, produces run-dependent results — the exact failure mode that
+// breaks bit-identical parallel solves. Writes to maps/sets and to
+// variables scoped inside the loop are order-insensitive and are not
+// flagged. Iterate a sorted key slice instead, or annotate provably
+// order-insensitive uses with //lint:allow detmap <reason>.
+var Detmap = &Analyzer{
+	Name:      "detmap",
+	Doc:       "flag order-sensitive writes under map iteration in deterministic packages",
+	AppliesTo: func(path string) bool { return pathHasAnySegment(path, detPackages) },
+	Run:       runDetmap,
+}
+
+// builderMethods are method names treated as order-sensitive accumulation.
+// EdgeSet.Add is included: adding to a *set* is order-insensitive, but the
+// analyzer cannot see through the method, so set-building under map ranges
+// carries an explicit allow.
+var builderMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Add": true, "Append": true, "Push": true,
+}
+
+func runDetmap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderSensitiveWrite(info, rng); reason != "" {
+				pass.Reportf(rng.For, "map iteration with order-sensitive write (%s); iterate sorted keys instead", reason)
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitiveWrite scans the body of rng for the first construct whose
+// effect depends on iteration order, returning a description or "".
+func orderSensitiveWrite(info *types.Info, rng *ast.RangeStmt) string {
+	declaredOutside := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	}
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			reason = "returns mid-iteration"
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					if declaredOutside(l) {
+						reason = "assigns to outer variable " + l.Name
+					}
+				case *ast.IndexExpr:
+					// Index-assignment into a map is order-insensitive;
+					// into a slice or array it is positional.
+					if bt, ok := info.Types[l.X]; ok {
+						if _, isMap := bt.Type.Underlying().(*types.Map); !isMap && declaredOutside(l.X) {
+							reason = "writes into outer indexed container"
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if declaredOutside(n.Args[0]) {
+					reason = "appends to outer slice"
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && builderMethods[sel.Sel.Name] {
+				if declaredOutside(sel.X) {
+					reason = "calls " + sel.Sel.Name + " on outer value"
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// rootIdent unwraps selectors/parens/indexing to the base identifier of an
+// expression, or nil if it has none.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

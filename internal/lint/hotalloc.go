@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPackages is the solve path: packages whose kernels run inside the
+// cancellation loop, the Lagrangian search and the budget sweeps, where
+// per-call allocation is the dominant cost on small graphs (see DESIGN.md
+// §7). Matching is by path segment, like detPackages.
+var hotPackages = map[string]bool{
+	"core": true, "bicameral": true, "residual": true, "flow": true,
+	"shortest": true, "rsp": true, "auxgraph": true,
+}
+
+// Hotalloc enforces the zero-alloc kernel discipline on the solve path:
+//
+//  1. A call to an allocating kernel variant F is flagged when the callee's
+//     package also provides FInto (the workspace variant). Convenience
+//     wrappers (a function F whose own FInto sibling exists) are exempt —
+//     they ARE the allocating variant, delegating inward.
+//  2. Inside for/range loops of functions statically reachable from
+//     core.Solve*, `make` calls and appends to slices declared empty in the
+//     same loop are flagged: both allocate once per iteration and belong in
+//     a Workspace.
+//
+// Deliberate boundary allocations carry //lint:allow hotalloc <reason>.
+var Hotalloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "flag allocating kernel calls and per-iteration allocation on the solve path",
+	AppliesTo: func(path string) bool { return pathHasAnySegment(path, hotPackages) },
+	Run:       runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	info := pass.Pkg.Info
+	scopeHasInto := func(scope *types.Scope, name string) bool {
+		if scope == nil {
+			return false
+		}
+		obj, ok := scope.Lookup(name + "Into").(*types.Func)
+		_ = obj
+		return ok
+	}
+	reachable := pass.Prog.buildCallGraph().reachable
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || callee.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if callee.Pkg() == nil || !scopeHasInto(callee.Pkg().Scope(), callee.Name()) {
+				return true
+			}
+			// Wrapper exemption: inside F when FInto exists, delegation to
+			// other allocating variants is the wrapper doing its one job.
+			if enc := enclosingFuncDecl(f, call.Pos()); enc != nil && enc.Recv == nil &&
+				scopeHasInto(pass.Pkg.Types.Scope(), enc.Name.Name) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to allocating kernel %s.%s; use %sInto with a Workspace on the solve path",
+				callee.Pkg().Name(), callee.Name(), callee.Name())
+			return true
+		})
+	}
+
+	// Per-iteration allocations in functions reachable from core.Solve*.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !reachable[obj] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				flagLoopAllocs(pass, info, body)
+				return true
+			})
+		}
+	}
+}
+
+// flagLoopAllocs reports make calls and appends-to-nil-slice inside one
+// loop body (nested loops are visited by the caller's Inspect as well, so
+// each loop flags only its direct statements to avoid duplicates).
+func flagLoopAllocs(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// Slices declared empty inside this loop: `var x []T`.
+	nilSlices := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inNestedLoop(body, n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							nilSlices[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						pass.Reportf(n.Pos(), "make inside a solve-path loop allocates every iteration; hoist into a Workspace or preallocate")
+					case "append":
+						if len(n.Args) > 0 {
+							if root := rootIdent(n.Args[0]); root != nil && nilSlices[info.ObjectOf(root)] {
+								pass.Reportf(n.Pos(), "append to nil slice %s declared in this loop allocates every iteration; hoist and reuse with [:0]", root.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inNestedLoop reports whether n sits inside a loop nested within outer
+// (excluding outer itself), so the outer pass can skip it.
+func inNestedLoop(outer *ast.BlockStmt, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	nested := false
+	ast.Inspect(outer, func(m ast.Node) bool {
+		if nested || m == nil {
+			return false
+		}
+		switch m.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if m.Pos() <= n.Pos() && n.End() <= m.End() && m != n {
+				nested = true
+			}
+			return false
+		}
+		return true
+	})
+	return nested
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic calls
+// and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// callGraph is the whole-program static call graph used for reachability
+// from the solver entry points. Dynamic calls through function values are
+// not traced; the kernels this analyzer polices are all called statically.
+type callGraph struct {
+	reachable map[*types.Func]bool
+}
+
+func (p *Program) buildCallGraph() *callGraph {
+	if p.callGraph != nil {
+		return p.callGraph
+	}
+	decls := map[*types.Func]*declSite{}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						decls[obj] = &declSite{fd: fd, info: pkg.Info}
+					}
+				}
+			}
+		}
+	}
+	var roots []*types.Func
+	for obj := range decls {
+		if obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "core") &&
+			len(obj.Name()) >= 5 && obj.Name()[:5] == "Solve" {
+			roots = append(roots, obj)
+		}
+	}
+	reach := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reach[fn] {
+			return
+		}
+		reach[fn] = true
+		site, ok := decls[fn]
+		if !ok {
+			return
+		}
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(site.info, call); callee != nil {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	p.callGraph = &callGraph{reachable: reach}
+	return p.callGraph
+}
+
+type declSite struct {
+	fd   *ast.FuncDecl
+	info *types.Info
+}

@@ -1,0 +1,216 @@
+// Package lint is the project-invariant static-analysis suite behind
+// cmd/krsplint. It enforces the three properties PR 1 made load-bearing but
+// left unguarded: bit-identical determinism for any worker count, zero-alloc
+// *_Into kernels on the solve path, and overflow-safe int64 weight
+// arithmetic within the 2^62 sentinel range.
+//
+// The framework is built on the standard library only (go/ast, go/parser,
+// go/types with GOROOT source importing), so it runs offline. Analyzers
+// report diagnostics with exact positions; a site can opt out with a
+// same-line or preceding-line directive
+//
+//	//lint:allow <analyzer> <reason>
+//
+// where the reason is mandatory — an allow without a justification is
+// itself reported. DESIGN.md §8 lists each analyzer and the invariant it
+// protects.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run reports through the Pass; AppliesTo
+// filters by package import path so invariants can target the deterministic
+// or solve-path package sets.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo reports whether the analyzer runs on the given import path.
+	// nil means every requested package.
+	AppliesTo func(pkgPath string) bool
+	Run       func(pass *Pass)
+}
+
+// Pass is the per-(analyzer, package) analysis context.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders "path:line:col: analyzer: message" with the file path
+// relative to root (when nonempty) so CI output is machine-stable.
+func (d Diagnostic) String() string { return d.StringRel("") }
+
+// StringRel is String with file paths rewritten relative to root.
+func (d Diagnostic) StringRel(root string) string {
+	file := d.Position.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", file, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over every requested package of prog, applies
+// //lint:allow suppressions, and returns the surviving diagnostics sorted
+// by (file, line, column, analyzer, message) — a stable report for CI
+// diffing. Malformed allow directives are reported under the pseudo-analyzer
+// name "directive".
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	pkgs := append([]*Package(nil), prog.Requested...)
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	allows, malformed := collectAllows(prog, pkgs)
+	diags = append(diags, malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows.suppresses(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// allowKey identifies a suppression site: a directive on line L suppresses
+// diagnostics of its analyzer on line L (end-of-line form) and line L+1
+// (preceding-line form).
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) suppresses(d Diagnostic) bool {
+	f, l := d.Position.Filename, d.Position.Line
+	return s[allowKey{f, l, d.Analyzer}] || s[allowKey{f, l - 1, d.Analyzer}]
+}
+
+const allowPrefix = "//lint:allow"
+
+func collectAllows(prog *Program, pkgs []*Package) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "directive",
+							Position: pos,
+							Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)",
+						})
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// pathHasSegment reports whether path, split on '/', contains seg.
+func pathHasSegment(path, seg string) bool {
+	for len(path) > 0 {
+		i := strings.IndexByte(path, '/')
+		var head string
+		if i < 0 {
+			head, path = path, ""
+		} else {
+			head, path = path[:i], path[i+1:]
+		}
+		if head == seg {
+			return true
+		}
+	}
+	return false
+}
+
+func pathHasAnySegment(path string, segs map[string]bool) bool {
+	for len(path) > 0 {
+		i := strings.IndexByte(path, '/')
+		var head string
+		if i < 0 {
+			head, path = path, ""
+		} else {
+			head, path = path[:i], path[i+1:]
+		}
+		if segs[head] {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the innermost function declaration containing
+// pos in the file, or nil.
+func enclosingFuncDecl(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			found = fd
+		}
+	}
+	return found
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenMounts maps testdata subdirectories to the synthetic import paths
+// that put each golden package inside the analyzer's applicability set.
+var goldenMounts = map[string]string{
+	"detmap":    "repro/internal/graph/golden",
+	"nopanic":   "repro/internal/golden/nopaniclib",
+	"hotalloc":  "repro/internal/core/golden",
+	"wallclock": "repro/internal/golden/clock",
+	"weightovf": "repro/internal/rsp/golden",
+	"directive": "repro/internal/golden/directive",
+}
+
+var (
+	goldenOnce sync.Once
+	goldenProg *Program
+	goldenErr  error
+)
+
+// goldenProgram loads every golden package into one shared Program so the
+// GOROOT source importer's work is paid once across all analyzer tests.
+func goldenProgram(t *testing.T) *Program {
+	t.Helper()
+	goldenOnce.Do(func() {
+		prog, err := NewProgram(".")
+		if err != nil {
+			goldenErr = err
+			return
+		}
+		dirs := make([]string, 0, len(goldenMounts))
+		for dir := range goldenMounts {
+			dirs = append(dirs, dir)
+		}
+		sort.Strings(dirs)
+		for _, dir := range dirs {
+			if _, err := prog.LoadDirAs(filepath.Join("testdata", dir), goldenMounts[dir]); err != nil {
+				goldenErr = fmt.Errorf("loading testdata/%s: %w", dir, err)
+				return
+			}
+		}
+		goldenProg = prog
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenProg
+}
+
+// runOne runs a single analyzer over the golden program and returns the
+// surviving diagnostics attributed to it as "dir/file.go:line:col" strings
+// relative to testdata (malformed-directive reports are filtered out; they
+// have their own test).
+func runOne(t *testing.T, a *Analyzer) []string {
+	t.Helper()
+	return runFiltered(t, a, a.Name)
+}
+
+func runFiltered(t *testing.T, a *Analyzer, name string) []string {
+	t.Helper()
+	prog := goldenProgram(t)
+	var got []string
+	for _, d := range Run(prog, []*Analyzer{a}) {
+		if d.Analyzer != name {
+			continue
+		}
+		fname := filepath.ToSlash(d.Position.Filename)
+		rel, ok := strings.CutPrefix(fname, "testdata/")
+		if !ok {
+			t.Fatalf("diagnostic outside testdata: %s", d.String())
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%d", rel, d.Position.Line, d.Position.Column))
+	}
+	return got
+}
+
+func expectDiags(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics:\n  got  %v\n  want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostic %d:\n  got  %v\n  want %v", i, got, want)
+		}
+	}
+}
+
+// Each test pins the exact positions from the violating golden file and, by
+// asserting the complete list, also proves that the clean file's suppressed
+// and order-insensitive sites produce nothing.
+
+func TestDetmapGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Detmap), []string{
+		"detmap/bad.go:8:2",  // append to outer slice under map range
+		"detmap/bad.go:16:2", // return mid-iteration
+		"detmap/bad.go:26:2", // assign to outer variable
+	})
+}
+
+func TestNopanicGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Nopanic), []string{
+		"nopanic/bad.go:13:3", // panic on input-dependent condition
+		"nopanic/bad.go:19:2", // log.Fatal
+		"nopanic/bad.go:24:2", // os.Exit
+	})
+}
+
+func TestHotallocGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Hotalloc), []string{
+		"hotalloc/bad.go:25:8",  // call to Sum where SumInto exists
+		"hotalloc/bad.go:26:10", // make inside solve-path loop
+		"hotalloc/bad.go:28:9",  // append to nil slice declared in loop
+	})
+}
+
+func TestWallclockGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Wallclock), []string{
+		"wallclock/bad.go:12:9", // time.Now
+		"wallclock/bad.go:17:9", // global-source rand.Intn
+	})
+}
+
+func TestWeightovfGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Weightovf), []string{
+		"weightovf/bad.go:9:9",   // unguarded += on weight
+		"weightovf/bad.go:16:15", // unguarded * on weights
+	})
+}
+
+// TestMalformedDirectiveReported proves a reason-less //lint:allow is itself
+// a diagnostic (and does not suppress anything).
+func TestMalformedDirectiveReported(t *testing.T) {
+	expectDiags(t, runFiltered(t, Detmap, "directive"), []string{
+		"directive/bad.go:8:2",
+	})
+}
+
+// TestRepoClean runs the full suite over the real module: the repo must stay
+// lint-clean, with every deliberate exception carrying an annotated reason.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow")
+	}
+	prog, err := NewProgram(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, All())
+	for _, d := range diags {
+		t.Errorf("%s", d.StringRel(prog.ModuleRoot()))
+	}
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under. Analyzer
+	// applicability is decided from it (see pathHasSegment).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of packages sharing one FileSet, one type universe and
+// one import cache. Analyzers that need whole-program information (the
+// hotalloc call graph) see every module-local package ever loaded through
+// the program, including dependencies of the requested ones.
+type Program struct {
+	Fset *token.FileSet
+	// Packages lists every module-local package loaded, in load order.
+	// Dependencies appear here too; Requested marks the analysis targets.
+	Packages  []*Package
+	Requested []*Package
+
+	modRoot string
+	modPath string
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+
+	callGraph *callGraph // lazily built by hotalloc
+}
+
+// NewProgram prepares a loader rooted at the module containing dir.
+// The module path is read from go.mod; stdlib imports are type-checked
+// from GOROOT source, so no network or module cache is needed.
+func NewProgram(dir string) (*Program, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Program{
+		Fset:    fset,
+		modRoot: root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// ModuleRoot returns the directory containing go.mod.
+func (p *Program) ModuleRoot() string { return p.modRoot }
+
+// LoadAll walks the module and loads every package outside testdata,
+// vendor and hidden directories, marking all of them as requested.
+func (p *Program) LoadAll() error {
+	var dirs []string
+	err := filepath.WalkDir(p.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != p.modRoot && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(p.modRoot, dir)
+		if err != nil {
+			return err
+		}
+		importPath := p.modPath
+		if rel != "." {
+			importPath = p.modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := p.load(dir, importPath)
+		if err != nil {
+			return err
+		}
+		p.Requested = append(p.Requested, pkg)
+	}
+	return nil
+}
+
+// LoadDirAs loads a single directory under an explicit import path and
+// marks it requested. Self-tests use it to mount golden packages at paths
+// that trigger the analyzer applicability rules (e.g. a testdata directory
+// loaded as "repro/internal/graph/golden" gets the detmap treatment).
+func (p *Program) LoadDirAs(dir, importPath string) (*Package, error) {
+	pkg, err := p.load(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	p.Requested = append(p.Requested, pkg)
+	return pkg, nil
+}
+
+// load parses and type-checks one directory, caching by import path.
+func (p *Program) load(dir, importPath string) (*Package, error) {
+	if pkg, ok := p.cache[importPath]; ok {
+		return pkg, nil
+	}
+	if p.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	p.loading[importPath] = true
+	defer delete(p.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: p}
+	tpkg, err := conf.Check(importPath, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	p.cache[importPath] = pkg
+	p.Packages = append(p.Packages, pkg)
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-local paths resolve against the
+// module root; everything else is delegated to the GOROOT source importer.
+func (p *Program) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == p.modPath || strings.HasPrefix(path, p.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, p.modPath), "/")
+		dir := filepath.Join(p.modRoot, filepath.FromSlash(rel))
+		pkg, err := p.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return p.std.Import(path)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

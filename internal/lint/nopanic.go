@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nopanic forbids panic, log.Fatal* / log.Panic* and os.Exit in library
+// packages (everything under internal/ outside cmd/ and examples/). A solver
+// that panics on input-dependent conditions cannot be embedded in a service;
+// input validation must return errors. True programmer-error invariants
+// (corrupt internal state that no input can reach) may stay as panics when
+// annotated with //lint:allow nopanic <reason>.
+var Nopanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic/log.Fatal/os.Exit in library packages",
+	AppliesTo: func(path string) bool {
+		return !pathHasSegment(path, "cmd") && !pathHasSegment(path, "examples") && !pathHasSegment(path, "main")
+	},
+	Run: runNopanic,
+}
+
+var fatalFuncs = map[string]map[string]bool{
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	"os":  {"Exit": true},
+}
+
+func runNopanic(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" {
+					if _, isBuiltin := info.ObjectOf(fun).(*types.Builtin); isBuiltin {
+						pass.Reportf(call.Pos(), "panic in library package; return an error for input-dependent failures (or annotate an invariant with //lint:allow nopanic <reason>)")
+					}
+				}
+			case *ast.SelectorExpr:
+				pkgID, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.ObjectOf(pkgID).(*types.PkgName)
+				if !ok {
+					return true
+				}
+				if names, ok := fatalFuncs[pn.Imported().Path()]; ok && names[fun.Sel.Name] {
+					pass.Reportf(call.Pos(), "%s.%s in library package; return an error instead", pn.Imported().Path(), fun.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

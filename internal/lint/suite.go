@@ -1,0 +1,24 @@
+package lint
+
+// All returns the full krsplint analyzer suite in report order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Nopanic, Hotalloc, Wallclock, Weightovf}
+}
+
+// ByName returns the named analyzers, erroring on unknown names via the
+// second return (the unknown name itself, or "").
+func ByName(names []string) ([]*Analyzer, string) {
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, n
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

@@ -1,0 +1,32 @@
+// Package golden is mounted at repro/internal/graph/golden by the analyzer
+// self-tests, so the detmap rules for deterministic packages apply.
+package golden
+
+// collectKeys appends under map iteration: output order is run-dependent.
+func collectKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// firstKey returns mid-iteration: the chosen key is run-dependent.
+func firstKey(m map[int]int) (int, bool) {
+	for k := range m {
+		return k, true
+	}
+	return 0, false
+}
+
+// pickMax assigns an outer variable under map iteration; ties resolve in a
+// run-dependent order.
+func pickMax(m map[int]int) int {
+	best := -1
+	for k, v := range m {
+		if v > 0 {
+			best = k
+		}
+	}
+	return best
+}

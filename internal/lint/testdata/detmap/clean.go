@@ -1,0 +1,29 @@
+package golden
+
+// count accumulates with an order-insensitive counter.
+func count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes into a map: insertion order does not matter.
+func invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// keysUnsorted demonstrates a justified suppression: the caller sorts.
+func keysUnsorted(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//lint:allow detmap golden: collection order is erased by the caller's sort
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package directive is mounted at repro/internal/golden/directive by the
+// analyzer self-tests to prove that a reason-less allow is itself reported.
+package directive
+
+// Keys carries a malformed suppression: no reason after the analyzer name.
+func Keys(m map[int]int) []int {
+	var out []int
+	//lint:allow detmap
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package nopaniclib is mounted at repro/internal/golden/nopaniclib by the
+// analyzer self-tests: a library path, so the nopanic rules apply.
+package nopaniclib
+
+import (
+	"log"
+	"os"
+)
+
+// Check panics on an input-dependent condition: must return an error.
+func Check(x int) {
+	if x < 0 {
+		panic("negative input")
+	}
+}
+
+// Die aborts the whole process from library code.
+func Die() {
+	log.Fatal("giving up")
+}
+
+// Quit exits from library code.
+func Quit() {
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+package nopaniclib
+
+import "errors"
+
+// CheckErr reports bad input as an error.
+func CheckErr(x int) error {
+	if x < 0 {
+		return errors.New("negative input")
+	}
+	return nil
+}
+
+// mustInvariant keeps a true programmer-error invariant as an annotated
+// panic.
+func mustInvariant(ok bool) {
+	if !ok {
+		//lint:allow nopanic golden: corrupt internal state no input can reach
+		panic("corrupt state")
+	}
+}

@@ -1,0 +1,18 @@
+// Package clock is mounted at repro/internal/golden/clock by the analyzer
+// self-tests: a library path, so the wallclock rules apply.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock from library code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Roll draws from the process-global random source.
+func Roll() int {
+	return rand.Intn(6)
+}

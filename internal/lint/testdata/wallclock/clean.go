@@ -1,0 +1,9 @@
+package clock
+
+import "math/rand"
+
+// RollSeeded draws from an injected seed: deterministic and allowed.
+func RollSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}

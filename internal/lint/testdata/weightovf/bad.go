@@ -1,0 +1,17 @@
+// Package golden is mounted at repro/internal/rsp/golden by the analyzer
+// self-tests: a solver package, so the weightovf rules apply.
+package golden
+
+// PathCost accumulates an int64 weight without any visible bound.
+func PathCost(costs []int64) int64 {
+	var total int64
+	for _, cost := range costs {
+		total += cost
+	}
+	return total
+}
+
+// ScaleDelay multiplies two weight quantities without a guard.
+func ScaleDelay(delay, factor int64) int64 {
+	return delay * factor
+}

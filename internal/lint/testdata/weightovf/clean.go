@@ -1,0 +1,25 @@
+package golden
+
+import "math"
+
+// BoundedCost visibly guards against the sentinel range before adding.
+func BoundedCost(cost, add int64) int64 {
+	if cost > math.MaxInt64/4 || add > math.MaxInt64/4 {
+		return math.MaxInt64 / 2
+	}
+	return cost + add
+}
+
+// Tick's small-constant increment is exempt by construction.
+func Tick(cost int64) int64 {
+	return cost + 1
+}
+
+// TotalDelay documents its bound with a suppression.
+func TotalDelay(delays []int64) int64 {
+	var total int64
+	for _, delay := range delays {
+		total += delay //lint:allow weightovf golden: inputs capped far below 2^62
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids wall-clock reads and globally-seeded randomness outside
+// cmd/ and the internal/exp timing harness. A library that consults
+// time.Now or the process-global rand source produces run-dependent results
+// and defeats the determinism tests; randomness must flow from an injected
+// seed (rand.New(rand.NewSource(seed)) is fine and is what every generator
+// does). Measurement code belongs in internal/exp or cmd/.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now and unseeded math/rand outside cmd/ and internal/exp",
+	AppliesTo: func(path string) bool {
+		return !pathHasSegment(path, "cmd") && !pathHasSegment(path, "examples") &&
+			!pathHasSegment(path, "exp") && !pathHasSegment(path, "main")
+	},
+	Run: runWallclock,
+}
+
+// wallclockFuncs are the forbidden package-level functions. For math/rand,
+// everything except the explicit-source constructors draws from the global
+// (wall-clock-ish) source.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+var randSeededCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runWallclock(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.ObjectOf(pkgID).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if timeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s in deterministic code; timing belongs in internal/exp or cmd/", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randSeededCtors[sel.Sel.Name] {
+					if _, isFunc := info.ObjectOf(sel.Sel).(*types.Func); isFunc {
+						pass.Reportf(sel.Pos(), "rand.%s uses the global source; inject a seed via rand.New(rand.NewSource(seed))", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Weightovf polices int64 weight arithmetic in the solver packages. The
+// sentinel-mask trick (excludedW = 2^62) and the layered lexicographic
+// factor both rely on every relaxation staying strictly below 2^62; an
+// unguarded `+` or `*` on cost/delay/weight/dist quantities can silently
+// wrap and invalidate the paper's exact integral scaling (Lemma 3,
+// Theorem 4). An addition or multiplication whose static type is int64 and
+// whose operands mention a weight-like name is flagged unless the enclosing
+// function visibly guards the range: it references a sentinel bound (Inf,
+// MaxWeight, MaxInt64, excludedW) or compares against a constant ≥ 2^59.
+// Sites whose bound lives elsewhere document it via
+// //lint:allow weightovf <reason>.
+var Weightovf = &Analyzer{
+	Name: "weightovf",
+	Doc:  "flag unguarded +/* on int64 weight quantities in solver packages",
+	AppliesTo: func(path string) bool {
+		return pathHasAnySegment(path, map[string]bool{
+			"core": true, "bicameral": true, "residual": true, "graph": true,
+			"flow": true, "rsp": true, "shortest": true, "auxgraph": true,
+		})
+	},
+	Run: runWeightovf,
+}
+
+var weightNameParts = []string{"cost", "delay", "weight", "dist"}
+
+// guardIdents mark a function as overflow-aware when referenced anywhere in
+// its body.
+var guardIdents = map[string]bool{
+	"Inf": true, "MaxInt64": true, "MaxWeight": true, "excludedW": true,
+}
+
+func runWeightovf(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Guarded functions: computed lazily per declaration.
+		guarded := map[*ast.FuncDecl]bool{}
+		isGuarded := func(fd *ast.FuncDecl) bool {
+			if fd == nil {
+				return false
+			}
+			if g, ok := guarded[fd]; ok {
+				return g
+			}
+			g := false
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if g {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.Ident:
+					if guardIdents[n.Name] {
+						g = true
+					}
+				case ast.Expr:
+					if tv, ok := info.Types[n]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+						if v, ok := constant.Int64Val(tv.Value); ok && v >= 1<<59 {
+							g = true
+						}
+					}
+				}
+				return true
+			})
+			guarded[fd] = g
+			return g
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			var op token.Token
+			var pos token.Pos
+			var operands []ast.Expr
+			var resultExpr ast.Expr
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.MUL {
+					return true
+				}
+				op, pos, operands, resultExpr = n.Op, n.OpPos, []ast.Expr{n.X, n.Y}, n.X
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.MUL_ASSIGN || len(n.Lhs) != 1 {
+					return true
+				}
+				op, pos, operands, resultExpr = n.Tok, n.TokPos, []ast.Expr{n.Lhs[0], n.Rhs[0]}, n.Lhs[0]
+			default:
+				return true
+			}
+			if !isInt64(info, resultExpr) {
+				return true
+			}
+			weighty := false
+			for _, o := range operands {
+				if smallConst(info, o) {
+					return true // x + 1 style bookkeeping cannot reach 2^62 alone
+				}
+				if weightLike(info, o) {
+					weighty = true
+				}
+			}
+			if !weighty {
+				return true
+			}
+			if isGuarded(enclosingFuncDecl(f, pos)) {
+				return true
+			}
+			pass.Reportf(pos, "unguarded %s on int64 weight values; bound operands against the 2^62 sentinel range (or annotate //lint:allow weightovf <reason>)", op)
+			return true
+		})
+	}
+}
+
+func isInt64(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// weightLike reports whether the expression textually denotes a weight:
+// an identifier or field whose name mentions cost/delay/weight/dist, or a
+// call through a value of a named Weight function type.
+func weightLike(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return weightLike(info, e.X)
+	case *ast.Ident:
+		return weightName(e.Name)
+	case *ast.SelectorExpr:
+		return weightName(e.Sel.Name) || weightLike(info, e.X)
+	case *ast.IndexExpr:
+		return weightLike(info, e.X)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok && weightName(named.Obj().Name()) {
+				return true
+			}
+		}
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return weightName(fun.Name)
+		case *ast.SelectorExpr:
+			return weightName(fun.Sel.Name)
+		}
+	case *ast.BinaryExpr:
+		return weightLike(info, e.X) || weightLike(info, e.Y)
+	case *ast.UnaryExpr:
+		return weightLike(info, e.X)
+	}
+	return false
+}
+
+func weightName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, part := range weightNameParts {
+		if strings.Contains(lower, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// smallConst reports whether e is a compile-time integer constant with
+// magnitude below 2^32 — bookkeeping increments, loop factors and the like.
+func smallConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v > -(1<<32) && v < 1<<32
+}

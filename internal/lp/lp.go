@@ -120,6 +120,7 @@ func (p *Problem) AddBound(j int, ub float64) {
 
 func (p *Problem) check(j int) {
 	if j < 0 || j >= p.numVars {
+		//lint:allow nopanic index-range invariant, same contract as slice indexing
 		panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", j, p.numVars))
 	}
 }

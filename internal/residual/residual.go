@@ -218,7 +218,9 @@ func (rg *Graph) SolutionCycles(other graph.EdgeSet) ([]graph.Cycle, error) {
 		resEdges = append(resEdges, e.ID)
 	}
 	// Peel cycles: each vertex is balanced in the residual sub-multigraph.
-	avail := map[graph.NodeID][]graph.EdgeID{}
+	// avail is dense-indexed by vertex so the start-vertex scan below walks
+	// ascending IDs; a map here would make cycle order hash-dependent.
+	avail := make([][]graph.EdgeID, rg.R.NumNodes())
 	for _, id := range resEdges {
 		re := rg.R.Edge(id)
 		avail[re.From] = append(avail[re.From], id)
@@ -228,7 +230,7 @@ func (rg *Graph) SolutionCycles(other graph.EdgeSet) ([]graph.Cycle, error) {
 		var start graph.NodeID = -1
 		for v, edges := range avail {
 			if len(edges) > 0 {
-				start = v
+				start = graph.NodeID(v)
 				break
 			}
 		}

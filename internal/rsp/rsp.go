@@ -77,6 +77,7 @@ func runLayered(g *graph.Digraph, s graph.NodeID, layerW, distW shortest.Weight,
 			e := g.Edge(id)
 			lw, dw := layerW(e), distW(e)
 			if lw < 0 || dw < 0 {
+				//lint:allow nopanic scaling invariant: layered weights of validated instances are nonnegative
 				panic(fmt.Sprintf("rsp: negative layered weights (%d,%d)", lw, dw))
 			}
 			nb := b + lw
@@ -253,7 +254,7 @@ func FPTAS(g *graph.Digraph, s, t graph.NodeID, bound int64, eps float64) (Resul
 	// V = lb, θ's error ≤ ε·lb/2 ≤ ε·OPT too).
 	theta := int64(eps*float64(v)/(4*float64(n))) + 1
 	cap := 3*v/theta + n + 1
-	if capTotal := g.SumCost()/theta + n + 1; cap > capTotal {
+	if capTotal := g.SumCost()/theta + n + 1; cap > capTotal { //lint:allow weightovf θ-scaled cost cap ≤ SumCost < 2^61
 		cap = capTotal
 	}
 	scaled := func(e graph.Edge) int64 { return e.Cost / theta }
@@ -295,13 +296,14 @@ func testAtMost(g *graph.Digraph, s, t graph.NodeID, bound, v, n int64) bool {
 func weightOf(g *graph.Digraph, p graph.Path, w shortest.Weight) int64 {
 	var s int64
 	for _, id := range p.Edges {
-		s += w(g.Edge(id))
+		s += w(g.Edge(id)) //lint:allow weightovf path sum; callers pass MaxWeight-bounded weightings
 	}
 	return s
 }
 
 func divCeil(a, b int64) int64 {
 	if b <= 0 {
+		//lint:allow nopanic divisor is θ ≥ 1 by construction; programmer error
 		panic("rsp: divCeil nonpositive divisor")
 	}
 	q := a / b

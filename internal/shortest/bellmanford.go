@@ -100,7 +100,12 @@ func extractParentCycle(g *graph.Digraph, parent []graph.EdgeID, start graph.Nod
 // from Bellman–Ford parent pointers, has strictly negative total weight,
 // and is vertex-simple.
 func NegativeCycle(g *graph.Digraph, w Weight) (graph.Cycle, bool) {
-	_, cyc, ok := BellmanFordAll(g, w)
+	return NegativeCycleInto(NewWorkspace(g.NumNodes()), g, w)
+}
+
+// NegativeCycleInto is NegativeCycle over caller-provided scratch.
+func NegativeCycleInto(ws *Workspace, g *graph.Digraph, w Weight) (graph.Cycle, bool) {
+	_, cyc, ok := BellmanFordAllInto(ws, g, w)
 	if ok {
 		return graph.Cycle{}, false
 	}
@@ -112,7 +117,13 @@ func NegativeCycle(g *graph.Digraph, w Weight) (graph.Cycle, bool) {
 // negative cycle under w. Unreachable is impossible here since the virtual
 // super-source reaches everything.
 func Potentials(g *graph.Digraph, w Weight) ([]int64, bool) {
-	t, _, ok := BellmanFordAll(g, w)
+	return PotentialsInto(NewWorkspace(g.NumNodes()), g, w)
+}
+
+// PotentialsInto is Potentials over caller-provided scratch. The returned
+// slice aliases the workspace (see Workspace).
+func PotentialsInto(ws *Workspace, g *graph.Digraph, w Weight) ([]int64, bool) {
+	t, _, ok := BellmanFordAllInto(ws, g, w)
 	if !ok {
 		return nil, false
 	}

@@ -78,7 +78,7 @@ func ParetoFrontier(g *graph.Digraph, s, t graph.NodeID, maxLabels int) (frontie
 		idx := len(settled) - 1
 		for _, id := range g.Out(st.v) {
 			e := g.Edge(id)
-			nc, nd := st.cost+e.Cost, st.delay+e.Delay
+			nc, nd := st.cost+e.Cost, st.delay+e.Delay //lint:allow weightovf label aggregates ≤ n·MaxWeight
 			if !dominated(e.To, nc, nd) {
 				push(state{nc, nd, e.To, idx, id})
 			}

@@ -26,7 +26,7 @@ func DelayWeight(e graph.Edge) int64 { return e.Delay }
 // Combine returns the weight q·cost + p·delay; exact integer arithmetic for
 // Lagrangian searches with rational multiplier λ = p/q.
 func Combine(q, p int64) Weight {
-	return func(e graph.Edge) int64 { return q*e.Cost + p*e.Delay }
+	return func(e graph.Edge) int64 { return q*e.Cost + p*e.Delay } //lint:allow weightovf exact λ=p/q search; callers keep |p|,|q|·MaxWeight in range
 }
 
 // Tree is a shortest-path tree: Dist[v] is the distance from the source
@@ -140,6 +140,7 @@ func DijkstraPotentialsInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w W
 				rw += pot[e.From] - pot[e.To]
 			}
 			if rw < 0 {
+				//lint:allow nopanic potential-validity invariant; a violation is a solver bug, not bad input
 				panic("shortest: negative reduced weight in Dijkstra")
 			}
 			nd := du + rw

@@ -15,7 +15,10 @@ func KShortestPaths(g *graph.Digraph, s, t graph.NodeID, K int, w Weight) []grap
 	if K <= 0 {
 		return nil
 	}
-	first := Dijkstra(g, s, w)
+	// One workspace serves the initial search and every spur search: each
+	// tree is consumed (PathTo) before the next search overwrites it.
+	ws := NewWorkspace(g.NumNodes())
+	first := DijkstraInto(ws, g, s, w)
 	p0, ok := first.PathTo(g, t)
 	if !ok {
 		return nil
@@ -47,7 +50,7 @@ func KShortestPaths(g *graph.Digraph, s, t graph.NodeID, K int, w Weight) []grap
 			for _, v := range prevNodes[:i] {
 				bannedNodes[v] = true
 			}
-			spur, ok := dijkstraRestricted(g, spurNode, t, w, bannedEdges, bannedNodes)
+			spur, ok := dijkstraRestricted(ws, g, spurNode, t, w, bannedEdges, bannedNodes)
 			if !ok {
 				continue
 			}
@@ -59,7 +62,7 @@ func KShortestPaths(g *graph.Digraph, s, t graph.NodeID, K int, w Weight) []grap
 			seen[key] = true
 			var wt int64
 			for _, id := range full.Edges {
-				wt += w(g.Edge(id))
+				wt += w(g.Edge(id)) //lint:allow weightovf path sum; callers pass MaxWeight-bounded weightings
 			}
 			pool = append(pool, cand{full, wt})
 		}
@@ -73,8 +76,9 @@ func KShortestPaths(g *graph.Digraph, s, t graph.NodeID, K int, w Weight) []grap
 	return accepted
 }
 
-// dijkstraRestricted runs Dijkstra avoiding banned edges and vertices.
-func dijkstraRestricted(g *graph.Digraph, s, t graph.NodeID, w Weight,
+// dijkstraRestricted runs Dijkstra avoiding banned edges and vertices,
+// reusing the caller's workspace for the search tree.
+func dijkstraRestricted(ws *Workspace, g *graph.Digraph, s, t graph.NodeID, w Weight,
 	bannedEdges graph.EdgeSet, bannedNodes map[graph.NodeID]bool) (graph.Path, bool) {
 	if bannedNodes[s] {
 		return graph.Path{}, false
@@ -88,7 +92,7 @@ func dijkstraRestricted(g *graph.Digraph, s, t graph.NodeID, w Weight,
 		sub.AddEdge(e.From, e.To, e.Cost, e.Delay)
 		mapping = append(mapping, e.ID)
 	}
-	tr := Dijkstra(sub, s, w)
+	tr := DijkstraInto(ws, sub, s, w)
 	p, ok := tr.PathTo(sub, t)
 	if !ok {
 		return graph.Path{}, false
