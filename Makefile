@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint build test race bench-smoke bench clean
+.PHONY: check vet fmt-check lint build test race bench-smoke bench bench-guard clean
 
 # The full CI gate: static checks (vet, gofmt, krsplint), build, race-enabled
-# tests, and a one-shot benchmark smoke run (catches benchmarks that panic or
-# regress to failure).
-check: vet fmt-check lint build race bench-smoke
+# tests, a one-shot benchmark smoke run (catches benchmarks that panic or
+# regress to failure), and the allocation guard on the flagship solve bench.
+check: vet fmt-check lint build race bench-smoke bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,11 @@ bench-smoke:
 # Regenerate the hot-path benchmark snapshot.
 bench:
 	$(GO) run ./cmd/krspbench -out BENCH_1.json
+
+# Zero-alloc observability contract: core.Solve with Options.Metrics unset
+# must not allocate above the BENCH_1.json baseline (allocs/op comparison).
+bench-guard:
+	$(GO) run ./cmd/krspbench -run SolveN60K3 -guard BENCH_1.json
 
 clean:
 	$(GO) clean ./...

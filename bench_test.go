@@ -14,6 +14,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/residual"
 	"repro/internal/rsp"
 	"repro/internal/shortest"
@@ -78,6 +79,21 @@ func BenchmarkSolveN60K3(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Solve(ins, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveN60K3Metrics is the instrumented twin of SolveN60K3: same
+// workload with a live obs registry attached. Comparing the two -benchmem
+// lines shows the full cost of recording (allocs/op must match: the record
+// path is zero-alloc by contract).
+func BenchmarkSolveN60K3Metrics(b *testing.B) {
+	ins := benchInstance(b, 60, 3, 1.3)
+	reg := obs.New(&obs.ManualClock{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(ins, core.Options{Metrics: reg}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,11 +14,15 @@
 //	-format   instance format: krsp (default) or dimacs (.gr extension)
 //	-dot      write a Graphviz rendering with the solution highlighted
 //	-quiet    print only the summary line
+//	-stats    print the full solve statistics on one stats: line
+//	-trace    write one JSON object per cancellation (core.IterationRecord)
+//	          to this file, one per line (JSONL); implies trace collection
 //
 // The instance format is documented in internal/graph (WriteInstance).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +50,8 @@ func run(args []string, out io.Writer) error {
 	dotPath := fs.String("dot", "", "write Graphviz output to this file")
 	format := fs.String("format", "krsp", "instance format: krsp|dimacs")
 	quiet := fs.Bool("quiet", false, "print only the summary line")
+	statsFlag := fs.Bool("stats", false, "print full solve statistics")
+	tracePath := fs.String("trace", "", "write the cancellation trace as JSONL to this file")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +86,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := core.Options{}
+	opts := core.Options{CollectTrace: *tracePath != ""}
 	switch *engine {
 	case "comb":
 	case "lp":
@@ -96,6 +102,7 @@ func run(args []string, out io.Writer) error {
 		cost, dly  int64
 		lowerBound int64 = -1
 		label            = *algo
+		solveStats *core.Stats
 	)
 	switch *algo {
 	case "solve", "scaled", "phase1":
@@ -113,6 +120,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		sol, cost, dly, lowerBound = res.Solution, res.Cost, res.Delay, res.LowerBound
+		solveStats = &res.Stats
 		if !*quiet {
 			fmt.Fprintf(out, "phase1 λ-iterations: %d, cancellations: %d (types %v)\n",
 				res.Stats.Phase1.LambdaIterations, res.Stats.Iterations, res.Stats.CyclesByType)
@@ -142,6 +150,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
+	if (*statsFlag || *tracePath != "") && solveStats == nil {
+		return fmt.Errorf("-stats and -trace require -algo solve, scaled, or phase1")
+	}
+
 	fmt.Fprintf(out, "%s: k=%d cost=%d delay=%d bound=%d", label, ins.K, cost, dly, ins.Bound)
 	if lowerBound > 0 {
 		fmt.Fprintf(out, " lower-bound=%d (factor ≤ %.3f)", lowerBound, float64(cost)/float64(lowerBound))
@@ -154,6 +166,31 @@ func run(args []string, out io.Writer) error {
 		for i, p := range sol.Paths {
 			fmt.Fprintf(out, "  path %d: %s (cost %d, delay %d)\n",
 				i+1, p.Format(ins.G), p.Cost(ins.G), p.Delay(ins.G))
+		}
+	}
+	if *statsFlag {
+		s := solveStats
+		fmt.Fprintf(out, "stats: lambda-iterations=%d cancellations=%d"+
+			" cycles0=%d cycles1=%d cycles2=%d cref-escalations=%d"+
+			" budgets-tried=%d relaxed-cap=%t phase1-fallback=%t\n",
+			s.Phase1.LambdaIterations, s.Iterations,
+			s.CyclesByType[0], s.CyclesByType[1], s.CyclesByType[2],
+			s.CRefEscalations, s.BudgetsTried, s.RelaxedCap, s.FellBackToPhase1)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f) // one record per line: JSONL
+		for _, rec := range solveStats.Trace {
+			if err := enc.Encode(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 	if *dotPath != "" {

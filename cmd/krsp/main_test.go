@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 )
 
@@ -140,6 +143,48 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunStatsAndTrace(t *testing.T) {
+	path := writeInstanceFile(t)
+	tfile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-stats", "-trace", tfile, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	i := strings.Index(s, "cancellations=")
+	if i < 0 {
+		t.Fatalf("no stats line:\n%s", s)
+	}
+	var cancels int
+	if _, err := fmt.Sscanf(s[i:], "cancellations=%d", &cancels); err != nil {
+		t.Fatalf("stats line unparsable: %v\n%s", err, s)
+	}
+	data, err := os.ReadFile(tfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	if trimmed := strings.TrimSpace(string(data)); trimmed != "" {
+		lines = strings.Split(trimmed, "\n")
+	}
+	if len(lines) != cancels {
+		t.Fatalf("trace has %d lines, stats reported %d cancellations\n%s", len(lines), cancels, data)
+	}
+	for _, line := range lines {
+		var rec core.IterationRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if rec.CRef <= 0 {
+			t.Fatalf("trace record missing cref: %q", line)
+		}
+	}
+	// -stats/-trace are meaningless for algorithms without core.Stats.
+	if err := run([]string{"-algo", "exact", "-stats", path}, &out); err == nil {
+		t.Fatal("-stats with -algo exact accepted")
 	}
 }
 

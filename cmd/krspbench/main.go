@@ -8,6 +8,9 @@
 //	krspbench                       # all benchmarks → BENCH_1.json
 //	krspbench -out report.json      # custom output path
 //	krspbench -run Solve,Residual   # substring-filtered subset
+//	krspbench -guard BENCH_1.json   # fail if allocs/op regress above the
+//	                                # baseline (no report written unless
+//	                                # -out is given explicitly)
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/residual"
 	"repro/internal/shortest"
 )
@@ -62,10 +66,17 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("krspbench", flag.ContinueOnError)
 	outPath := fs.String("out", "BENCH_1.json", "output JSON path (- for stdout)")
 	filter := fs.String("run", "", "comma-separated substrings; empty = all")
+	guardPath := fs.String("guard", "", "baseline JSON: fail on allocs/op regression instead of writing a report")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	outSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 	var wanted []string
 	if *filter != "" {
 		wanted = strings.Split(*filter, ",")
@@ -96,6 +107,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
 			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
 	}
+	if *guardPath != "" {
+		if err := guard(out, *guardPath, rep.Benchmarks); err != nil {
+			return err
+		}
+		if !outSet {
+			return nil // guard mode: don't clobber the baseline
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -106,6 +125,49 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*outPath, data, 0o644)
+}
+
+// guard compares allocs/op for every benchmark present in both the current
+// run and the baseline report, and fails on any regression. allocs/op is
+// the guarded quantity (it is deterministic, unlike ns/op): the zero-alloc
+// observability contract says core.Solve with Options.Metrics unset must
+// not allocate more than the pre-instrumentation baseline.
+func guard(out io.Writer, path string, current []record) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]int64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r.AllocsPerOp
+	}
+	compared := 0
+	var regressed []string
+	for _, r := range current {
+		want, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "guard: %-22s no baseline, skipped\n", r.Name)
+			continue
+		}
+		compared++
+		if r.AllocsPerOp > want {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: %d allocs/op > baseline %d", r.Name, r.AllocsPerOp, want))
+		} else {
+			fmt.Fprintf(out, "guard: %-22s %d allocs/op ≤ baseline %d\n", r.Name, r.AllocsPerOp, want)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("guard: no benchmark in common with %s (check -run filter)", path)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("alloc regression vs %s:\n  %s", path, strings.Join(regressed, "\n  "))
+	}
+	return nil
 }
 
 func matches(name string, wanted []string) bool {
@@ -148,6 +210,18 @@ func suite() []bench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Solve(ins, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SolveN60K3Metrics", func(b *testing.B) {
+			// Same workload with a live registry: the price of recording.
+			// Not in the guarded baseline; tracked for visibility.
+			ins := benchInstance(60, 3, 1.3)
+			reg := obs.New(obs.RealClock{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(ins, core.Options{Metrics: reg}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "schema": "krspbench/1",
+  "benchmarks": [
+    {"name": "SolveN60K3", "allocs_per_op": 229},
+    {"name": "BicameralFind", "allocs_per_op": 20}
+  ]
+}`
+
+func TestGuardPasses(t *testing.T) {
+	path := writeBaseline(t, baselineJSON)
+	var out bytes.Buffer
+	current := []record{
+		{Name: "SolveN60K3", AllocsPerOp: 229},
+		{Name: "BicameralFind", AllocsPerOp: 18}, // improvements are fine
+		{Name: "Unlisted", AllocsPerOp: 9999},    // not in baseline: skipped
+	}
+	if err := guard(&out, path, current); err != nil {
+		t.Fatalf("guard failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Unlisted") || !strings.Contains(out.String(), "skipped") {
+		t.Fatalf("skip not reported:\n%s", out.String())
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t, baselineJSON)
+	var out bytes.Buffer
+	err := guard(&out, path, []record{{Name: "SolveN60K3", AllocsPerOp: 230}})
+	if err == nil {
+		t.Fatal("regression not caught")
+	}
+	if !strings.Contains(err.Error(), "SolveN60K3: 230 allocs/op > baseline 229") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestGuardFailsOnEmptyIntersection(t *testing.T) {
+	path := writeBaseline(t, baselineJSON)
+	var out bytes.Buffer
+	if err := guard(&out, path, []record{{Name: "Nope", AllocsPerOp: 1}}); err == nil {
+		t.Fatal("empty intersection accepted")
+	}
+}
+
+func TestGuardFailsOnMissingOrBadBaseline(t *testing.T) {
+	var out bytes.Buffer
+	if err := guard(&out, "/nonexistent.json", nil); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	path := writeBaseline(t, "not json")
+	if err := guard(&out, path, nil); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}

@@ -3,145 +3,79 @@
 // multipath QoS routing becomes deployable: global topology, central
 // compute).
 //
-//	krspd -addr :8080
+//	krspd -addr :8080 [-pprof] [-max-body 8388608]
 //
 // Endpoints:
 //
 //	POST /solve         body: instance in the krsp text format;
 //	                    query: algo=solve|scaled|phase1 (default solve),
 //	                           eps=<float> (scaled only)
-//	                    → JSON {cost, delay, bound, lowerBound, exact, paths}
+//	                    → JSON {requestId, cost, delay, bound, lowerBound,
+//	                            exact, paths, stats}
 //	POST /feasible      body: instance → JSON {maxDisjoint, minDelay, ok}
 //	GET  /healthz       → 200 "ok"
+//	GET  /metrics       → Prometheus text exposition (DESIGN.md §9)
+//	GET  /debug/vars    → expvar-compatible JSON (std vars + "krsp")
+//	GET  /debug/pprof/  → net/http/pprof, only with -pprof
+//
+// The server reads bodies through MaxBytesReader (413 beyond -max-body),
+// runs with read/write timeouts, logs one structured line per request via
+// log/slog, and shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
-	"encoding/json"
-	"errors"
+	"context"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
-	"strconv"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
 	flag.Parse()
-	log.Printf("krspd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, newMux()); err != nil {
-		log.Fatal(err)
-	}
-}
 
-// newMux builds the HTTP handler; separated from main for tests.
-func newMux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", handleSolve)
-	mux.HandleFunc("/feasible", handleFeasible)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	// The cmd/ edge is the only place the real clock enters the solver
+	// stack (krsplint wallclock invariant; see internal/obs/realclock.go).
+	srv := newServer(obs.New(obs.RealClock{}), logger, *maxBody, *pprofFlag)
 
-// solveResponse is the JSON result of /solve.
-type solveResponse struct {
-	Cost       int64     `json:"cost"`
-	Delay      int64     `json:"delay"`
-	Bound      int64     `json:"bound"`
-	LowerBound int64     `json:"lowerBound"`
-	Exact      bool      `json:"exact"`
-	Paths      [][]int32 `json:"paths"` // vertex sequences
-	Violated   bool      `json:"boundViolated"`
-}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute, // big solves; must outlive the slowest algo
+		IdleTimeout:       2 * time.Minute,
+	}
 
-func handleSolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST an instance in krsp text format", http.StatusMethodNotAllowed)
-		return
-	}
-	ins, err := graph.ReadInstance(r.Body)
-	if err != nil {
-		http.Error(w, "bad instance: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := ins.Validate(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	var res core.Result
-	switch algo := r.URL.Query().Get("algo"); algo {
-	case "", "solve":
-		res, err = core.Solve(ins, core.Options{})
-	case "phase1":
-		res, err = core.Solve(ins, core.Options{Phase1Only: true})
-	case "scaled":
-		eps := 0.25
-		if s := r.URL.Query().Get("eps"); s != "" {
-			eps, err = strconv.ParseFloat(s, 64)
-			if err != nil || eps <= 0 {
-				http.Error(w, "bad eps", http.StatusBadRequest)
-				return
-			}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("krspd listening", "addr", *addr, "pprof", *pprofFlag, "maxBody", *maxBody)
+
+	select {
+	case err := <-errc:
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		logger.Info("signal received, draining connections")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+			os.Exit(1)
 		}
-		res, err = core.SolveScaled(ins, eps, eps, core.Options{})
-	default:
-		http.Error(w, "unknown algo "+algo, http.StatusBadRequest)
-		return
-	}
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, core.ErrNoKPaths) || errors.Is(err, core.ErrDelayInfeasible) {
-			status = http.StatusUnprocessableEntity
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	resp := solveResponse{
-		Cost: res.Cost, Delay: res.Delay, Bound: ins.Bound,
-		LowerBound: res.LowerBound, Exact: res.Exact,
-		Violated: res.Delay > ins.Bound,
-	}
-	for _, p := range res.Solution.Paths {
-		var nodes []int32
-		for _, v := range p.Nodes(ins.G) {
-			nodes = append(nodes, int32(v))
-		}
-		resp.Paths = append(resp.Paths, nodes)
-	}
-	writeJSON(w, resp)
-}
-
-func handleFeasible(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST an instance in krsp text format", http.StatusMethodNotAllowed)
-		return
-	}
-	ins, err := graph.ReadInstance(r.Body)
-	if err != nil {
-		http.Error(w, "bad instance: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	feas, err := core.CheckFeasible(ins)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"maxDisjoint": feas.MaxDisjoint,
-		"minDelay":    feas.MinDelay,
-		"ok":          feas.OK,
-	})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; best effort log.
-		log.Printf("krspd: encode: %v", err)
+		logger.Info("bye")
 	}
 }

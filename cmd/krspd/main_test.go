@@ -3,13 +3,34 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
+
+// discardLogger suppresses request logs in tests (go.mod targets go 1.22;
+// slog.DiscardHandler arrived later).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testServer spins up a daemon instance with a deterministic clock and the
+// given body limit; pprof off unless a test opts in.
+func testServer(t *testing.T, maxBody int64, enablePprof bool) (*httptest.Server, *server) {
+	t.Helper()
+	s := newServer(obs.New(&obs.ManualClock{}), discardLogger(), maxBody, enablePprof)
+	srv := httptest.NewServer(s.mux())
+	t.Cleanup(srv.Close)
+	return srv, s
+}
 
 func instanceBody(t *testing.T, bound int64, k int) *bytes.Buffer {
 	t.Helper()
@@ -28,8 +49,7 @@ func instanceBody(t *testing.T, bound int64, k int) *bytes.Buffer {
 }
 
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(newMux())
-	defer srv.Close()
+	srv, _ := testServer(t, 1<<20, false)
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -41,8 +61,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestSolveEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux())
-	defer srv.Close()
+	srv, _ := testServer(t, 1<<20, false)
 	resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
 	if err != nil {
 		t.Fatal(err)
@@ -69,11 +88,17 @@ func TestSolveEndpoint(t *testing.T) {
 			t.Fatalf("path endpoints %v", p)
 		}
 	}
+	if out.RequestID == 0 {
+		t.Fatal("missing request id")
+	}
+	// Stats ride along in the response (per-request observability).
+	if out.Stats.Phase1.CLPDen == 0 {
+		t.Fatalf("stats not echoed: %+v", out.Stats)
+	}
 }
 
 func TestSolveEndpointAlgos(t *testing.T) {
-	srv := httptest.NewServer(newMux())
-	defer srv.Close()
+	srv, _ := testServer(t, 1<<20, false)
 	for _, q := range []string{"?algo=phase1", "?algo=scaled&eps=0.5"} {
 		resp, err := http.Post(srv.URL+"/solve"+q, "text/plain", instanceBody(t, 10, 2))
 		if err != nil {
@@ -87,8 +112,7 @@ func TestSolveEndpointAlgos(t *testing.T) {
 }
 
 func TestSolveEndpointErrors(t *testing.T) {
-	srv := httptest.NewServer(newMux())
-	defer srv.Close()
+	srv, s := testServer(t, 1<<20, false)
 	// Malformed body.
 	resp, _ := http.Post(srv.URL+"/solve", "text/plain", strings.NewReader("garbage"))
 	if resp.StatusCode != http.StatusBadRequest {
@@ -119,11 +143,26 @@ func TestSolveEndpointErrors(t *testing.T) {
 		t.Fatalf("GET: status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
+	if got := s.reg.Server.RequestErrors.Value(); got != 5 {
+		t.Fatalf("request errors counted = %d, want 5", got)
+	}
+}
+
+func TestSolveBodyLimit(t *testing.T) {
+	srv, _ := testServer(t, 64, false) // 64-byte cap
+	big := strings.Repeat("# padding line beyond any reasonable limit\n", 100)
+	resp, err := http.Post(srv.URL+"/solve", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
 }
 
 func TestFeasibleEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux())
-	defer srv.Close()
+	srv, _ := testServer(t, 1<<20, false)
 	resp, err := http.Post(srv.URL+"/feasible", "text/plain", instanceBody(t, 10, 2))
 	if err != nil {
 		t.Fatal(err)
@@ -139,5 +178,141 @@ func TestFeasibleEndpoint(t *testing.T) {
 	}
 	if out.MaxDisjoint != 3 || out.MinDelay != 7 || !out.OK {
 		t.Fatalf("feasible = %+v", out)
+	}
+}
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue finds the sample `name value` (name includes labels if any)
+// in an exposition body.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("sample %s: parse %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %s not found in exposition:\n%s", name, body)
+	return 0
+}
+
+// TestMetricsIntegration is the acceptance check: two /solve calls, then a
+// /metrics scrape must show request count = 2, nonzero phase-duration
+// histogram counts, and cycle-type counters matching the summed response
+// Stats.
+func TestMetricsIntegration(t *testing.T) {
+	srv, _ := testServer(t, 1<<20, false)
+	var cycles [3]int
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out solveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+		for j, c := range out.Stats.CyclesByType {
+			cycles[j] += c
+		}
+	}
+	body := scrape(t, srv)
+	if got := metricValue(t, body, "krspd_solve_requests_total"); got != 2 {
+		t.Fatalf("solve requests = %d, want 2", got)
+	}
+	for _, phase := range []string{"phase1", "decompose", "total"} {
+		name := fmt.Sprintf(`krsp_solve_phase_duration_seconds_count{phase=%q}`, phase)
+		if got := metricValue(t, body, name); got < 2 {
+			t.Fatalf("phase %s observations = %d, want ≥ 2", phase, got)
+		}
+	}
+	for j, want := range cycles {
+		name := fmt.Sprintf(`krsp_cycles_total{type="%d"}`, j)
+		if got := metricValue(t, body, name); got != int64(want) {
+			t.Fatalf("cycles type %d = %d, want %d (from response stats)", j, got, want)
+		}
+	}
+	if got := metricValue(t, body, "krsp_solves_total"); got != 2 {
+		t.Fatalf("solves = %d, want 2", got)
+	}
+	if got := metricValue(t, body, "krspd_inflight_requests"); got != 0 {
+		t.Fatalf("inflight after completion = %d, want 0", got)
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	srv, _ := testServer(t, 1<<20, false)
+	// One request so the counters are nonzero.
+	resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("vars not valid JSON: %v", err)
+	}
+	var krsp map[string]any
+	if err := json.Unmarshal(doc["krsp"], &krsp); err != nil {
+		t.Fatalf("krsp snapshot: %v", err)
+	}
+	if v, ok := krsp["krspd_solve_requests_total"].(float64); !ok || v != 1 {
+		t.Fatalf("snapshot solve requests = %v, want 1", krsp["krspd_solve_requests_total"])
+	}
+	if _, ok := krsp[`krsp_solve_phase_duration_seconds{phase="total"}`]; !ok {
+		t.Fatal("snapshot missing phase histogram")
+	}
+}
+
+func TestPprofGate(t *testing.T) {
+	on, _ := testServer(t, 1<<20, true)
+	resp, err := http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: status %d", resp.StatusCode)
+	}
+	off, _ := testServer(t, 1<<20, false)
+	resp, err = http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
 	}
 }

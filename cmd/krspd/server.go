@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// server carries the daemon's shared state: the metrics registry (also
+// handed to every solve as core.Options.Metrics), the structured logger,
+// the body-size limit, and the request-id source.
+type server struct {
+	reg     *obs.Registry
+	log     *slog.Logger
+	maxBody int64
+	pprof   bool
+	reqID   atomic.Int64
+}
+
+// newServer wires the handler state. Tests pass a ManualClock-backed
+// registry and a discard logger; main passes RealClock and stderr.
+func newServer(reg *obs.Registry, logger *slog.Logger, maxBody int64, enablePprof bool) *server {
+	return &server{reg: reg, log: logger, maxBody: maxBody, pprof: enablePprof}
+}
+
+// mux builds the route table.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/feasible", s.handleFeasible)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// solveResponse is the JSON result of /solve.
+type solveResponse struct {
+	RequestID  int64      `json:"requestId"`
+	Cost       int64      `json:"cost"`
+	Delay      int64      `json:"delay"`
+	Bound      int64      `json:"bound"`
+	LowerBound int64      `json:"lowerBound"`
+	Exact      bool       `json:"exact"`
+	Paths      [][]int32  `json:"paths"` // vertex sequences
+	Violated   bool       `json:"boundViolated"`
+	Stats      core.Stats `json:"stats"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	start := s.reg.Now()
+	status := http.StatusOK
+	outcome := "ok"
+	var n, m, k int
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "solve"
+	}
+	defer func() {
+		dur := s.reg.Now() - start
+		s.reg.Server.RequestDuration.Observe(dur)
+		s.log.Info("solve", "id", id, "algo", algo, "n", n, "m", m, "k", k,
+			"outcome", outcome, "status", status, "durMs", float64(dur)/1e6)
+	}()
+	fail := func(msg string, code int) {
+		status, outcome = code, msg
+		s.reg.Server.RequestErrors.Inc()
+		http.Error(w, msg, code)
+	}
+	if r.Method != http.MethodPost {
+		fail("POST an instance in krsp text format", http.StatusMethodNotAllowed)
+		return
+	}
+	s.reg.Server.SolveRequests.Inc()
+	s.reg.Server.Inflight.Add(1)
+	defer s.reg.Server.Inflight.Add(-1)
+	ins, ok := s.readInstance(w, r, fail)
+	if !ok {
+		return
+	}
+	if err := ins.Validate(); err != nil {
+		fail(err.Error(), http.StatusBadRequest)
+		return
+	}
+	n, m, k = ins.G.NumNodes(), ins.G.NumEdges(), ins.K
+	opt := core.Options{Metrics: s.reg}
+	var res core.Result
+	var err error
+	switch algo {
+	case "solve":
+		res, err = core.Solve(ins, opt)
+	case "phase1":
+		opt.Phase1Only = true
+		res, err = core.Solve(ins, opt)
+	case "scaled":
+		eps := 0.25
+		if q := r.URL.Query().Get("eps"); q != "" {
+			eps, err = strconv.ParseFloat(q, 64)
+			if err != nil || eps <= 0 {
+				fail("bad eps", http.StatusBadRequest)
+				return
+			}
+		}
+		res, err = core.SolveScaled(ins, eps, eps, opt)
+	default:
+		fail("unknown algo "+algo, http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, core.ErrNoKPaths) || errors.Is(err, core.ErrDelayInfeasible) {
+			code = http.StatusUnprocessableEntity
+		}
+		fail(err.Error(), code)
+		return
+	}
+	resp := solveResponse{
+		RequestID: id,
+		Cost:      res.Cost, Delay: res.Delay, Bound: ins.Bound,
+		LowerBound: res.LowerBound, Exact: res.Exact,
+		Violated: res.Delay > ins.Bound,
+		Stats:    res.Stats,
+	}
+	for _, p := range res.Solution.Paths {
+		var nodes []int32
+		for _, v := range p.Nodes(ins.G) {
+			nodes = append(nodes, int32(v))
+		}
+		resp.Paths = append(resp.Paths, nodes)
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	start := s.reg.Now()
+	status := http.StatusOK
+	outcome := "ok"
+	defer func() {
+		dur := s.reg.Now() - start
+		s.reg.Server.RequestDuration.Observe(dur)
+		s.log.Info("feasible", "id", id, "outcome", outcome, "status", status,
+			"durMs", float64(dur)/1e6)
+	}()
+	fail := func(msg string, code int) {
+		status, outcome = code, msg
+		s.reg.Server.RequestErrors.Inc()
+		http.Error(w, msg, code)
+	}
+	if r.Method != http.MethodPost {
+		fail("POST an instance in krsp text format", http.StatusMethodNotAllowed)
+		return
+	}
+	s.reg.Server.FeasibleRequests.Inc()
+	s.reg.Server.Inflight.Add(1)
+	defer s.reg.Server.Inflight.Add(-1)
+	ins, ok := s.readInstance(w, r, fail)
+	if !ok {
+		return
+	}
+	feas, err := core.CheckFeasible(ins)
+	if err != nil {
+		fail(err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"maxDisjoint": feas.MaxDisjoint,
+		"minDelay":    feas.MinDelay,
+		"ok":          feas.OK,
+	})
+}
+
+// readInstance parses a size-capped request body, mapping an over-limit
+// read to 413 and any other parse failure to 400 through fail.
+func (s *server) readInstance(w http.ResponseWriter, r *http.Request, fail func(string, int)) (graph.Instance, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	ins, err := graph.ReadInstance(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fail(fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		} else {
+			fail("bad instance: "+err.Error(), http.StatusBadRequest)
+		}
+		return graph.Instance{}, false
+	}
+	return ins, true
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Warn("metrics write", "err", err)
+	}
+}
+
+// handleVars serves an expvar-compatible JSON document: the process-global
+// expvar set (cmdline, memstats) plus this server's registry snapshot
+// under "krsp". The registry is NOT expvar.Publish-ed — Publish panics on
+// duplicate names, which breaks multi-server tests and any embedder
+// running two daemons in one process.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if snap, err := json.Marshal(s.reg.Snapshot()); err == nil {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", "krsp", snap)
+	}
+	fmt.Fprintf(w, "\n}\n")
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; best effort log.
+		s.log.Warn("encode response", "err", err)
+	}
+}

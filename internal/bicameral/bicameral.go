@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/residual"
 )
 
@@ -148,6 +149,13 @@ type Options struct {
 	// tie-breaks, same step-budget accounting), so the returned Candidate
 	// and Stats.BudgetsTried are bit-identical for every worker count.
 	Workers int
+	// Metrics, when non-nil, receives search instrumentation: Find calls,
+	// searches, candidates, budget escalations, and SPFA kernel counts
+	// through the per-worker workspaces. Nil (the default) records nothing
+	// and costs nothing. Metrics never influence results, but counters fed
+	// by speculative parallel work may vary with Workers — the
+	// bit-identical promise covers the returned Candidate and Stats only.
+	Metrics *obs.Registry
 }
 
 // Stats instruments a search.
@@ -200,13 +208,29 @@ func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 			"(|Δ|=%d, max edge weight %d, n=%d); rescale the instance",
 			scale, maxW, rg.R.NumNodes()))
 	}
+	var (
+		cand  Candidate
+		st    Stats
+		found bool
+	)
 	switch o.Engine {
 	case EngineLP:
-		return findLP(rg, p, o)
+		cand, st, found = findLP(rg, p, o)
 	case EngineMinRatio:
-		return findMinRatio(rg, p, o)
+		cand, st, found = findMinRatio(rg, p, o)
+	default:
+		cand, st, found = findCombinatorial(rg, p, o)
 	}
-	return findCombinatorial(rg, p, o)
+	if bm := o.Metrics.BicameralMetrics(); bm != nil {
+		bm.Finds.Inc()
+		bm.Searches.Add(int64(st.Searches))
+		bm.Candidates.Add(int64(st.Candidates))
+		bm.BudgetEscalations.Add(int64(st.BudgetsTried))
+		if !found {
+			bm.NotFound.Inc()
+		}
+	}
+	return cand, st, found
 }
 
 // better reports whether a should be preferred over b as the returned

@@ -119,6 +119,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 	// rounds here and the shared layered sweeps (it grows to layered size on
 	// first use). The parallel per-seed sweep takes one workspace per worker.
 	ws := shortest.NewWorkspace(rg.R.NumNodes())
+	ws.SetMetrics(o.Metrics.ShortestMetrics())
 	for round := 0; round <= 2*rg.R.NumEdges()+1; round++ {
 		st.Searches++
 		_, cyc, noNeg := shortest.SPFAAllInto(ws, rg.R, weights[wi])

@@ -111,10 +111,16 @@ func sweepSeeds(rg *residual.Graph, perSeed []graph.NodeID, b int64, wOf shortes
 		return Candidate{}, false
 	}
 	workers := effectiveWorkers(o, n)
+	if bm := o.Metrics.BicameralMetrics(); bm != nil {
+		bm.SeedSweeps.Inc()
+		bm.SweepWorkers.Observe(int64(workers))
+	}
 	results := make([]seedResult, n)
 	wss := make([]*shortest.Workspace, workers)
+	sm := o.Metrics.ShortestMetrics()
 	for i := range wss {
 		wss[i] = shortest.NewWorkspace(1) // grows to layered size on first use
+		wss[i].SetMetrics(sm)
 	}
 	var stopAt atomic.Int64 // lowest seed index with a qualifying candidate
 	stopAt.Store(int64(n))

@@ -23,6 +23,7 @@ import (
 	"repro/internal/bicameral"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ErrNoKPaths reports that fewer than k edge-disjoint s→t paths exist.
@@ -46,41 +47,45 @@ type Result struct {
 	Stats Stats
 }
 
-// Stats instruments a solve.
+// Stats instruments a solve. The JSON tags are part of the daemon's
+// response schema (cmd/krspd echoes Stats per request) and of krsp's
+// -trace JSONL output.
 type Stats struct {
 	// Phase1 records the first-phase Lagrangian search.
-	Phase1 Phase1Stats
+	Phase1 Phase1Stats `json:"phase1"`
 	// Iterations counts cycle cancellations performed.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// CyclesByType counts applied candidates by bicameral type (0,1,2).
-	CyclesByType [3]int
+	CyclesByType [3]int `json:"cyclesByType"`
 	// CRefEscalations counts how often the C_OPT stand-in had to grow
 	// because no bicameral cycle existed under the current cap.
-	CRefEscalations int
+	CRefEscalations int `json:"crefEscalations"`
 	// RelaxedCap reports that the final answer used a cycle beyond the
 	// Definition-10 cost cap (a documented deviation used only when the
 	// cap-respecting search is exhausted; the cost bound then degrades).
-	RelaxedCap bool
+	RelaxedCap bool `json:"relaxedCap"`
 	// FellBackToPhase1 reports that the cancellation loop could not beat
 	// the feasible phase-1 flow, which was returned instead.
-	FellBackToPhase1 bool
+	FellBackToPhase1 bool `json:"fellBackToPhase1"`
 	// BudgetsTried accumulates bicameral search budget escalations.
-	BudgetsTried int
+	BudgetsTried int `json:"budgetsTried"`
 	// Trace holds one record per cancellation iteration when
 	// Options.CollectTrace is set (nil otherwise).
-	Trace []IterationRecord
+	Trace []IterationRecord `json:"trace,omitempty"`
 }
 
 // IterationRecord captures the state of one Algorithm-1 iteration, enough
 // to verify Lemma 12's monotonicity (r = ΔD/ΔC nondecreasing) offline.
 type IterationRecord struct {
 	// Cost and Delay are the solution totals BEFORE applying the cycle.
-	Cost, Delay int64
+	Cost  int64 `json:"cost"`
+	Delay int64 `json:"delay"`
 	// CRef is the C_OPT stand-in in force.
-	CRef int64
+	CRef int64 `json:"cref"`
 	// CycleCost, CycleDelay and Type describe the applied candidate.
-	CycleCost, CycleDelay int64
-	Type                  int
+	CycleCost  int64 `json:"cycleCost"`
+	CycleDelay int64 `json:"cycleDelay"`
+	Type       int   `json:"type"`
 }
 
 // Options tune Solve and SolveScaled.
@@ -122,6 +127,16 @@ type Options struct {
 	// behaviour at the price of the cost bound). Defaults to true in
 	// Solve; set NoRelaxedCap to disable.
 	NoRelaxedCap bool
+	// Metrics, when non-nil, receives solver telemetry: outcome counters
+	// recorded from Stats after each Solve/SolveScaled, per-phase duration
+	// spans, and the flow/bicameral/SPFA kernel counts of every layer
+	// underneath (DESIGN.md §9 catalogues the names). Nil (the default) is
+	// a no-op sink with zero cost on the solve path — `make bench-guard`
+	// enforces that SolveN60K3 allocates nothing extra with Metrics unset.
+	// Metrics never influence results, but counters fed by speculative
+	// parallel work may vary with Workers; the determinism promise covers
+	// Result and Stats only.
+	Metrics *obs.Registry
 }
 
 // Feasibility describes why an instance is (in)feasible.

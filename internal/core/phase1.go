@@ -6,15 +6,18 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/shortest"
 )
 
-// Phase1Stats instruments the Lagrangian search.
+// Phase1Stats instruments the Lagrangian search. JSON tags are part of the
+// daemon response schema (see Stats).
 type Phase1Stats struct {
 	// LambdaIterations counts multiplier updates.
-	LambdaIterations int
+	LambdaIterations int `json:"lambdaIterations"`
 	// CLPNum/CLPDen is the exact rational LP lower bound C_LP = L(λ*).
-	CLPNum, CLPDen int64
+	CLPNum int64 `json:"clpNum"`
+	CLPDen int64 `json:"clpDen"`
 }
 
 // Phase1Result is the Lemma 5 outcome: two integral k-flows sandwiching
@@ -62,12 +65,19 @@ func (p Phase1Result) ChooseByPotential(g *graph.Digraph, bound int64) flow.Unit
 // and returns the two integral minimizers at λ* that straddle the bound.
 // Either flow (chosen by potential) satisfies delay/D + cost/C_LP ≤ 2.
 func Phase1(ins graph.Instance) (Phase1Result, error) {
+	return phase1(ins, nil)
+}
+
+// phase1 is Phase1 with a flow-layer metric sink threaded through its
+// min-cost-flow calls (nil records nothing). Solve and SolveScaled call it
+// so the Lagrangian loop's flow work is attributed.
+func phase1(ins graph.Instance, fm *obs.FlowMetrics) (Phase1Result, error) {
 	if err := ins.Validate(); err != nil {
 		return Phase1Result{}, err
 	}
 	g, s, t, k, bound := ins.G, ins.S, ins.T, ins.K, ins.Bound
 
-	fc, err := flow.MinCostKFlow(g, s, t, k, costWeight)
+	fc, err := flow.MinCostKFlowMetered(g, s, t, k, costWeight, fm)
 	if err != nil {
 		return Phase1Result{}, fmt.Errorf("%w: %v", ErrNoKPaths, err)
 	}
@@ -77,7 +87,7 @@ func Phase1(ins graph.Instance) (Phase1Result, error) {
 			CLP: clp, CLPCeil: fc.Cost(g),
 			Stats: Phase1Stats{CLPNum: fc.Cost(g), CLPDen: 1}}, nil
 	}
-	fd, err := flow.MinCostKFlow(g, s, t, k, delayWeight)
+	fd, err := flow.MinCostKFlowMetered(g, s, t, k, delayWeight, fm)
 	if err != nil {
 		return Phase1Result{}, fmt.Errorf("%w: %v", ErrNoKPaths, err)
 	}
@@ -102,7 +112,7 @@ func Phase1(ins graph.Instance) (Phase1Result, error) {
 			p = 0 // cost(lo) < cost(hi) can only happen via ties; λ=0 ends it
 		}
 		w := shortest.Combine(q, p)
-		f, err := flow.MinCostKFlow(g, s, t, k, w)
+		f, err := flow.MinCostKFlowMetered(g, s, t, k, w, fm)
 		if err != nil {
 			return Phase1Result{}, fmt.Errorf("krsp: internal: %v", err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // SolveScaled is Theorem 4: for fixed ε₁, ε₂ > 0 it rounds edge delays to
@@ -15,20 +16,31 @@ import (
 // O(n′/ε₂), making Solve polynomial; rounding loses at most ε₁·D in delay
 // and ε₂·Ĉ in cost, giving the (1+ε₁, 2+ε₂) bifactor.
 func SolveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, error) {
+	total := opt.Metrics.StartSpan(obs.PhaseTotal)
+	res, err := solveScaled(ins, eps1, eps2, opt)
+	total.End()
+	recordOutcome(opt.Metrics, res, err)
+	return res, err
+}
+
+func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, error) {
 	if eps1 <= 0 || eps2 <= 0 {
 		return Result{}, fmt.Errorf("krsp: epsilons must be positive (got %g, %g)", eps1, eps2)
 	}
 	if err := ins.Validate(); err != nil {
 		return Result{}, err
 	}
+	m := opt.Metrics
 	// Phase 1 on the ORIGINAL instance supplies Ĉ and settles feasibility
 	// questions exactly (scaling must not change feasibility verdicts).
-	p1, err := Phase1(ins)
+	ps := m.StartSpan(obs.PhasePhase1)
+	p1, err := phase1(ins, m.FlowMetrics())
+	ps.End()
 	if err != nil {
 		return Result{}, err
 	}
 	if p1.Exact {
-		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true)
+		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m)
 	}
 	g := ins.G
 	nPrime := int64(ins.K) * int64(g.NumNodes())
@@ -47,6 +59,10 @@ func SolveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, e
 		thetaC = 1
 	}
 
+	// The scale span covers rounding plus the inner pseudo-polynomial
+	// solve; the inner run goes through the internal solve so it is not
+	// double-counted as a second krsp_solves_total.
+	ss := m.StartSpan(obs.PhaseScale)
 	sg := graph.New(g.NumNodes())
 	for _, e := range g.Edges() {
 		sg.AddEdge(e.From, e.To, e.Cost/thetaC, e.Delay/thetaD)
@@ -56,7 +72,8 @@ func SolveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, e
 		Bound: ins.Bound / thetaD,
 		Name:  ins.Name + " (scaled)",
 	}
-	sres, err := Solve(scaled, opt)
+	sres, err := solve(scaled, opt)
+	ss.End()
 	if err != nil {
 		// Rounding delays down can never make a feasible instance
 		// infeasible, so errors here are structural and propagate.

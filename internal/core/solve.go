@@ -6,6 +6,7 @@ import (
 	"repro/internal/bicameral"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/residual"
 )
 
@@ -16,18 +17,66 @@ import (
 // 2·C_OPT. Pseudo-polynomial in the weight magnitudes; use SolveScaled for
 // the polynomial (1+ε₁, 2+ε₂) variant.
 func Solve(ins graph.Instance, opt Options) (Result, error) {
-	p1, err := Phase1(ins)
+	total := opt.Metrics.StartSpan(obs.PhaseTotal)
+	res, err := solve(ins, opt)
+	total.End()
+	recordOutcome(opt.Metrics, res, err)
+	return res, err
+}
+
+// recordOutcome folds one finished solve into the metric sink, reading
+// everything from the returned Stats so the cancellation loop itself
+// carries no record calls. Nil-safe; called once per exported entry point
+// (Solve, SolveScaled — never by the internal solve, which would
+// double-count the scaled inner run).
+func recordOutcome(m *obs.Registry, res Result, err error) {
+	sm := m.SolverMetrics()
+	if sm == nil {
+		return
+	}
+	sm.Solves.Inc()
+	if err != nil {
+		sm.Errors.Inc()
+		return
+	}
+	if res.Exact {
+		sm.Exact.Inc()
+	}
+	st := res.Stats
+	sm.Cancellations.Add(int64(st.Iterations))
+	for i, c := range st.CyclesByType {
+		sm.Cycles[i].Add(int64(c))
+	}
+	sm.CRefEscalations.Add(int64(st.CRefEscalations))
+	sm.BudgetEscalations.Add(int64(st.BudgetsTried))
+	if st.RelaxedCap {
+		sm.RelaxedCap.Inc()
+	}
+	if st.FellBackToPhase1 {
+		sm.Phase1Fallbacks.Inc()
+	}
+	sm.LambdaIterations.Observe(int64(st.Phase1.LambdaIterations))
+	sm.CancellationsPerSolve.Observe(int64(st.Iterations))
+}
+
+// solve is Solve without the outcome recording and total-phase span; the
+// scaled path reuses it to avoid double-counting solves.
+func solve(ins graph.Instance, opt Options) (Result, error) {
+	m := opt.Metrics
+	ps := m.StartSpan(obs.PhasePhase1)
+	p1, err := phase1(ins, m.FlowMetrics())
+	ps.End()
 	if err != nil {
 		return Result{}, err
 	}
 	g := ins.G
 	if p1.Exact {
-		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true)
+		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m)
 	}
 	stats := Stats{Phase1: p1.Stats}
 	if opt.Phase1Only {
 		chosen := p1.ChooseByPotential(g, ins.Bound)
-		return finish(ins, chosen.Edges, p1, stats, false)
+		return finish(ins, chosen.Edges, p1, stats, false, m)
 	}
 
 	// Algorithm 1 proper: start from the bound-violating Lagrangian
@@ -58,6 +107,7 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 	// bit-identical to rebuilding against the new solution but costs
 	// O(cycle length) instead of O(m) per iteration.
 	rg := residual.Build(g, cur)
+	cs := m.StartSpan(obs.PhaseCancel)
 	for curDelay > ins.Bound && stats.Iterations < maxIter {
 		cap := cRef
 		if opt.DisableCostCap {
@@ -74,6 +124,7 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 			FullSweep:   opt.FullSweep,
 			Adversarial: opt.Adversarial,
 			Workers:     opt.Workers,
+			Metrics:     m,
 		})
 		stats.BudgetsTried += bst.BudgetsTried
 		if !found {
@@ -95,14 +146,17 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 				cand = *bst.Fallback
 			} else {
 				stats.FellBackToPhase1 = true
-				return finish(ins, p1.Lo.Edges, p1, stats, false)
+				cs.End()
+				return finish(ins, p1.Lo.Edges, p1, stats, false, m)
 			}
 		}
 		next, err := rg.ApplyAll(cand.Cycles)
 		if err != nil {
+			cs.End()
 			return Result{}, fmt.Errorf("krsp: internal: cycle application failed: %v", err)
 		}
 		if err := rg.Update(cand.Cycles); err != nil {
+			cs.End()
 			return Result{}, fmt.Errorf("krsp: internal: residual update failed: %v", err)
 		}
 		if opt.CollectTrace {
@@ -128,24 +182,27 @@ func Solve(ins graph.Instance, opt Options) (Result, error) {
 			}
 		}
 	}
+	cs.End()
 	if curDelay > ins.Bound {
 		// Iteration cap hit: fall back to the feasible endpoint.
 		stats.FellBackToPhase1 = true
-		return finish(ins, p1.Lo.Edges, p1, stats, false)
+		return finish(ins, p1.Lo.Edges, p1, stats, false, m)
 	}
 	// Return the cheaper of the cancelled solution and the feasible
 	// endpoint (both meet the bound).
 	if loCost < curCost && !opt.NoSafetyNet {
 		stats.FellBackToPhase1 = true
-		return finish(ins, p1.Lo.Edges, p1, stats, false)
+		return finish(ins, p1.Lo.Edges, p1, stats, false, m)
 	}
-	return finish(ins, cur, p1, stats, false)
+	return finish(ins, cur, p1, stats, false, m)
 }
 
 // finish decomposes a feasible flow into paths and assembles the Result.
 // Flow cycles left over by decomposition are dropped: with nonnegative
 // weights that never increases cost or delay.
-func finish(ins graph.Instance, edges graph.EdgeSet, p1 Phase1Result, stats Stats, exact bool) (Result, error) {
+func finish(ins graph.Instance, edges graph.EdgeSet, p1 Phase1Result, stats Stats, exact bool, m *obs.Registry) (Result, error) {
+	ds := m.StartSpan(obs.PhaseDecompose)
+	defer ds.End()
 	paths, _, err := flow.Decompose(ins.G, edges, ins.S, ins.T, ins.K)
 	if err != nil {
 		return Result{}, fmt.Errorf("krsp: internal: decompose: %v", err)

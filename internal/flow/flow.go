@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pq"
 	"repro/internal/shortest"
 )
@@ -130,9 +131,35 @@ func (f UnitFlow) Weight(g *graph.Digraph, w shortest.Weight) int64 {
 // (problem inputs are; residual graphs are handled elsewhere). Returns
 // ErrInfeasible if fewer than k edge-disjoint paths exist.
 func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight) (UnitFlow, error) {
+	return minCostKFlow(g, s, t, k, w, nil)
+}
+
+// MinCostKFlowMetered is MinCostKFlow reporting call/augmentation/
+// relaxation/infeasibility counts into m. A nil sink records nothing and
+// costs nothing; counts are accumulated in locals and folded into the
+// atomic counters once per call, at the exits.
+func MinCostKFlowMetered(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight, m *obs.FlowMetrics) (UnitFlow, error) {
+	return minCostKFlow(g, s, t, k, w, m)
+}
+
+// recordFlow folds one minCostKFlow run into the sink.
+func recordFlow(m *obs.FlowMetrics, rounds, relaxed int64, infeasible bool) {
+	if m == nil {
+		return
+	}
+	m.Calls.Inc()
+	m.Augmentations.Add(rounds)
+	m.Relaxations.Add(relaxed)
+	if infeasible {
+		m.Infeasible.Inc()
+	}
+}
+
+func minCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight, m *obs.FlowMetrics) (UnitFlow, error) {
 	if k < 0 {
 		return UnitFlow{}, fmt.Errorf("flow: negative k=%d", k)
 	}
+	var rounds, relaxed int64
 	n := g.NumNodes()
 	inFlow := make([]bool, g.NumEdges())
 	// Potentials initialized by a plain Dijkstra (weights nonnegative). The
@@ -162,6 +189,7 @@ func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight)
 			settled[v] = false
 		}
 		if pot[s] == shortest.Inf {
+			recordFlow(m, rounds, relaxed, true)
 			return UnitFlow{}, ErrInfeasible
 		}
 		dist[s] = 0
@@ -174,9 +202,13 @@ func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight)
 				continue
 			}
 			settled[u] = true
-			relax := func(to graph.NodeID, wt int64, a arc) {
+			// relax reports whether it improved dist[to]; the call sites
+			// count improvements into a plain local (capturing a counter in
+			// the closure could force it to the heap, which bench-guard
+			// would flag).
+			relax := func(to graph.NodeID, wt int64, a arc) bool {
 				if settled[to] || pot[to] == shortest.Inf {
-					return
+					return false
 				}
 				rw := wt + pot[u] - pot[to]
 				if rw < 0 {
@@ -187,24 +219,28 @@ func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight)
 					dist[to] = nd
 					parent[to] = a
 					h.Push(int(to), nd)
+					return true
 				}
+				return false
 			}
 			for _, id := range g.Out(u) {
 				e := g.Edge(id)
-				if !inFlow[id] {
-					relax(e.To, w(e), arc{edge: id, fwd: true})
+				if !inFlow[id] && relax(e.To, w(e), arc{edge: id, fwd: true}) {
+					relaxed++
 				}
 			}
 			for _, id := range g.In(u) {
 				e := g.Edge(id)
-				if inFlow[id] {
-					relax(e.From, -w(e), arc{edge: id, fwd: false})
+				if inFlow[id] && relax(e.From, -w(e), arc{edge: id, fwd: false}) {
+					relaxed++
 				}
 			}
 		}
 		if dist[t] == shortest.Inf {
+			recordFlow(m, rounds, relaxed, true)
 			return UnitFlow{}, ErrInfeasible
 		}
+		rounds++
 		// Augment along the parent chain.
 		v := t
 		for v != s {
@@ -239,6 +275,7 @@ func MinCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight)
 			set.Add(graph.EdgeID(id))
 		}
 	}
+	recordFlow(m, rounds, relaxed, false)
 	return UnitFlow{Edges: set, Value: k}, nil
 }
 

@@ -12,12 +12,13 @@ import (
 // goldenMounts maps testdata subdirectories to the synthetic import paths
 // that put each golden package inside the analyzer's applicability set.
 var goldenMounts = map[string]string{
-	"detmap":    "repro/internal/graph/golden",
-	"nopanic":   "repro/internal/golden/nopaniclib",
-	"hotalloc":  "repro/internal/core/golden",
-	"wallclock": "repro/internal/golden/clock",
-	"weightovf": "repro/internal/rsp/golden",
-	"directive": "repro/internal/golden/directive",
+	"detmap":       "repro/internal/graph/golden",
+	"nopanic":      "repro/internal/golden/nopaniclib",
+	"hotalloc":     "repro/internal/core/golden",
+	"wallclock":    "repro/internal/golden/clock",
+	"wallclockobs": "repro/internal/obs/golden",
+	"weightovf":    "repro/internal/rsp/golden",
+	"directive":    "repro/internal/golden/directive",
 }
 
 var (
@@ -124,8 +125,9 @@ func TestHotallocGolden(t *testing.T) {
 
 func TestWallclockGolden(t *testing.T) {
 	expectDiags(t, runOne(t, Wallclock), []string{
-		"wallclock/bad.go:12:9", // time.Now
-		"wallclock/bad.go:17:9", // global-source rand.Intn
+		"wallclock/bad.go:12:9",   // time.Now
+		"wallclock/bad.go:17:9",   // global-source rand.Intn
+		"wallclockobs/bad.go:8:9", // time.Since outside the exempt realclock.go
 	})
 }
 

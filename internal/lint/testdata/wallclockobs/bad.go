@@ -1,0 +1,9 @@
+package golden
+
+import "time"
+
+// Elapsed reads the wall clock outside the sanctioned realclock.go file:
+// the exemption is per-file, not per-package, so this must still report.
+func Elapsed(start time.Time) int64 {
+	return time.Since(start).Nanoseconds()
+}

@@ -1,0 +1,15 @@
+// Package golden is mounted at repro/internal/obs/golden by the analyzer
+// self-tests. This file is named realclock.go, so the wallclock analyzer
+// must skip it entirely: it models the sanctioned bridge that adapts the
+// process clock into the injected obs.Clock interface.
+package golden
+
+import "time"
+
+var procStart = time.Now()
+
+// RealClock reads monotonic nanoseconds since process start.
+type RealClock struct{}
+
+// Now implements the Clock interface on the real process clock.
+func (RealClock) Now() int64 { return time.Since(procStart).Nanoseconds() }

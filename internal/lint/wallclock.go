@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 )
 
 // Wallclock forbids wall-clock reads and globally-seeded randomness outside
@@ -11,9 +12,14 @@ import (
 // and defeats the determinism tests; randomness must flow from an injected
 // seed (rand.New(rand.NewSource(seed)) is fine and is what every generator
 // does). Measurement code belongs in internal/exp or cmd/.
+//
+// One file is exempt: realclock.go inside an obs package. It is the
+// sanctioned bridge that turns the wall clock into an injected obs.Clock at
+// the cmd/ edge; every other package receives time through that interface,
+// so the determinism argument is preserved (see DESIGN.md §9).
 var Wallclock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "forbid time.Now and unseeded math/rand outside cmd/ and internal/exp",
+	Doc:  "forbid time.Now and unseeded math/rand outside cmd/, internal/exp and obs/realclock.go",
 	AppliesTo: func(path string) bool {
 		return !pathHasSegment(path, "cmd") && !pathHasSegment(path, "examples") &&
 			!pathHasSegment(path, "exp") && !pathHasSegment(path, "main")
@@ -36,6 +42,13 @@ var randSeededCtors = map[string]bool{
 func runWallclock(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
+		// The obs package's realclock.go is the single sanctioned
+		// wall-clock read: it adapts time.Since(start) into the injected
+		// Clock interface consumed everywhere else.
+		if pathHasSegment(pass.Pkg.Path, "obs") &&
+			filepath.Base(pass.Prog.Fset.Position(f.Pos()).Filename) == "realclock.go" {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

@@ -1,0 +1,231 @@
+package obs
+
+// This file is the solver's metric catalogue: the typed groups threaded
+// through each layer and their eager registration. DESIGN.md §9 carries
+// the prose version of this table.
+
+// ServerMetrics instruments cmd/krspd's HTTP surface.
+type ServerMetrics struct {
+	// SolveRequests counts POST /solve requests accepted for solving.
+	SolveRequests *Counter
+	// FeasibleRequests counts POST /feasible requests.
+	FeasibleRequests *Counter
+	// RequestErrors counts requests answered with a 4xx/5xx status.
+	RequestErrors *Counter
+	// Inflight tracks concurrently executing solve/feasible requests.
+	Inflight *Gauge
+	// RequestDuration is the end-to-end request latency histogram.
+	RequestDuration *Histogram
+}
+
+// SolverMetrics instruments core.Solve / core.SolveScaled outcomes. The
+// per-solve counters are recorded post-hoc from the returned core.Stats so
+// the cancellation loop itself gains no record calls.
+type SolverMetrics struct {
+	// Solves counts completed Solve/SolveScaled calls (success or error).
+	Solves *Counter
+	// Errors counts solves that returned an error (incl. ErrNoKPaths).
+	Errors *Counter
+	// Exact counts solves whose certificate proves exact optimality.
+	Exact *Counter
+	// Cancellations counts Algorithm 1 cycle cancellations applied.
+	Cancellations *Counter
+	// Cycles counts cancellations by bicameral cycle type (Definition 10).
+	Cycles [3]*Counter
+	// CRefEscalations counts C_ref cost-cap escalations.
+	CRefEscalations *Counter
+	// RelaxedCap counts solves that needed the relaxed cost cap.
+	RelaxedCap *Counter
+	// Phase1Fallbacks counts solves that fell back to the Phase-1 answer.
+	Phase1Fallbacks *Counter
+	// BudgetEscalations accumulates Stats.BudgetsTried across solves.
+	BudgetEscalations *Counter
+	// LambdaIterations is the per-solve Phase-1 λ-iteration histogram.
+	LambdaIterations *Histogram
+	// CancellationsPerSolve is the per-solve cancellation-count histogram.
+	CancellationsPerSolve *Histogram
+}
+
+// FlowMetrics instruments flow.MinCostKFlow.
+type FlowMetrics struct {
+	// Calls counts MinCostKFlow invocations.
+	Calls *Counter
+	// Augmentations counts successive-shortest-path augmentation rounds.
+	Augmentations *Counter
+	// Relaxations counts improving edge relaxations in the SSP Dijkstra.
+	Relaxations *Counter
+	// Infeasible counts calls that found fewer than k units of flow.
+	Infeasible *Counter
+}
+
+// BicameralMetrics instruments the bicameral-cycle search engines.
+type BicameralMetrics struct {
+	// Finds counts bicameral.Find invocations.
+	Finds *Counter
+	// Searches counts negative-cycle searches across all budgets.
+	Searches *Counter
+	// Candidates counts qualifying candidate cycles inspected.
+	Candidates *Counter
+	// BudgetEscalations counts layered-search budget ladder steps tried.
+	BudgetEscalations *Counter
+	// NotFound counts Find calls that exhausted every engine.
+	NotFound *Counter
+	// SeedSweeps counts parallel seed sweeps launched.
+	SeedSweeps *Counter
+	// SweepWorkers records the worker count used per parallel sweep.
+	SweepWorkers *Histogram
+}
+
+// ShortestMetrics instruments the SPFA kernels feeding the bicameral
+// search. Recorded once per kernel run from locally accumulated counts,
+// so the relaxation loop carries no atomics.
+type ShortestMetrics struct {
+	// Runs counts SPFA kernel invocations.
+	Runs *Counter
+	// Relaxations counts improving relaxations across all runs.
+	Relaxations *Counter
+	// NegCycles counts runs that found a negative cycle.
+	NegCycles *Counter
+}
+
+// RecordRun folds one SPFA kernel run into the group. Nil-safe so
+// shortest.Workspace can call it unconditionally.
+func (m *ShortestMetrics) RecordRun(relaxations int64, negCycle bool) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.Relaxations.Add(relaxations)
+	if negCycle {
+		m.NegCycles.Inc()
+	}
+}
+
+// ServerMetrics returns the HTTP metric group; nil on a nil registry.
+func (r *Registry) ServerMetrics() *ServerMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Server
+}
+
+// SolverMetrics returns the solver metric group; nil on a nil registry.
+func (r *Registry) SolverMetrics() *SolverMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Solver
+}
+
+// FlowMetrics returns the min-cost-flow metric group; nil on a nil
+// registry (flow.MinCostKFlowMetered treats nil as "don't record").
+func (r *Registry) FlowMetrics() *FlowMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Flow
+}
+
+// BicameralMetrics returns the bicameral metric group; nil on a nil
+// registry.
+func (r *Registry) BicameralMetrics() *BicameralMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Bicameral
+}
+
+// ShortestMetrics returns the SPFA metric group; nil on a nil registry.
+func (r *Registry) ShortestMetrics() *ShortestMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Shortest
+}
+
+// registerCatalogue eagerly registers every solver metric. Entries of one
+// family are registered consecutively so exposition emits HELP/TYPE
+// headers exactly once per family.
+func (r *Registry) registerCatalogue() {
+	// cmd/krspd HTTP surface.
+	r.Server.SolveRequests = r.Counter("krspd_solve_requests_total",
+		"POST /solve requests accepted for solving.")
+	r.Server.FeasibleRequests = r.Counter("krspd_feasible_requests_total",
+		"POST /feasible requests accepted.")
+	r.Server.RequestErrors = r.Counter("krspd_request_errors_total",
+		"Requests answered with a 4xx/5xx status.")
+	r.Server.Inflight = r.Gauge("krspd_inflight_requests",
+		"Solve/feasible requests currently executing.")
+	r.Server.RequestDuration = r.DurationHistogram("krspd_request_duration_seconds",
+		"End-to-end request latency.", "")
+
+	// core solve outcomes.
+	r.Solver.Solves = r.Counter("krsp_solves_total",
+		"Completed Solve/SolveScaled calls, success or error.")
+	r.Solver.Errors = r.Counter("krsp_solve_errors_total",
+		"Solves that returned an error (incl. no-k-paths).")
+	r.Solver.Exact = r.Counter("krsp_solves_exact_total",
+		"Solves whose certificate proves exact optimality.")
+	r.Solver.Cancellations = r.Counter("krsp_cancellations_total",
+		"Algorithm 1 cycle cancellations applied.")
+	for i := range r.Solver.Cycles {
+		r.Solver.Cycles[i] = r.LabeledCounter("krsp_cycles_total",
+			"Cancellations by bicameral cycle type (Definition 10).",
+			cycleTypeLabels[i])
+	}
+	r.Solver.CRefEscalations = r.Counter("krsp_cref_escalations_total",
+		"C_ref cost-cap escalations during cancellation.")
+	r.Solver.RelaxedCap = r.Counter("krsp_relaxed_cap_total",
+		"Solves that needed the relaxed cost cap.")
+	r.Solver.Phase1Fallbacks = r.Counter("krsp_phase1_fallbacks_total",
+		"Solves that fell back to the Phase-1 answer.")
+	r.Solver.BudgetEscalations = r.Counter("krsp_budget_escalations_total",
+		"Bicameral budget escalations accumulated across solves.")
+	r.Solver.LambdaIterations = r.Histogram("krsp_phase1_lambda_iterations",
+		"Phase-1 Lagrangian iterations per solve.", countBounds)
+	r.Solver.CancellationsPerSolve = r.Histogram("krsp_cancellations_per_solve",
+		"Cycle cancellations per solve.", countBounds)
+	for p := Phase(0); p < NumPhases; p++ {
+		r.phase[p] = r.DurationHistogram("krsp_solve_phase_duration_seconds",
+			"Solve pipeline phase duration.", `phase="`+p.String()+`"`)
+	}
+
+	// flow.MinCostKFlow.
+	r.Flow.Calls = r.Counter("krsp_flow_mincost_calls_total",
+		"MinCostKFlow invocations.")
+	r.Flow.Augmentations = r.Counter("krsp_flow_augmentations_total",
+		"Successive-shortest-path augmentation rounds.")
+	r.Flow.Relaxations = r.Counter("krsp_flow_relaxations_total",
+		"Improving edge relaxations in the SSP Dijkstra.")
+	r.Flow.Infeasible = r.Counter("krsp_flow_infeasible_total",
+		"MinCostKFlow calls that found fewer than k flow units.")
+
+	// bicameral search.
+	r.Bicameral.Finds = r.Counter("krsp_bicameral_finds_total",
+		"bicameral.Find invocations.")
+	r.Bicameral.Searches = r.Counter("krsp_bicameral_searches_total",
+		"Negative-cycle searches across all budgets.")
+	r.Bicameral.Candidates = r.Counter("krsp_bicameral_candidates_total",
+		"Qualifying candidate cycles inspected.")
+	r.Bicameral.BudgetEscalations = r.Counter("krsp_bicameral_budgets_total",
+		"Layered-search budget ladder steps tried.")
+	r.Bicameral.NotFound = r.Counter("krsp_bicameral_not_found_total",
+		"Find calls that exhausted every engine without a cycle.")
+	r.Bicameral.SeedSweeps = r.Counter("krsp_bicameral_parallel_sweeps_total",
+		"Parallel seed sweeps launched.")
+	r.Bicameral.SweepWorkers = r.Histogram("krsp_bicameral_sweep_workers",
+		"Worker count used per parallel sweep.",
+		[]int64{1, 2, 4, 8, 16, 32, 64})
+
+	// shortest SPFA kernels.
+	r.Shortest.Runs = r.Counter("krsp_spfa_runs_total",
+		"SPFA kernel invocations.")
+	r.Shortest.Relaxations = r.Counter("krsp_spfa_relaxations_total",
+		"Improving relaxations across all SPFA runs.")
+	r.Shortest.NegCycles = r.Counter("krsp_spfa_negative_cycles_total",
+		"SPFA runs that found a negative cycle.")
+}
+
+// cycleTypeLabels pre-renders the const labels for krsp_cycles_total so
+// registration stays a pure table.
+var cycleTypeLabels = [3]string{`type="0"`, `type="1"`, `type="2"`}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// WritePrometheus emits every registered metric in Prometheus text
+// exposition format 0.0.4. HELP/TYPE headers appear once per family (the
+// catalogue registers each family's entries consecutively); histogram
+// buckets are cumulative with `le` in exposition units (seconds for
+// duration histograms). Nil-safe: a nil registry writes nothing.
+//
+// The whole exposition is rendered into one buffer and written with a
+// single Write, so a scrape is a consistent point-in-time-ish snapshot
+// modulo individual atomic loads.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 1<<14)
+	prev := ""
+	for _, e := range r.entries {
+		if e.family != prev {
+			buf = append(buf, "# HELP "...)
+			buf = append(buf, e.family...)
+			buf = append(buf, ' ')
+			buf = append(buf, e.help...)
+			buf = append(buf, "\n# TYPE "...)
+			buf = append(buf, e.family...)
+			buf = append(buf, ' ')
+			buf = append(buf, typeName(e.kind)...)
+			buf = append(buf, '\n')
+			prev = e.family
+		}
+		switch e.kind {
+		case kindCounter:
+			buf = appendSample(buf, e.family, "", e.labels, "")
+			buf = strconv.AppendInt(buf, e.c.Value(), 10)
+			buf = append(buf, '\n')
+		case kindGauge:
+			buf = appendSample(buf, e.family, "", e.labels, "")
+			buf = strconv.AppendInt(buf, e.g.Value(), 10)
+			buf = append(buf, '\n')
+		case kindHistogram:
+			cum := int64(0)
+			for i, b := range e.h.bounds {
+				cum += e.h.counts[i].Load()
+				buf = appendSample(buf, e.family, "_bucket", e.labels, formatBound(b, e.scale))
+				buf = strconv.AppendInt(buf, cum, 10)
+				buf = append(buf, '\n')
+			}
+			buf = appendSample(buf, e.family, "_bucket", e.labels, "+Inf")
+			buf = strconv.AppendInt(buf, e.h.Count(), 10)
+			buf = append(buf, '\n')
+			buf = appendSample(buf, e.family, "_sum", e.labels, "")
+			if e.scale == 1 {
+				buf = strconv.AppendInt(buf, e.h.Sum(), 10)
+			} else {
+				buf = strconv.AppendFloat(buf, float64(e.h.Sum())/e.scale, 'g', -1, 64)
+			}
+			buf = append(buf, '\n')
+			buf = appendSample(buf, e.family, "_count", e.labels, "")
+			buf = strconv.AppendInt(buf, e.h.Count(), 10)
+			buf = append(buf, '\n')
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendSample renders `family[suffix]{labels,le="bound"} ` (trailing
+// space, value appended by the caller). Either labels or bound may be
+// empty; braces are omitted when both are.
+func appendSample(buf []byte, family, suffix, labels, le string) []byte {
+	buf = append(buf, family...)
+	buf = append(buf, suffix...)
+	if labels != "" || le != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		if le != "" {
+			if labels != "" {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `le="`...)
+			buf = append(buf, le...)
+			buf = append(buf, '"')
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	return buf
+}
+
+func typeName(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}

@@ -1,0 +1,20 @@
+package obs
+
+import "time"
+
+// This file is the single sanctioned wall-clock read outside cmd/: the
+// krsplint `wallclock` analyzer exempts exactly internal/obs/realclock.go,
+// so every other library package must take time through the Clock
+// interface (DESIGN.md §9).
+
+// procStart anchors RealClock readings to process start so Now fits an
+// int64 of nanoseconds with maximal headroom and inherits the runtime's
+// monotonic clock (immune to wall-clock steps).
+var procStart = time.Now()
+
+// RealClock reads the process monotonic clock. Inject it into obs.New at
+// the cmd/ edge; never construct it inside deterministic packages.
+type RealClock struct{}
+
+// Now returns nanoseconds since process start, monotonic.
+func (RealClock) Now() int64 { return time.Since(procStart).Nanoseconds() }

@@ -99,6 +99,7 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 	// on negative-cycle-free graphs).
 	inQueue, pathLen, queue := ws.resetFlags(n)
 	defer func() { ws.queue = queue[:0] }()
+	relaxations := 0
 	if single {
 		queue = append(queue, s)
 		inQueue[s] = true
@@ -121,7 +122,9 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 			e := g.Edge(id)
 			if nd := du + w(e); nd < t.Dist[e.To] {
 				budget--
+				relaxations++
 				if budget < 0 {
+					ws.recordSPFA(relaxations, false)
 					return t, graph.Cycle{}, false, false
 				}
 				t.Dist[e.To] = nd
@@ -134,6 +137,7 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 					// rootward exit means the trigger was stale — record
 					// the true length and move on.
 					if at, cyclic := chainRepeat(g, t.Parent, e.To); cyclic {
+						ws.recordSPFA(relaxations, true)
 						return t, extractParentCycle(g, t.Parent, at), false, true
 					}
 					pathLen[e.To] = chainLength(g, t.Parent, e.To)
@@ -145,6 +149,7 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 			}
 		}
 	}
+	ws.recordSPFA(relaxations, false)
 	return t, graph.Cycle{}, true, true
 }
 

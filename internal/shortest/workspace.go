@@ -2,6 +2,7 @@ package shortest
 
 import (
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pq"
 )
 
@@ -28,6 +29,20 @@ type Workspace struct {
 	queue   []graph.NodeID
 	done    []bool
 	heap    *pq.Heap
+	metrics *obs.ShortestMetrics
+}
+
+// SetMetrics attaches a metric sink to the workspace; every SPFA kernel
+// run through it then reports run/relaxation/negative-cycle counts. A nil
+// sink (the default) records nothing. Parallel sweeps may point many
+// workspaces at the same sink: recording is atomic.
+func (ws *Workspace) SetMetrics(m *obs.ShortestMetrics) { ws.metrics = m }
+
+// recordSPFA folds one kernel run into the attached sink, if any. Counts
+// are accumulated locally by the kernel and recorded once per run, so the
+// relaxation loop carries no atomics.
+func (ws *Workspace) recordSPFA(relaxations int, negCycle bool) {
+	ws.metrics.RecordRun(int64(relaxations), negCycle)
 }
 
 // NewWorkspace returns a workspace sized for graphs of up to n vertices.
