@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint build test race bench-smoke bench bench-guard clean
+.PHONY: check vet fmt-check lint build test race fuzz-smoke bench-smoke bench bench-guard clean
 
 # The full CI gate: static checks (vet, gofmt, krsplint), build, race-enabled
-# tests, a one-shot benchmark smoke run (catches benchmarks that panic or
-# regress to failure), and the allocation guard on the flagship solve bench.
-check: vet fmt-check lint build race bench-smoke bench-guard
+# tests, a short fuzz smoke over the robustness harness, a one-shot benchmark
+# smoke run (catches benchmarks that panic or regress to failure), and the
+# allocation guard on the flagship solve bench.
+check: vet fmt-check lint build race fuzz-smoke bench-smoke bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +30,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short coverage-guided fuzz over SolveCtx: random instances, poll strides
+# and fault seeds must never panic or violate the delay bound.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSolveCtx$$' -fuzztime 10s ./internal/core/
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -36,10 +42,11 @@ bench-smoke:
 bench:
 	$(GO) run ./cmd/krspbench -out BENCH_1.json
 
-# Zero-alloc observability contract: core.Solve with Options.Metrics unset
-# must not allocate above the BENCH_1.json baseline (allocs/op comparison).
+# Zero-alloc contracts: core.Solve with Options.Metrics unset must not
+# allocate above the BENCH_1.json baseline, and SolveCtx with a live
+# Canceller must match it (allocs/op comparison).
 bench-guard:
-	$(GO) run ./cmd/krspbench -run SolveN60K3 -guard BENCH_1.json
+	$(GO) run ./cmd/krspbench -run SolveN60K3,SolveCtxN60K3 -guard BENCH_1.json
 
 clean:
 	$(GO) clean ./...

@@ -16,12 +16,19 @@
 //	-quiet    print only the summary line
 //	-stats    print the full solve statistics on one stats: line
 //	-trace    write one JSON object per cancellation (core.IterationRecord)
-//	          to this file, one per line (JSONL); implies trace collection
+//	          to this file, one per line (JSONL), closed by a summary line
+//	          {"summary":true,"degraded":...}; implies trace collection
+//	-timeout  deadline for -algo solve/scaled/phase1; past it the best
+//	          feasible intermediate is printed and krsp exits 2
+//
+// Exit codes: 0 solved, 2 solved but degraded (deadline hit, answer is
+// feasible but not bound-certified-final), 1 error.
 //
 // The instance format is documented in internal/graph (WriteInstance).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,13 +43,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	degraded, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "krsp:", err)
 		os.Exit(1)
 	}
+	if degraded {
+		os.Exit(2)
+	}
 }
 
-func run(args []string, out io.Writer) error {
+// run executes one CLI invocation. The degraded return is true when a
+// -timeout deadline cut the solve short and the printed answer is the best
+// feasible intermediate (main maps it to exit code 2).
+func run(args []string, out io.Writer) (bool, error) {
 	fs := flag.NewFlagSet("krsp", flag.ContinueOnError)
 	algo := fs.String("algo", "solve", "solver: solve|scaled|phase1|exact|minsum|mindelay|greedy|sweep")
 	eps := fs.Float64("eps", 0.25, "epsilon for -algo scaled")
@@ -52,9 +66,12 @@ func run(args []string, out io.Writer) error {
 	quiet := fs.Bool("quiet", false, "print only the summary line")
 	statsFlag := fs.Bool("stats", false, "print full solve statistics")
 	tracePath := fs.String("trace", "", "write the cancellation trace as JSONL to this file")
+	timeout := fs.Duration("timeout", 0,
+		"deadline for -algo solve/scaled/phase1; best feasible intermediate past it"+
+			" (0 = none, negative = already expired)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return false, err
 	}
 
 	var in io.Reader = os.Stdin
@@ -64,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		var f *os.File
 		f, err = os.Open(fs.Arg(0))
 		if err != nil {
-			return err
+			return false, err
 		}
 		defer f.Close()
 		in = f
@@ -77,13 +94,13 @@ func run(args []string, out io.Writer) error {
 	case "dimacs":
 		ins, err = graph.ReadDIMACS(in)
 	default:
-		return fmt.Errorf("unknown format %q", *format)
+		return false, fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
-		return fmt.Errorf("parsing %s: %w", name, err)
+		return false, fmt.Errorf("parsing %s: %w", name, err)
 	}
 	if err := ins.Validate(); err != nil {
-		return err
+		return false, err
 	}
 
 	opts := core.Options{CollectTrace: *tracePath != ""}
@@ -94,7 +111,7 @@ func run(args []string, out io.Writer) error {
 	case "minratio":
 		opts.Engine = bicameral.EngineMinRatio
 	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+		return false, fmt.Errorf("unknown engine %q", *engine)
 	}
 
 	var (
@@ -103,22 +120,33 @@ func run(args []string, out io.Writer) error {
 		lowerBound int64 = -1
 		label            = *algo
 		solveStats *core.Stats
+		degraded   bool
 	)
 	switch *algo {
 	case "solve", "scaled", "phase1":
+		// Negative timeouts create an already-expired deadline: the solver
+		// degrades at its first poll, which makes exit code 2 testable
+		// without racing a wall-clock timer.
+		ctx := context.Background()
+		if *timeout != 0 {
+			var cancelCtx context.CancelFunc
+			ctx, cancelCtx = context.WithTimeout(ctx, *timeout)
+			defer cancelCtx()
+		}
 		var res core.Result
 		switch *algo {
 		case "solve":
-			res, err = core.Solve(ins, opts)
+			res, err = core.SolveCtx(ctx, ins, opts)
 		case "scaled":
-			res, err = core.SolveScaled(ins, *eps, *eps, opts)
+			res, err = core.SolveScaledCtx(ctx, ins, *eps, *eps, opts)
 		case "phase1":
 			opts.Phase1Only = true
-			res, err = core.Solve(ins, opts)
+			res, err = core.SolveCtx(ctx, ins, opts)
 		}
 		if err != nil {
-			return err
+			return false, err
 		}
+		degraded = res.Stats.Degraded
 		sol, cost, dly, lowerBound = res.Solution, res.Cost, res.Delay, res.LowerBound
 		solveStats = &res.Stats
 		if !*quiet {
@@ -131,7 +159,7 @@ func run(args []string, out io.Writer) error {
 	case "exact":
 		res, err := exact.BruteForce(ins, 0)
 		if err != nil {
-			return err
+			return false, err
 		}
 		sol, cost, dly, lowerBound = res.Solution, res.Cost, res.Delay, res.Cost
 	case "minsum", "mindelay", "greedy", "sweep":
@@ -143,15 +171,15 @@ func run(args []string, out io.Writer) error {
 		}
 		res, err := fn(ins)
 		if err != nil {
-			return err
+			return false, err
 		}
 		sol, cost, dly = res.Solution, res.Cost, res.Delay
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return false, fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
 	if (*statsFlag || *tracePath != "") && solveStats == nil {
-		return fmt.Errorf("-stats and -trace require -algo solve, scaled, or phase1")
+		return false, fmt.Errorf("-stats and -trace require -algo solve, scaled, or phase1")
 	}
 
 	fmt.Fprintf(out, "%s: k=%d cost=%d delay=%d bound=%d", label, ins.K, cost, dly, ins.Bound)
@@ -160,6 +188,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if dly > ins.Bound {
 		fmt.Fprint(out, " [BOUND VIOLATED]")
+	}
+	if degraded {
+		fmt.Fprint(out, " [DEGRADED: deadline hit, best feasible intermediate]")
 	}
 	fmt.Fprintln(out)
 	if !*quiet {
@@ -180,28 +211,46 @@ func run(args []string, out io.Writer) error {
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			return err
+			return degraded, err
 		}
 		enc := json.NewEncoder(f) // one record per line: JSONL
 		for _, rec := range solveStats.Trace {
 			if err := enc.Encode(rec); err != nil {
 				f.Close()
-				return err
+				return degraded, err
 			}
 		}
+		// Trailer line: whole-solve outcome, distinguished by "summary".
+		if err := enc.Encode(traceSummary{
+			Summary: true, Degraded: degraded,
+			Cost: cost, Delay: dly, Iterations: solveStats.Iterations,
+		}); err != nil {
+			f.Close()
+			return degraded, err
+		}
 		if err := f.Close(); err != nil {
-			return err
+			return degraded, err
 		}
 	}
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
 		if err != nil {
-			return err
+			return degraded, err
 		}
 		defer f.Close()
 		if err := graph.WriteDOT(f, ins.G, ins.Name, graph.NewEdgeSet(sol.EdgeIDs()...)); err != nil {
-			return err
+			return degraded, err
 		}
 	}
-	return nil
+	return degraded, nil
+}
+
+// traceSummary is the final -trace JSONL line: the whole-solve outcome
+// following the per-iteration records.
+type traceSummary struct {
+	Summary    bool  `json:"summary"`
+	Degraded   bool  `json:"degraded"`
+	Cost       int64 `json:"cost"`
+	Delay      int64 `json:"delay"`
+	Iterations int   `json:"iterations"`
 }

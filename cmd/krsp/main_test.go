@@ -37,7 +37,7 @@ func writeInstanceFile(t *testing.T) string {
 func TestRunSolve(t *testing.T) {
 	path := writeInstanceFile(t)
 	var out bytes.Buffer
-	if err := run([]string{path}, &out); err != nil {
+	if _, err := run([]string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -56,7 +56,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	path := writeInstanceFile(t)
 	for _, algo := range []string{"solve", "scaled", "phase1", "exact", "minsum", "mindelay", "greedy", "sweep"} {
 		var out bytes.Buffer
-		if err := run([]string{"-algo", algo, path}, &out); err != nil {
+		if _, err := run([]string{"-algo", algo, path}, &out); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if !strings.Contains(out.String(), algo+": k=2") {
@@ -68,7 +68,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 func TestRunLPEngineAndQuiet(t *testing.T) {
 	path := writeInstanceFile(t)
 	var out bytes.Buffer
-	if err := run([]string{"-engine", "lp", "-quiet", path}, &out); err != nil {
+	if _, err := run([]string{"-engine", "lp", "-quiet", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "path 1:") {
@@ -80,7 +80,7 @@ func TestRunDOTOutput(t *testing.T) {
 	path := writeInstanceFile(t)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	var out bytes.Buffer
-	if err := run([]string{"-dot", dot, path}, &out); err != nil {
+	if _, err := run([]string{"-dot", dot, path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -109,13 +109,13 @@ func TestRunDIMACSFormat(t *testing.T) {
 	}
 	f.Close()
 	var out bytes.Buffer
-	if err := run([]string{"-format", "dimacs", path}, &out); err != nil {
+	if _, err := run([]string{"-format", "dimacs", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "solve: k=2") {
 		t.Fatalf("output:\n%s", out.String())
 	}
-	if err := run([]string{"-format", "bogus", path}, &out); err == nil {
+	if _, err := run([]string{"-format", "bogus", path}, &out); err == nil {
 		t.Fatal("bogus format accepted")
 	}
 }
@@ -123,7 +123,7 @@ func TestRunDIMACSFormat(t *testing.T) {
 func TestRunMinRatioEngine(t *testing.T) {
 	path := writeInstanceFile(t)
 	var out bytes.Buffer
-	if err := run([]string{"-engine", "minratio", path}, &out); err != nil {
+	if _, err := run([]string{"-engine", "minratio", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "BOUND VIOLATED") {
@@ -140,7 +140,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		if _, err := run(args, &out); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
 	}
@@ -150,7 +150,7 @@ func TestRunStatsAndTrace(t *testing.T) {
 	path := writeInstanceFile(t)
 	tfile := filepath.Join(t.TempDir(), "trace.jsonl")
 	var out bytes.Buffer
-	if err := run([]string{"-stats", "-trace", tfile, path}, &out); err != nil {
+	if _, err := run([]string{"-stats", "-trace", tfile, path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -170,10 +170,12 @@ func TestRunStatsAndTrace(t *testing.T) {
 	if trimmed := strings.TrimSpace(string(data)); trimmed != "" {
 		lines = strings.Split(trimmed, "\n")
 	}
-	if len(lines) != cancels {
-		t.Fatalf("trace has %d lines, stats reported %d cancellations\n%s", len(lines), cancels, data)
+	// One record per cancellation plus the summary trailer.
+	if len(lines) != cancels+1 {
+		t.Fatalf("trace has %d lines, stats reported %d cancellations (+1 summary)\n%s",
+			len(lines), cancels, data)
 	}
-	for _, line := range lines {
+	for _, line := range lines[:cancels] {
 		var rec core.IterationRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("trace line %q: %v", line, err)
@@ -182,9 +184,58 @@ func TestRunStatsAndTrace(t *testing.T) {
 			t.Fatalf("trace record missing cref: %q", line)
 		}
 	}
+	var sum traceSummary
+	if err := json.Unmarshal([]byte(lines[cancels]), &sum); err != nil {
+		t.Fatalf("trace summary %q: %v", lines[cancels], err)
+	}
+	if !sum.Summary || sum.Degraded || sum.Iterations != cancels {
+		t.Fatalf("trace summary = %+v, want summary=true degraded=false iterations=%d",
+			sum, cancels)
+	}
 	// -stats/-trace are meaningless for algorithms without core.Stats.
-	if err := run([]string{"-algo", "exact", "-stats", path}, &out); err == nil {
+	if _, err := run([]string{"-algo", "exact", "-stats", path}, &out); err == nil {
 		t.Fatal("-stats with -algo exact accepted")
+	}
+}
+
+// TestRunTimeoutDegrades: an expired -timeout must still print a feasible
+// answer, flag it, return degraded=true (exit code 2 in main), and close
+// the trace with a degraded summary line.
+func TestRunTimeoutDegrades(t *testing.T) {
+	path := writeInstanceFile(t)
+	tfile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	degraded, err := run([]string{"-timeout", "-1ms", "-trace", tfile, path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded {
+		t.Fatalf("expected a degraded run:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "[DEGRADED") {
+		t.Fatalf("summary line missing the degraded marker:\n%s", s)
+	}
+	if strings.Contains(s, "BOUND VIOLATED") {
+		t.Fatalf("degraded answer violates the bound:\n%s", s)
+	}
+	data, err := os.ReadFile(tfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var sum traceSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatalf("trace summary: %v", err)
+	}
+	if !sum.Summary || !sum.Degraded {
+		t.Fatalf("trace summary = %+v, want summary=true degraded=true", sum)
+	}
+	// A generous timeout must not degrade anything.
+	out.Reset()
+	degraded, err = run([]string{"-timeout", "1h", path}, &out)
+	if err != nil || degraded {
+		t.Fatalf("generous timeout: degraded=%v err=%v", degraded, err)
 	}
 }
 
@@ -199,7 +250,7 @@ func TestRunInfeasibleInstance(t *testing.T) {
 	}
 	f.Close()
 	var out bytes.Buffer
-	if err := run([]string{path}, &out); err == nil {
+	if _, err := run([]string{path}, &out); err == nil {
 		t.Fatal("infeasible instance accepted")
 	}
 }

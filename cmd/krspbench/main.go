@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -210,6 +211,21 @@ func suite() []bench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Solve(ins, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SolveCtxN60K3", func(b *testing.B) {
+			// Cancellable-context twin of SolveN60K3: a live Canceller is
+			// threaded through every kernel, so this proves the deadline
+			// machinery (pool-backed Canceller, strided polling) costs zero
+			// additional allocations on the hot path.
+			ins := benchInstance(60, 3, 1.3)
+			ctx, stop := context.WithCancel(context.Background())
+			defer stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveCtx(ctx, ins, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

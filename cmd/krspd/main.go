@@ -3,15 +3,18 @@
 // multipath QoS routing becomes deployable: global topology, central
 // compute).
 //
-//	krspd -addr :8080 [-pprof] [-max-body 8388608]
+//	krspd -addr :8080 [-pprof] [-max-body 8388608] [-max-inflight N]
+//	      [-deadline 0] [-max-deadline 60s]
 //
 // Endpoints:
 //
 //	POST /solve         body: instance in the krsp text format;
 //	                    query: algo=solve|scaled|phase1 (default solve),
 //	                           eps=<float> (scaled only)
+//	                    header: X-Krsp-Deadline-Ms overrides -deadline,
+//	                            capped by -max-deadline
 //	                    → JSON {requestId, cost, delay, bound, lowerBound,
-//	                            exact, paths, stats}
+//	                            exact, paths, degraded, deadlineMs, stats}
 //	POST /feasible      body: instance → JSON {maxDisjoint, minDelay, ok}
 //	GET  /healthz       → 200 "ok"
 //	GET  /metrics       → Prometheus text exposition (DESIGN.md §9)
@@ -19,8 +22,11 @@
 //	GET  /debug/pprof/  → net/http/pprof, only with -pprof
 //
 // The server reads bodies through MaxBytesReader (413 beyond -max-body),
-// runs with read/write timeouts, logs one structured line per request via
-// log/slog, and shuts down gracefully on SIGINT/SIGTERM.
+// sheds load with 429 past -max-inflight concurrent solves, enforces
+// per-request solve deadlines (degraded-but-feasible answers carry
+// "degraded": true), converts handler panics to 500s, runs with read/write
+// timeouts, logs one structured line per request via log/slog, and shuts
+// down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -40,16 +47,28 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
+	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0),
+		"maximum concurrent solve/feasible requests before shedding 429 (0 disables)")
+	deadline := flag.Duration("deadline", 0,
+		"default per-solve deadline; degraded-but-feasible answers past it (0 disables)")
+	maxDeadline := flag.Duration("max-deadline", 60*time.Second,
+		"cap on the X-Krsp-Deadline-Ms header deadline (0 = uncapped)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	// The cmd/ edge is the only place the real clock enters the solver
 	// stack (krsplint wallclock invariant; see internal/obs/realclock.go).
-	srv := newServer(obs.New(obs.RealClock{}), logger, *maxBody, *pprofFlag)
+	srv := newServer(obs.New(obs.RealClock{}), logger, config{
+		maxBody:         *maxBody,
+		pprof:           *pprofFlag,
+		maxInflight:     *maxInflight,
+		defaultDeadline: *deadline,
+		maxDeadline:     *maxDeadline,
+	})
 
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.mux(),
+		Handler:           srv.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute, // big solves; must outlive the slowest algo
@@ -61,7 +80,9 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Info("krspd listening", "addr", *addr, "pprof", *pprofFlag, "maxBody", *maxBody)
+	logger.Info("krspd listening", "addr", *addr, "pprof", *pprofFlag,
+		"maxBody", *maxBody, "maxInflight", *maxInflight,
+		"deadline", *deadline, "maxDeadline", *maxDeadline)
 
 	select {
 	case err := <-errc:

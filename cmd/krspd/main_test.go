@@ -10,8 +10,11 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -22,14 +25,21 @@ func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
-// testServer spins up a daemon instance with a deterministic clock and the
-// given body limit; pprof off unless a test opts in.
-func testServer(t *testing.T, maxBody int64, enablePprof bool) (*httptest.Server, *server) {
+// testServerCfg spins up a daemon instance with a deterministic clock and
+// full control over the operational config.
+func testServerCfg(t *testing.T, cfg config) (*httptest.Server, *server) {
 	t.Helper()
-	s := newServer(obs.New(&obs.ManualClock{}), discardLogger(), maxBody, enablePprof)
-	srv := httptest.NewServer(s.mux())
+	s := newServer(obs.New(&obs.ManualClock{}), discardLogger(), cfg)
+	srv := httptest.NewServer(s.handler())
 	t.Cleanup(srv.Close)
 	return srv, s
+}
+
+// testServer is the common-case helper: the given body limit, admission
+// control off, no deadlines; pprof off unless a test opts in.
+func testServer(t *testing.T, maxBody int64, enablePprof bool) (*httptest.Server, *server) {
+	t.Helper()
+	return testServerCfg(t, config{maxBody: maxBody, pprof: enablePprof})
 }
 
 func instanceBody(t *testing.T, bound int64, k int) *bytes.Buffer {
@@ -293,6 +303,151 @@ func TestDebugVars(t *testing.T) {
 	}
 	if _, ok := krsp[`krsp_solve_phase_duration_seconds{phase="total"}`]; !ok {
 		t.Fatal("snapshot missing phase histogram")
+	}
+}
+
+// TestSolveShedsWhenOverloaded parks one solve inside the solver via a
+// blocking fault hook so the single admission slot stays occupied, then
+// asserts a concurrent solve is shed with 429 and counted, and that the
+// parked solve still completes once released.
+func TestSolveShedsWhenOverloaded(t *testing.T) {
+	faults := fault.New(1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	faults.ArmFunc(fault.PointCancel, func() error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	})
+	srv, s := testServerCfg(t, config{maxBody: 1 << 20, maxInflight: 1, faults: faults})
+
+	firstBody := instanceBody(t, 10, 2)
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/solve", "text/plain", firstBody)
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-entered // the first solve now holds the only slot, parked in-solver
+
+	resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded solve: status %d, want 429", resp.StatusCode)
+	}
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("parked solve: status %d, want 200", code)
+	}
+	if got := s.reg.Server.Shed.Value(); got != 1 {
+		t.Fatalf("krspd_shed_total = %d, want 1", got)
+	}
+	if got := metricValue(t, scrape(t, srv), "krspd_shed_total"); got != 1 {
+		t.Fatalf("exposed shed total = %d, want 1", got)
+	}
+}
+
+// TestSolveDeadlineDegrades exercises the full deadline path: the header is
+// parsed and capped, a canceller exists, and the fault-tripped cancellation
+// returns a degraded-but-feasible answer with 200, the degraded flag, the
+// echoed effective deadline, and a counter tick.
+func TestSolveDeadlineDegrades(t *testing.T) {
+	faults := fault.New(2)
+	faults.Arm(fault.PointCancel, 1.0) // deterministic stand-in for the clock expiring
+	srv, _ := testServerCfg(t, config{
+		maxBody:     1 << 20,
+		maxDeadline: 50 * time.Millisecond,
+		faults:      faults,
+	})
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/solve", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(deadlineMsHeader, "100000") // way past the cap
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (anytime answers are not errors)", resp.StatusCode)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || !out.Stats.Degraded {
+		t.Fatalf("expected a degraded answer, got %+v", out)
+	}
+	if out.DeadlineMs != 50 {
+		t.Fatalf("deadlineMs = %d, want the 50ms cap", out.DeadlineMs)
+	}
+	if out.Delay > out.Bound || out.Violated {
+		t.Fatalf("degraded answer violates the delay bound: %+v", out)
+	}
+	if got := metricValue(t, scrape(t, srv), "krsp_solve_degraded_total"); got != 1 {
+		t.Fatalf("krsp_solve_degraded_total = %d, want 1", got)
+	}
+}
+
+// TestSolveDeadlineHeaderValidation: garbage or non-positive header values
+// are a client error, not a silently ignored knob.
+func TestSolveDeadlineHeaderValidation(t *testing.T) {
+	srv, _ := testServer(t, 1<<20, false)
+	for _, bad := range []string{"abc", "-5", "0", "1.5"} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/solve", instanceBody(t, 10, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(deadlineMsHeader, bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("header %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestSolvePanicRecovered: an injected solver panic must become one 500 and
+// a krspd_panic_recovered_total tick — and the daemon must keep serving.
+func TestSolvePanicRecovered(t *testing.T) {
+	faults := fault.New(3)
+	faults.ArmPanic(fault.PointCycleSearch, 1.0)
+	srv, s := testServerCfg(t, config{maxBody: 1 << 20, faults: faults})
+	resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking solve: status %d, want 500", resp.StatusCode)
+	}
+	if got := s.reg.Server.PanicsRecovered.Value(); got != 1 {
+		t.Fatalf("panics recovered = %d, want 1", got)
+	}
+	// The daemon survives: disarm and solve again on the same server.
+	faults.Disarm(fault.PointCycleSearch)
+	resp, err = http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic solve: status %d, want 200", resp.StatusCode)
+	}
+	if got := metricValue(t, scrape(t, srv), "krspd_panic_recovered_total"); got != 1 {
+		t.Fatalf("exposed panic total = %d, want 1", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -10,27 +11,118 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
 
-// server carries the daemon's shared state: the metrics registry (also
-// handed to every solve as core.Options.Metrics), the structured logger,
-// the body-size limit, and the request-id source.
-type server struct {
-	reg     *obs.Registry
-	log     *slog.Logger
+// config bundles the daemon's operational knobs. Tests construct it
+// directly; main fills it from flags.
+type config struct {
 	maxBody int64
 	pprof   bool
-	reqID   atomic.Int64
+	// maxInflight bounds concurrently executing solve/feasible requests;
+	// excess requests are shed with 429 instead of queued (an SDN controller
+	// would rather retry elsewhere than pile up latency). ≤ 0 disables
+	// admission control.
+	maxInflight int
+	// defaultDeadline is applied to every solve without an explicit
+	// X-Krsp-Deadline-Ms header; 0 means none.
+	defaultDeadline time.Duration
+	// maxDeadline caps the per-request header deadline (clients cannot buy
+	// unbounded compute); 0 means uncapped.
+	maxDeadline time.Duration
+	// faults, when non-nil, is threaded into every solve — the chaos/test
+	// lever behind the recover middleware and degraded-path tests. Never
+	// set in production.
+	faults *fault.Registry
+}
+
+// server carries the daemon's shared state: the metrics registry (also
+// handed to every solve as core.Options.Metrics), the structured logger,
+// the operational config, the admission semaphore, and the request-id
+// source.
+type server struct {
+	reg   *obs.Registry
+	log   *slog.Logger
+	cfg   config
+	sem   chan struct{}
+	reqID atomic.Int64
 }
 
 // newServer wires the handler state. Tests pass a ManualClock-backed
 // registry and a discard logger; main passes RealClock and stderr.
-func newServer(reg *obs.Registry, logger *slog.Logger, maxBody int64, enablePprof bool) *server {
-	return &server{reg: reg, log: logger, maxBody: maxBody, pprof: enablePprof}
+func newServer(reg *obs.Registry, logger *slog.Logger, cfg config) *server {
+	s := &server{reg: reg, log: logger, cfg: cfg}
+	if cfg.maxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.maxInflight)
+	}
+	return s
+}
+
+// handler is the daemon's root handler: the route table wrapped in the
+// recover middleware, so a panicking solve turns into one 500 plus a
+// krspd_panic_recovered_total tick instead of a dead process.
+func (s *server) handler() http.Handler {
+	return s.recoverWrap(s.mux())
+}
+
+// recoverWrap converts handler panics to 500s. Recovery is per-request:
+// net/http would also swallow the panic, but it would tear down the
+// connection and leave no metric behind.
+func (s *server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Server.PanicsRecovered.Inc()
+				s.reg.Server.RequestErrors.Inc()
+				s.log.Error("panic recovered", "path", r.URL.Path, "panic", fmt.Sprint(p))
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit reserves an admission slot, answering 429 when the daemon is at
+// maxInflight. The returned release func is a no-op when admission control
+// is disabled.
+func (s *server) admit(fail func(string, int)) (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		s.reg.Server.Shed.Inc()
+		fail("overloaded: max inflight solves reached, retry later", http.StatusTooManyRequests)
+		return nil, false
+	}
+}
+
+// deadlineMsHeader is the per-request deadline override, in milliseconds.
+const deadlineMsHeader = "X-Krsp-Deadline-Ms"
+
+// solveDeadline resolves the effective deadline for one request: the
+// header when present (rejecting garbage), else the configured default,
+// both capped by maxDeadline. 0 means no deadline.
+func (s *server) solveDeadline(r *http.Request) (time.Duration, error) {
+	d := s.cfg.defaultDeadline
+	if h := r.Header.Get(deadlineMsHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("bad %s: want a positive integer, got %q", deadlineMsHeader, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if s.cfg.maxDeadline > 0 && (d == 0 || d > s.cfg.maxDeadline) {
+		d = s.cfg.maxDeadline
+	}
+	return d, nil
 }
 
 // mux builds the route table.
@@ -43,7 +135,7 @@ func (s *server) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
-	if s.pprof {
+	if s.cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -55,14 +147,20 @@ func (s *server) mux() *http.ServeMux {
 
 // solveResponse is the JSON result of /solve.
 type solveResponse struct {
-	RequestID  int64      `json:"requestId"`
-	Cost       int64      `json:"cost"`
-	Delay      int64      `json:"delay"`
-	Bound      int64      `json:"bound"`
-	LowerBound int64      `json:"lowerBound"`
-	Exact      bool       `json:"exact"`
-	Paths      [][]int32  `json:"paths"` // vertex sequences
-	Violated   bool       `json:"boundViolated"`
+	RequestID  int64     `json:"requestId"`
+	Cost       int64     `json:"cost"`
+	Delay      int64     `json:"delay"`
+	Bound      int64     `json:"bound"`
+	LowerBound int64     `json:"lowerBound"`
+	Exact      bool      `json:"exact"`
+	Paths      [][]int32 `json:"paths"` // vertex sequences
+	Violated   bool      `json:"boundViolated"`
+	// Degraded mirrors Stats.Degraded at the top level: the deadline hit and
+	// this is the best feasible intermediate, still within the delay bound.
+	Degraded bool `json:"degraded"`
+	// DeadlineMs echoes the effective deadline applied to the solve
+	// (header, default, and cap resolved); 0 means none.
+	DeadlineMs int64      `json:"deadlineMs"`
 	Stats      core.Stats `json:"stats"`
 }
 
@@ -91,9 +189,19 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		fail("POST an instance in krsp text format", http.StatusMethodNotAllowed)
 		return
 	}
+	release, admitted := s.admit(fail)
+	if !admitted {
+		return
+	}
+	defer release()
 	s.reg.Server.SolveRequests.Inc()
 	s.reg.Server.Inflight.Add(1)
 	defer s.reg.Server.Inflight.Add(-1)
+	deadline, derr := s.solveDeadline(r)
+	if derr != nil {
+		fail(derr.Error(), http.StatusBadRequest)
+		return
+	}
 	ins, ok := s.readInstance(w, r, fail)
 	if !ok {
 		return
@@ -103,15 +211,21 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n, m, k = ins.G.NumNodes(), ins.G.NumEdges(), ins.K
-	opt := core.Options{Metrics: s.reg}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancelCtx context.CancelFunc
+		ctx, cancelCtx = context.WithTimeout(ctx, deadline)
+		defer cancelCtx()
+	}
+	opt := core.Options{Metrics: s.reg, Faults: s.cfg.faults}
 	var res core.Result
 	var err error
 	switch algo {
 	case "solve":
-		res, err = core.Solve(ins, opt)
+		res, err = core.SolveCtx(ctx, ins, opt)
 	case "phase1":
 		opt.Phase1Only = true
-		res, err = core.Solve(ins, opt)
+		res, err = core.SolveCtx(ctx, ins, opt)
 	case "scaled":
 		eps := 0.25
 		if q := r.URL.Query().Get("eps"); q != "" {
@@ -121,15 +235,20 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		res, err = core.SolveScaled(ins, eps, eps, opt)
+		res, err = core.SolveScaledCtx(ctx, ins, eps, eps, opt)
 	default:
 		fail("unknown algo "+algo, http.StatusBadRequest)
 		return
 	}
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, core.ErrNoKPaths) || errors.Is(err, core.ErrDelayInfeasible) {
+		switch {
+		case errors.Is(err, core.ErrNoKPaths) || errors.Is(err, core.ErrDelayInfeasible):
 			code = http.StatusUnprocessableEntity
+		case errors.Is(err, core.ErrNoProgress):
+			// The deadline expired before any feasible k-flow existed; the
+			// client can retry with a bigger budget.
+			code = http.StatusServiceUnavailable
 		}
 		fail(err.Error(), code)
 		return
@@ -138,8 +257,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		RequestID: id,
 		Cost:      res.Cost, Delay: res.Delay, Bound: ins.Bound,
 		LowerBound: res.LowerBound, Exact: res.Exact,
-		Violated: res.Delay > ins.Bound,
-		Stats:    res.Stats,
+		Violated:   res.Delay > ins.Bound,
+		Degraded:   res.Stats.Degraded,
+		DeadlineMs: deadline.Milliseconds(),
+		Stats:      res.Stats,
 	}
 	for _, p := range res.Solution.Paths {
 		var nodes []int32
@@ -171,6 +292,11 @@ func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 		fail("POST an instance in krsp text format", http.StatusMethodNotAllowed)
 		return
 	}
+	release, admitted := s.admit(fail)
+	if !admitted {
+		return
+	}
+	defer release()
 	s.reg.Server.FeasibleRequests.Inc()
 	s.reg.Server.Inflight.Add(1)
 	defer s.reg.Server.Inflight.Add(-1)
@@ -193,7 +319,7 @@ func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 // readInstance parses a size-capped request body, mapping an over-limit
 // read to 413 and any other parse failure to 400 through fail.
 func (s *server) readInstance(w http.ResponseWriter, r *http.Request, fail func(string, int)) (graph.Instance, bool) {
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
 	ins, err := graph.ReadInstance(body)
 	if err != nil {
 		var tooBig *http.MaxBytesError

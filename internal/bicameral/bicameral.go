@@ -20,6 +20,8 @@ package bicameral
 import (
 	"fmt"
 
+	"repro/internal/cancel"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/residual"
@@ -156,6 +158,17 @@ type Options struct {
 	// by speculative parallel work may vary with Workers — the
 	// bit-identical promise covers the returned Candidate and Stats only.
 	Metrics *obs.Registry
+	// Cancel, when non-nil, is polled throughout the search; once stopped,
+	// Find returns found=false as fast as it can. A cancelled found=false is
+	// NOT a completeness certificate — callers must check Cancel.Stopped()
+	// before treating it as "no bicameral cycle exists" (core does). The
+	// bit-identical-results promise does not cover cancelled runs. Parallel
+	// workers derive their own cancel.Child from this Canceller.
+	Cancel *cancel.Canceller
+	// Faults, when non-nil, is consulted at the deterministic injection
+	// sites (fault.PointCycleSearch on entry to Find, fault.PointLPRound per
+	// LP solve). Nil is a free no-op.
+	Faults *fault.Registry
 }
 
 // Stats instruments a search.
@@ -213,6 +226,13 @@ func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 		st    Stats
 		found bool
 	)
+	// Injected cycle-search failure: report "nothing found". Safe because a
+	// not-found verdict only ever steers core toward its fallbacks (C_ref
+	// escalation, relaxed cap, phase-1 flow) — never into an infeasible
+	// output.
+	if err := o.Faults.Check(fault.PointCycleSearch); err != nil {
+		return cand, st, false
+	}
 	switch o.Engine {
 	case EngineLP:
 		cand, st, found = findLP(rg, p, o)

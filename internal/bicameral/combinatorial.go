@@ -120,7 +120,14 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 	// first use). The parallel per-seed sweep takes one workspace per worker.
 	ws := shortest.NewWorkspace(rg.R.NumNodes())
 	ws.SetMetrics(o.Metrics.ShortestMetrics())
+	ws.SetCancel(o.Cancel)
 	for round := 0; round <= 2*rg.R.NumEdges()+1; round++ {
+		if o.Cancel.Stopped() {
+			// A cancelled kernel reports "no cycle"; don't let that masquerade
+			// as the completeness proof below — bail out as not-found and let
+			// core read Stopped().
+			return Candidate{}, st, false
+		}
 		st.Searches++
 		_, cyc, noNeg := shortest.SPFAAllInto(ws, rg.R, weights[wi])
 		if noNeg {
@@ -182,6 +189,9 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 	const relaxBudget = 1_000_000
 	nodes64 := int64(rg.R.NumNodes() + rg.R.NumEdges())
 	for {
+		if o.Cancel.Check() {
+			break
+		}
 		if (2*b+1)*nodes64 > maxStates {
 			break
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/auxgraph"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/lp"
 	"repro/internal/residual"
@@ -45,13 +46,18 @@ func findLP(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 	var best Candidate
 	haveBest := false
 	for {
+		if o.Cancel.Check() {
+			// Cancelled: not-found without a completeness claim (callers
+			// re-check the Canceller, see Options.Cancel).
+			return Candidate{}, st, false
+		}
 		st.BudgetsTried++
 		st.LastBudget = b
 		for _, v := range seeds {
 			for _, kind := range []auxgraph.Kind{auxgraph.Plus, auxgraph.Minus} {
 				a := auxgraph.Build(rg.R, v, b, kind)
 				st.Searches++
-				for _, cand := range lpCandidates(rg, a, p, &st) {
+				for _, cand := range lpCandidates(rg, a, p, o, &st) {
 					if cand.Type == TypeNone {
 						continue
 					}
@@ -81,10 +87,15 @@ func findLP(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 
 // lpCandidates solves LP (6) on one auxiliary graph and extracts support
 // cycles as candidates.
-func lpCandidates(rg *residual.Graph, a *auxgraph.Aux, p Params, st *Stats) []Candidate {
+func lpCandidates(rg *residual.Graph, a *auxgraph.Aux, p Params, o Options, st *Stats) []Candidate {
 	h := a.H
 	m := h.NumEdges()
 	if m == 0 {
+		return nil
+	}
+	// Injected LP-rounding failure: this auxiliary graph yields no
+	// candidates, exactly like a numerically troubled simplex run below.
+	if err := o.Faults.Check(fault.PointLPRound); err != nil {
 		return nil
 	}
 	prob := lp.NewProblem(m)
@@ -181,7 +192,7 @@ func extractSupportCycle(h *graph.Digraph, x []float64) []graph.EdgeID {
 	pos := map[graph.NodeID]int{}
 	var walk []graph.EdgeID
 	cur := start
-	for {
+	for { //lint:allow ctxpoll bounded: walk revisits a vertex within n steps (pos check)
 		id, ok := next[cur]
 		if !ok {
 			return nil // dead end: conservation says this shouldn't happen

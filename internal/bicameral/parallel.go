@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/auxgraph"
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/residual"
 	"repro/internal/shortest"
@@ -62,7 +63,7 @@ func parallelOrdered(n, workers int, fn func(i, worker int), cancelled func(i in
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for { //lint:allow ctxpoll bounded: one atomic claim per seed, ≤ n rounds; kernels poll via the worker's child canceller
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -117,10 +118,20 @@ func sweepSeeds(rg *residual.Graph, perSeed []graph.NodeID, b int64, wOf shortes
 	}
 	results := make([]seedResult, n)
 	wss := make([]*shortest.Workspace, workers)
+	// Cancellers are single-goroutine state: each worker polls its own Child
+	// (nil parent → nil children → free no-ops).
+	kids := make([]*cancel.Canceller, workers)
+	defer func() {
+		for _, k := range kids {
+			k.Release()
+		}
+	}()
 	sm := o.Metrics.ShortestMetrics()
 	for i := range wss {
 		wss[i] = shortest.NewWorkspace(1) // grows to layered size on first use
 		wss[i].SetMetrics(sm)
+		kids[i] = o.Cancel.Child()
+		wss[i].SetCancel(kids[i])
 	}
 	var stopAt atomic.Int64 // lowest seed index with a qualifying candidate
 	stopAt.Store(int64(n))
@@ -137,7 +148,7 @@ func sweepSeeds(rg *residual.Graph, perSeed []graph.NodeID, b int64, wOf shortes
 		}
 		results[i] = r
 		if len(r.quals) > 0 {
-			for {
+			for { //lint:allow ctxpoll bounded: CAS retry on a monotonically decreasing stop index
 				cur := stopAt.Load()
 				if int64(i) >= cur || stopAt.CompareAndSwap(cur, int64(i)) {
 					break
@@ -183,6 +194,7 @@ const (
 type enumScratch struct {
 	visited []bool
 	stack   []graph.EdgeID
+	cancel  *cancel.Canceller // this worker's Child; nil is a free no-op
 }
 
 // rootResult is the outcome of enumerating the vertex-simple cycles rooted
@@ -207,7 +219,9 @@ func enumerateRoot(rg *residual.Graph, start graph.NodeID, p Params, o Options, 
 	var dfs func(cur graph.NodeID, cost, delay int64) bool
 	dfs = func(cur graph.NodeID, cost, delay int64) bool {
 		res.steps++
-		if res.steps > enumRootBudget {
+		if res.steps > enumRootBudget || scr.cancel.Poll() {
+			// Cancellation reuses the budget-exhaustion path: the enumeration
+			// simply stops being a completeness certificate.
 			res.exhausted = true
 			return true
 		}
@@ -266,8 +280,13 @@ func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (be
 	scratch := make([]*enumScratch, workers)
 	for i := range scratch {
 		//lint:allow hotalloc one-time per-worker scratch, bounded by Options.Workers
-		scratch[i] = &enumScratch{visited: make([]bool, n)}
+		scratch[i] = &enumScratch{visited: make([]bool, n), cancel: o.Cancel.Child()}
 	}
+	defer func() {
+		for _, s := range scratch {
+			s.cancel.Release()
+		}
+	}()
 	var stopAt atomic.Int64 // lowest root index that hit a type-0
 	stopAt.Store(int64(n))
 	// Budget cancellation counts only the steps of the CONTIGUOUS completed
@@ -281,7 +300,7 @@ func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (be
 	run := func(i, worker int) {
 		r := enumerateRoot(rg, graph.NodeID(i), p, o, scratch[worker])
 		if r.type0 {
-			for {
+			for { //lint:allow ctxpoll bounded: CAS retry on a monotonically decreasing stop index
 				cur := stopAt.Load()
 				if int64(i) >= cur || stopAt.CompareAndSwap(cur, int64(i)) {
 					break
@@ -292,7 +311,7 @@ func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (be
 		// neighbouring indices, so unsynchronized writes would race with it.
 		mu.Lock()
 		results[i] = r
-		for frontier < n && results[frontier].ran {
+		for frontier < n && results[frontier].ran { //lint:allow ctxpoll bounded: frontier only advances, ≤ n total across all calls
 			prefixSteps += results[frontier].steps
 			frontier++
 		}

@@ -25,11 +25,12 @@ func SolveBatch(instances []graph.Instance, opt Options, workers int) []BatchIte
 	return SolveBatchCtx(context.Background(), instances, opt, workers)
 }
 
-// SolveBatchCtx is SolveBatch honoring a context between items: once ctx is
-// done, no further instance is started and every unstarted item carries
-// ctx.Err(). Items already in flight run to completion — individual solves
-// are not interruptible — so cancellation latency is one solve, not the
-// whole batch.
+// SolveBatchCtx is SolveBatch honoring a context: once ctx is done, no
+// further instance is started and every unstarted item carries ctx.Err().
+// Items already in flight degrade with SolveCtx's anytime semantics (best
+// feasible solution so far, Stats.Degraded set, or ErrNoProgress when
+// nothing feasible existed yet), so cancellation latency is one poll
+// stride, not one solve.
 func SolveBatchCtx(ctx context.Context, instances []graph.Instance, opt Options, workers int) []BatchItem {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,7 +59,7 @@ func SolveBatchCtx(ctx context.Context, instances []graph.Instance, opt Options,
 					out[i] = BatchItem{Index: i, Err: err}
 					continue
 				}
-				res, err := Solve(instances[i], opt)
+				res, err := SolveCtx(ctx, instances[i], opt)
 				out[i] = BatchItem{Index: i, Result: res, Err: err}
 			}
 		}()

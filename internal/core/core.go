@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/bicameral"
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -32,6 +33,12 @@ var ErrNoKPaths = errors.New("krsp: fewer than k edge-disjoint paths exist")
 // ErrDelayInfeasible reports that even the delay-minimal k disjoint paths
 // exceed the bound D.
 var ErrDelayInfeasible = errors.New("krsp: no k disjoint paths within the delay bound")
+
+// ErrNoProgress reports that a SolveCtx deadline fired before phase 1 had
+// produced any feasible k-flow — there is nothing, not even a degraded
+// solution, to return. Once phase 1's delay-minimal flow exists, deadlines
+// degrade instead (Stats.Degraded) and never produce this error.
+var ErrNoProgress = errors.New("krsp: cancelled before any feasible k-flow was found")
 
 // Result is a solved kRSP instance.
 type Result struct {
@@ -69,6 +76,15 @@ type Stats struct {
 	FellBackToPhase1 bool `json:"fellBackToPhase1"`
 	// BudgetsTried accumulates bicameral search budget escalations.
 	BudgetsTried int `json:"budgetsTried"`
+	// Degraded reports that a SolveCtx deadline (or injected cancellation)
+	// stopped the solve early: the result is the best delay-feasible
+	// solution reached so far (Delay ≤ D always holds; the 2·C_OPT cost
+	// bound may not). The anytime guarantee of Lemma 3's loop shape: phase
+	// 1's feasible endpoint is valid from the moment it exists.
+	Degraded bool `json:"degraded"`
+	// ResidualRebuilds counts full residual-graph rebuilds forced by a
+	// failed (or fault-injected) incremental update — the self-healing path.
+	ResidualRebuilds int `json:"residualRebuilds"`
 	// Trace holds one record per cancellation iteration when
 	// Options.CollectTrace is set (nil otherwise).
 	Trace []IterationRecord `json:"trace,omitempty"`
@@ -137,6 +153,17 @@ type Options struct {
 	// parallel work may vary with Workers; the determinism promise covers
 	// Result and Stats only.
 	Metrics *obs.Registry
+	// PollEvery is the cancellation poll stride for SolveCtx/SolveScaledCtx:
+	// kernels check the context's done channel once per PollEvery loop
+	// iterations (default cancel.DefaultPollStride). Smaller values tighten
+	// deadline latency at the price of more channel selects. Ignored by
+	// Solve/SolveScaled, which never poll.
+	PollEvery int
+	// Faults, when non-nil, is the fault-injection registry consulted at the
+	// solver's deterministic injection sites (residual update, cycle search,
+	// LP rounding, cancellation). Nil (the default) is a free no-op. Test
+	// and chaos tooling only — never wire it in production.
+	Faults *fault.Registry
 }
 
 // Feasibility describes why an instance is (in)feasible.

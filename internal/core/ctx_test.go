@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// tradeoffCtx mirrors the in-package tradeoff fixture: two disjoint routes
+// needed, cheap/slow vs pricey/fast plus a middle direct edge.
+func tradeoffCtx(bound int64) graph.Instance {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(0, 3, 3, 5)
+	return graph.Instance{G: g, S: 0, T: 3, K: 2, Bound: bound}
+}
+
+// TestSolveCtxBackgroundMatchesSolve: a non-cancellable context must be a
+// bit-identical no-op wrapper.
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	ins := tradeoffCtx(10)
+	a, errA := core.Solve(ins, core.Options{})
+	b, errB := core.SolveCtx(context.Background(), ins, core.Options{})
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v, %v", errA, errB)
+	}
+	if a.Cost != b.Cost || a.Delay != b.Delay || a.Stats.Iterations != b.Stats.Iterations ||
+		b.Stats.Degraded {
+		t.Fatalf("results diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestSolveCtxPreCancelledNoProgress: with the tightest poll stride, a
+// context cancelled before the solve starts must fail with ErrNoProgress —
+// there is no feasible flow to degrade to.
+func TestSolveCtxPreCancelledNoProgress(t *testing.T) {
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	_, err := core.SolveCtx(ctx, tradeoffCtx(10), core.Options{PollEvery: 1})
+	if !errors.Is(err, core.ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+// TestSolveCtxDegradedOnTrip: an injected cancellation at the loop top must
+// yield the feasible phase-1 endpoint with Degraded set — never an error,
+// never a delay violation — and the degraded counter must record it.
+func TestSolveCtxDegradedOnTrip(t *testing.T) {
+	ins := tradeoffCtx(10) // non-exact: forces the cancellation loop
+	reg := obs.New(&obs.ManualClock{})
+	faults := fault.New(1)
+	faults.Arm(fault.PointCancel, 1.0)
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	res, err := core.SolveCtx(ctx, ins, core.Options{Faults: faults, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded {
+		t.Fatalf("expected degraded result, got %+v", res.Stats)
+	}
+	if res.Delay > ins.Bound {
+		t.Fatalf("degraded result violates the delay bound: %d > %d", res.Delay, ins.Bound)
+	}
+	if err := res.Solution.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBound < 1 {
+		t.Fatalf("degraded result lost its certificate: LB=%d", res.LowerBound)
+	}
+	if got := reg.SolverMetrics().Degraded.Value(); got != 1 {
+		t.Fatalf("krsp_solve_degraded_total = %d, want 1", got)
+	}
+	if faults.Trips(fault.PointCancel) == 0 {
+		t.Fatal("cancel point never consulted")
+	}
+}
+
+// TestSolveCtxTripWithoutContextIsIgnored: tripping the canceller requires
+// one to exist; with a Background context the fault is consulted but the
+// solve runs to completion.
+func TestSolveCtxTripWithoutContextIsIgnored(t *testing.T) {
+	faults := fault.New(1)
+	faults.Arm(fault.PointCancel, 1.0)
+	res, err := core.SolveCtx(context.Background(), tradeoffCtx(10),
+		core.Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Degraded {
+		t.Fatal("no canceller exists, nothing should degrade")
+	}
+	if res.Cost != 13 {
+		t.Fatalf("cost = %d, want the full solve's 13", res.Cost)
+	}
+}
+
+// TestSolveScaledCtxDegraded: the scaled wrapper inherits the anytime
+// semantics.
+func TestSolveScaledCtxDegraded(t *testing.T) {
+	ins := obsInstance(t)
+	faults := fault.New(3)
+	faults.Arm(fault.PointCancel, 1.0)
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	res, err := core.SolveScaledCtx(ctx, ins, 0.3, 0.3, core.Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded {
+		t.Fatalf("expected degraded, got %+v", res.Stats)
+	}
+	if res.Delay > ins.Bound {
+		t.Fatalf("delay %d > bound %d", res.Delay, ins.Bound)
+	}
+	if err := res.Solution.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResidualUpdateFaultHeals: a permanently failing incremental residual
+// update must not change the answer — every iteration heals by rebuilding.
+func TestResidualUpdateFaultHeals(t *testing.T) {
+	ins := tradeoffCtx(10)
+	clean, err := core.Solve(ins, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.New(5)
+	faults.Arm(fault.PointResidualUpdate, 1.0)
+	res, err := core.Solve(ins, core.Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != clean.Cost || res.Delay != clean.Delay {
+		t.Fatalf("faulted solve diverged: (%d,%d) vs clean (%d,%d)",
+			res.Cost, res.Delay, clean.Cost, clean.Delay)
+	}
+	if res.Stats.ResidualRebuilds == 0 {
+		t.Fatal("no rebuilds recorded despite a permanently failing update")
+	}
+	if res.Stats.ResidualRebuilds != res.Stats.Iterations {
+		t.Fatalf("rebuilds %d != iterations %d under a prob-1.0 fault",
+			res.Stats.ResidualRebuilds, res.Stats.Iterations)
+	}
+}
+
+// TestCycleSearchFaultFallsBack: a cycle search that always fails must
+// degrade to the feasible phase-1 endpoint, not error or loop forever.
+func TestCycleSearchFaultFallsBack(t *testing.T) {
+	ins := tradeoffCtx(10)
+	faults := fault.New(7)
+	faults.Arm(fault.PointCycleSearch, 1.0)
+	res, err := core.Solve(ins, core.Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.FellBackToPhase1 {
+		t.Fatalf("expected phase-1 fallback, got %+v", res.Stats)
+	}
+	if res.Delay > ins.Bound {
+		t.Fatalf("delay %d > bound %d", res.Delay, ins.Bound)
+	}
+	if err := res.Solution.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+}

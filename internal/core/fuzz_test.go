@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// FuzzSolveCtx throws fuzzer-shaped instances, poll strides, and fault
+// seeds at SolveCtx. The contract under test is the anytime/robustness
+// invariant: whatever the input, the solver either returns a valid
+// delay-feasible solution or a clean typed error — never a panic, never a
+// bound violation.
+func FuzzSolveCtx(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(2), int64(40), uint8(16), false)
+	f.Add(int64(7), uint8(12), uint8(3), int64(9), uint8(1), true)
+	f.Add(int64(-3), uint8(2), uint8(1), int64(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, n, k uint8, bound int64, stride uint8, trip bool) {
+		nodes := int(n%24) + 2
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New(nodes)
+		for i := 0; i < 4*nodes; i++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), r.Int63n(50), r.Int63n(50))
+			}
+		}
+		ins := graph.Instance{
+			G: g, S: 0, T: graph.NodeID(nodes - 1),
+			K:     int(k%4) + 1,
+			Bound: bound % 4096,
+		}
+		faults := fault.New(seed)
+		if trip {
+			faults.Arm(fault.PointCancel, 0.5)
+			faults.Arm(fault.PointResidualUpdate, 0.5)
+			faults.Arm(fault.PointCycleSearch, 0.3)
+		}
+		ctx, stop := context.WithCancel(context.Background())
+		defer stop()
+		res, err := core.SolveCtx(ctx, ins, core.Options{
+			Faults:    faults,
+			PollEvery: int(stride),
+		})
+		if err != nil {
+			if errors.Is(err, core.ErrNoKPaths) || errors.Is(err, core.ErrDelayInfeasible) ||
+				errors.Is(err, core.ErrNoProgress) {
+				return
+			}
+			// Validation errors from hostile instances are clean too.
+			if ins.Validate() != nil {
+				return
+			}
+			t.Fatalf("unclean error: %v", err)
+		}
+		if res.Delay > ins.Bound {
+			t.Fatalf("delay %d > bound %d (degraded=%v)", res.Delay, ins.Bound, res.Stats.Degraded)
+		}
+		if verr := res.Solution.Validate(ins); verr != nil {
+			t.Fatalf("invalid solution: %v", verr)
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
+	"repro/internal/cancel"
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -33,7 +35,12 @@ type Phase1Result struct {
 	// integer conveniences with ⌈C_LP⌉ ≤ C_OPT (costs are integral).
 	CLP     *big.Rat
 	CLPCeil int64
-	Stats   Phase1Stats
+	// Degraded reports that a cancellation stopped the Lagrangian search
+	// before λ* was certified. Lo/Hi still straddle the bound and CLP is
+	// still a valid lower bound (every dual value is, by weak duality) —
+	// it just may be weaker than the true C_LP.
+	Degraded bool
+	Stats    Phase1Stats
 }
 
 // ChooseByPotential returns the flow minimizing φ(f) = c(f)/C_LP + d(f)/D
@@ -65,20 +72,26 @@ func (p Phase1Result) ChooseByPotential(g *graph.Digraph, bound int64) flow.Unit
 // and returns the two integral minimizers at λ* that straddle the bound.
 // Either flow (chosen by potential) satisfies delay/D + cost/C_LP ≤ 2.
 func Phase1(ins graph.Instance) (Phase1Result, error) {
-	return phase1(ins, nil)
+	return phase1(ins, nil, nil)
 }
 
 // phase1 is Phase1 with a flow-layer metric sink threaded through its
-// min-cost-flow calls (nil records nothing). Solve and SolveScaled call it
-// so the Lagrangian loop's flow work is attributed.
-func phase1(ins graph.Instance, fm *obs.FlowMetrics) (Phase1Result, error) {
+// min-cost-flow calls (nil records nothing) and an optional canceller.
+// Cancellation before BOTH endpoint flows exist yields ErrNoProgress (there
+// is no feasible k-flow to degrade to); once they do, cancellation merely
+// ends the Lagrangian refinement early with Degraded set — the endpoints
+// and the best dual value seen remain valid.
+func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase1Result, error) {
 	if err := ins.Validate(); err != nil {
 		return Phase1Result{}, err
 	}
 	g, s, t, k, bound := ins.G, ins.S, ins.T, ins.K, ins.Bound
 
-	fc, err := flow.MinCostKFlowMetered(g, s, t, k, costWeight, fm)
+	fc, err := flow.MinCostKFlowCancel(g, s, t, k, costWeight, fm, c)
 	if err != nil {
+		if errors.Is(err, cancel.ErrCancelled) {
+			return Phase1Result{}, fmt.Errorf("%w: deadline hit during the min-cost endpoint flow", ErrNoProgress)
+		}
 		return Phase1Result{}, fmt.Errorf("%w: %v", ErrNoKPaths, err)
 	}
 	if fc.Delay(g) <= bound {
@@ -87,8 +100,11 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics) (Phase1Result, error) {
 			CLP: clp, CLPCeil: fc.Cost(g),
 			Stats: Phase1Stats{CLPNum: fc.Cost(g), CLPDen: 1}}, nil
 	}
-	fd, err := flow.MinCostKFlowMetered(g, s, t, k, delayWeight, fm)
+	fd, err := flow.MinCostKFlowCancel(g, s, t, k, delayWeight, fm, c)
 	if err != nil {
+		if errors.Is(err, cancel.ErrCancelled) {
+			return Phase1Result{}, fmt.Errorf("%w: deadline hit during the min-delay endpoint flow", ErrNoProgress)
+		}
 		return Phase1Result{}, fmt.Errorf("%w: %v", ErrNoKPaths, err)
 	}
 	if fd.Delay(g) > bound {
@@ -98,8 +114,13 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics) (Phase1Result, error) {
 
 	hi, lo := fc, fd // hi: delay > D with min cost; lo: delay ≤ D
 	var st Phase1Stats
+	degraded := false
 	best := new(big.Rat).SetInt64(fc.Cost(g)) // L(0) = unconstrained min cost
 	for iter := 0; iter < 256; iter++ {
+		if c.Check() {
+			degraded = true
+			break
+		}
 		st.LambdaIterations++
 		// λ = (c(lo) − c(hi)) / (d(hi) − d(lo)) — the multiplier where the
 		// two endpoints' Lagrangians tie.
@@ -112,8 +133,12 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics) (Phase1Result, error) {
 			p = 0 // cost(lo) < cost(hi) can only happen via ties; λ=0 ends it
 		}
 		w := shortest.Combine(q, p)
-		f, err := flow.MinCostKFlowMetered(g, s, t, k, w, fm)
+		f, err := flow.MinCostKFlowCancel(g, s, t, k, w, fm, c)
 		if err != nil {
+			if errors.Is(err, cancel.ErrCancelled) {
+				degraded = true
+				break
+			}
 			return Phase1Result{}, fmt.Errorf("krsp: internal: %v", err)
 		}
 		wf := f.Weight(g, w)
@@ -131,7 +156,7 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics) (Phase1Result, error) {
 			hi = f
 		}
 	}
-	res := Phase1Result{Lo: lo, Hi: hi, CLP: best}
+	res := Phase1Result{Lo: lo, Hi: hi, CLP: best, Degraded: degraded}
 	num, den := best.Num(), best.Denom()
 	st.CLPNum, st.CLPDen = num.Int64(), den.Int64()
 	// ⌈C_LP⌉ is still a valid lower bound on the integral optimum.

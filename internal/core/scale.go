@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -16,14 +19,26 @@ import (
 // O(n′/ε₂), making Solve polynomial; rounding loses at most ε₁·D in delay
 // and ε₂·Ĉ in cost, giving the (1+ε₁, 2+ε₂) bifactor.
 func SolveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, error) {
+	return SolveScaledCtx(context.Background(), ins, eps1, eps2, opt)
+}
+
+// SolveScaledCtx is SolveScaled honoring ctx with SolveCtx's anytime
+// semantics: deadlines degrade to the best feasible solution reached so far
+// (here the outer phase-1 endpoint if the inner scaled solve never got that
+// far) rather than erroring, and ErrNoProgress is returned only when the
+// deadline fired before the original-weights phase 1 produced any feasible
+// k-flow.
+func SolveScaledCtx(ctx context.Context, ins graph.Instance, eps1, eps2 float64, opt Options) (Result, error) {
+	c := cancel.New(ctx, opt.PollEvery)
+	defer c.Release()
 	total := opt.Metrics.StartSpan(obs.PhaseTotal)
-	res, err := solveScaled(ins, eps1, eps2, opt)
+	res, err := solveScaled(ins, eps1, eps2, opt, c)
 	total.End()
 	recordOutcome(opt.Metrics, res, err)
 	return res, err
 }
 
-func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, error) {
+func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options, c *cancel.Canceller) (Result, error) {
 	if eps1 <= 0 || eps2 <= 0 {
 		return Result{}, fmt.Errorf("krsp: epsilons must be positive (got %g, %g)", eps1, eps2)
 	}
@@ -34,7 +49,7 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, e
 	// Phase 1 on the ORIGINAL instance supplies Ĉ and settles feasibility
 	// questions exactly (scaling must not change feasibility verdicts).
 	ps := m.StartSpan(obs.PhasePhase1)
-	p1, err := phase1(ins, m.FlowMetrics())
+	p1, err := phase1(ins, m.FlowMetrics(), c)
 	ps.End()
 	if err != nil {
 		return Result{}, err
@@ -72,9 +87,16 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, e
 		Bound: ins.Bound / thetaD,
 		Name:  ins.Name + " (scaled)",
 	}
-	sres, err := solve(scaled, opt)
+	sres, err := solve(scaled, opt, c)
 	ss.End()
 	if err != nil {
+		if errors.Is(err, ErrNoProgress) {
+			// The deadline hit inside the scaled re-solve before it rebuilt
+			// its endpoint flows — but the OUTER phase 1 already holds a
+			// feasible flow in original weights: degrade to it.
+			return finish(ins, p1.Lo.Edges, p1,
+				Stats{Phase1: p1.Stats, Degraded: true}, false, m)
+		}
 		// Rounding delays down can never make a feasible instance
 		// infeasible, so errors here are structural and propagate.
 		return Result{}, err
@@ -90,5 +112,8 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options) (Result, e
 		Stats:      sres.Stats,
 	}
 	res.Stats.Phase1 = p1.Stats
+	if p1.Degraded {
+		res.Stats.Degraded = true
+	}
 	return res, nil
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bicameral"
+	"repro/internal/cancel"
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -17,8 +20,24 @@ import (
 // 2·C_OPT. Pseudo-polynomial in the weight magnitudes; use SolveScaled for
 // the polynomial (1+ε₁, 2+ε₂) variant.
 func Solve(ins graph.Instance, opt Options) (Result, error) {
+	return SolveCtx(context.Background(), ins, opt)
+}
+
+// SolveCtx is Solve honoring ctx as a deadline for an ANYTIME solve: when
+// ctx is done mid-run the solver returns the best delay-feasible solution
+// reached so far with Stats.Degraded set, rather than an error. Degraded
+// results always satisfy Delay ≤ D (the cancellation loop starts from the
+// bound-violating endpoint, so the feasible phase-1 flow is the anytime
+// answer until the loop completes) and still carry the phase-1 LowerBound
+// certificate — only the 2·C_OPT cost guarantee is forfeited. ErrNoProgress
+// is returned only when ctx fired before phase 1 produced any feasible
+// k-flow at all. A Background (or otherwise non-cancellable) context makes
+// SolveCtx identical to Solve: the poll sites cost one nil-check each.
+func SolveCtx(ctx context.Context, ins graph.Instance, opt Options) (Result, error) {
+	c := cancel.New(ctx, opt.PollEvery)
+	defer c.Release()
 	total := opt.Metrics.StartSpan(obs.PhaseTotal)
-	res, err := solve(ins, opt)
+	res, err := solve(ins, opt, c)
 	total.End()
 	recordOutcome(opt.Metrics, res, err)
 	return res, err
@@ -57,14 +76,19 @@ func recordOutcome(m *obs.Registry, res Result, err error) {
 	}
 	sm.LambdaIterations.Observe(int64(st.Phase1.LambdaIterations))
 	sm.CancellationsPerSolve.Observe(int64(st.Iterations))
+	if st.Degraded {
+		sm.Degraded.Inc()
+	}
+	sm.ResidualRebuilds.Add(int64(st.ResidualRebuilds))
 }
 
 // solve is Solve without the outcome recording and total-phase span; the
-// scaled path reuses it to avoid double-counting solves.
-func solve(ins graph.Instance, opt Options) (Result, error) {
+// scaled path reuses it to avoid double-counting solves. c may be nil (no
+// cancellation).
+func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error) {
 	m := opt.Metrics
 	ps := m.StartSpan(obs.PhasePhase1)
-	p1, err := phase1(ins, m.FlowMetrics())
+	p1, err := phase1(ins, m.FlowMetrics(), c)
 	ps.End()
 	if err != nil {
 		return Result{}, err
@@ -73,7 +97,7 @@ func solve(ins graph.Instance, opt Options) (Result, error) {
 	if p1.Exact {
 		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m)
 	}
-	stats := Stats{Phase1: p1.Stats}
+	stats := Stats{Phase1: p1.Stats, Degraded: p1.Degraded}
 	if opt.Phase1Only {
 		chosen := p1.ChooseByPotential(g, ins.Bound)
 		return finish(ins, chosen.Edges, p1, stats, false, m)
@@ -108,7 +132,26 @@ func solve(ins graph.Instance, opt Options) (Result, error) {
 	// O(cycle length) instead of O(m) per iteration.
 	rg := residual.Build(g, cur)
 	cs := m.StartSpan(obs.PhaseCancel)
+	// degrade returns the anytime answer: the solutions this loop walks
+	// through are delay-INfeasible until it exits, so the feasible phase-1
+	// endpoint Lo is the best certified intermediate at every iteration. It
+	// keeps the LowerBound certificate; only the cost factor is forfeited.
+	degrade := func() (Result, error) {
+		stats.Degraded = true
+		cs.End()
+		return finish(ins, p1.Lo.Edges, p1, stats, false, m)
+	}
 	for curDelay > ins.Bound && stats.Iterations < maxIter {
+		// Injected cancellation trips the real canceller so the whole
+		// degraded path (kernel bail-outs included) is exercised, not
+		// simulated. A nil canceller ignores the trip: there is no
+		// cancellation machinery to exercise.
+		if opt.Faults.Check(fault.PointCancel) != nil {
+			c.Trip()
+		}
+		if c.Check() {
+			return degrade()
+		}
 		cap := cRef
 		if opt.DisableCostCap {
 			// Figure 1 ablation: “no cap” ≈ a cap beyond any cycle cost.
@@ -125,8 +168,15 @@ func solve(ins graph.Instance, opt Options) (Result, error) {
 			Adversarial: opt.Adversarial,
 			Workers:     opt.Workers,
 			Metrics:     m,
+			Cancel:      c,
+			Faults:      opt.Faults,
 		})
 		stats.BudgetsTried += bst.BudgetsTried
+		if c.Stopped() {
+			// A cancelled Find's not-found is no certificate (see
+			// bicameral.Options.Cancel); don't escalate C_ref on it.
+			return degrade()
+		}
 		if !found {
 			// Lemma 9 guarantees a negative-delay cycle exists (the
 			// instance is feasible), so the cap must be too tight: C_ref
@@ -155,9 +205,16 @@ func solve(ins graph.Instance, opt Options) (Result, error) {
 			cs.End()
 			return Result{}, fmt.Errorf("krsp: internal: cycle application failed: %v", err)
 		}
-		if err := rg.Update(cand.Cycles); err != nil {
-			cs.End()
-			return Result{}, fmt.Errorf("krsp: internal: residual update failed: %v", err)
+		// Incremental residual maintenance is an optimization, never a
+		// correctness dependency: an update failure (genuine or injected)
+		// heals by rebuilding from the new solution, which is what Update is
+		// bit-identical to.
+		if ferr := opt.Faults.Check(fault.PointResidualUpdate); ferr != nil {
+			rg = residual.Build(g, next)
+			stats.ResidualRebuilds++
+		} else if err := rg.Update(cand.Cycles); err != nil {
+			rg = residual.Build(g, next)
+			stats.ResidualRebuilds++
 		}
 		if opt.CollectTrace {
 			stats.Trace = append(stats.Trace, IterationRecord{

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	for p := Point(0); p < NumPoints; p++ {
+		if err := r.Check(p); err != nil {
+			t.Fatalf("nil registry injected at %s", p)
+		}
+		if r.Trips(p) != 0 {
+			t.Fatalf("nil registry counted trips at %s", p)
+		}
+	}
+}
+
+func TestUnarmedIsNoOp(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if err := r.Check(PointCycleSearch); err != nil {
+			t.Fatal("unarmed point injected")
+		}
+	}
+	if r.Trips(PointCycleSearch) != 0 {
+		t.Fatal("unarmed point counted trips")
+	}
+}
+
+func TestErrorModeAlways(t *testing.T) {
+	r := New(1)
+	r.Arm(PointResidualUpdate, 1.0)
+	err := r.Check(PointResidualUpdate)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if got := r.Trips(PointResidualUpdate); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	r.Disarm(PointResidualUpdate)
+	if err := r.Check(PointResidualUpdate); err != nil {
+		t.Fatal("disarmed point still injects")
+	}
+	if got := r.Trips(PointResidualUpdate); got != 1 {
+		t.Fatalf("Disarm lost the trip count: %d", got)
+	}
+}
+
+func TestProbabilisticIsSeedDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		r := New(seed)
+		r.Arm(PointCancel, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Check(PointCancel) != nil
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at check %d", i)
+		}
+	}
+	trips := 0
+	for _, hit := range a {
+		if hit {
+			trips++
+		}
+	}
+	if trips == 0 || trips == len(a) {
+		t.Fatalf("prob 0.5 tripped %d/%d times; expected a mix", trips, len(a))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	r := New(7)
+	r.ArmPanic(PointCycleSearch, 1.0)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic mode did not panic")
+		}
+		ip, ok := p.(InjectedPanic)
+		if !ok || ip.Point != PointCycleSearch {
+			t.Fatalf("unexpected panic value %v", p)
+		}
+		if !errors.Is(ip, ErrInjected) {
+			t.Fatal("InjectedPanic must wrap ErrInjected")
+		}
+	}()
+	r.Check(PointCycleSearch)
+}
+
+func TestFuncMode(t *testing.T) {
+	r := New(9)
+	calls := 0
+	sentinel := errors.New("hook")
+	r.ArmFunc(PointLPRound, func() error {
+		calls++
+		if calls == 1 {
+			return nil
+		}
+		return sentinel
+	})
+	if err := r.Check(PointLPRound); err != nil {
+		t.Fatalf("first hook call: %v", err)
+	}
+	if err := r.Check(PointLPRound); !errors.Is(err, sentinel) {
+		t.Fatalf("second hook call: %v", err)
+	}
+	if r.Trips(PointLPRound) != 2 {
+		t.Fatalf("func-mode trips = %d, want 2 (invocations)", r.Trips(PointLPRound))
+	}
+}
+
+func TestPointStrings(t *testing.T) {
+	want := map[Point]string{
+		PointResidualUpdate: "residual-update",
+		PointCycleSearch:    "cycle-search",
+		PointLPRound:        "lp-round",
+		PointCancel:         "cancel",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}

@@ -68,7 +68,7 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 	for i := 0; i < k; i++ {
 		var walk []graph.EdgeID
 		cur := s
-		for cur != t {
+		for cur != t { //lint:allow ctxpoll bounded: every pop consumes one of ≤ m available edges
 			id, ok := pop(cur)
 			if !ok {
 				return nil, nil, fmt.Errorf("flow: walk from source stuck at %d", cur)
@@ -93,7 +93,7 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 
 	// Peel remaining edges into cycles.
 	var cycles []graph.Cycle
-	for {
+	for { //lint:allow ctxpoll bounded: each round peels ≥ 1 of ≤ m available edges
 		start := graph.NodeID(-1)
 		//lint:allow detmap min-selection over the range is order-insensitive
 		for v, avail := range outAvail {
@@ -106,7 +106,7 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 		}
 		var walk []graph.EdgeID
 		cur := start
-		for {
+		for { //lint:allow ctxpoll bounded: every pop consumes one of ≤ m available edges
 			id, ok := pop(cur)
 			if !ok {
 				return nil, nil, fmt.Errorf("flow: cycle walk stuck at %d", cur)

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxpoll enforces the anytime-solve contract introduced with SolveCtx: a
+// deadline can only be honoured if every potentially long-running loop on
+// the solve path reaches a cancellation point. A `for {}` / `for cond {}`
+// loop (no init, no post — the shape of work-list drains, search ladders
+// and fixpoint iterations whose trip count is input-dependent) inside a
+// function statically reachable from core.Solve* must call Poll, Check or
+// Stopped on a *cancel.Canceller somewhere in its condition or body —
+// directly or through a nested loop. Loops whose trip count is structurally
+// bounded (path walks over n vertices, peel loops that remove an edge per
+// pass) document that bound with //lint:allow ctxpoll <reason>.
+var Ctxpoll = &Analyzer{
+	Name:      "ctxpoll",
+	Doc:       "unbounded solve-path loops must poll the Canceller",
+	AppliesTo: func(path string) bool { return pathHasAnySegment(path, hotPackages) },
+	Run:       runCtxpoll,
+}
+
+func runCtxpoll(pass *Pass) {
+	info := pass.Pkg.Info
+	reachable := pass.Prog.buildCallGraph().reachable
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !reachable[obj] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Init != nil || loop.Post != nil {
+					return true
+				}
+				if loopPollsCanceller(info, loop) {
+					return true
+				}
+				pass.Reportf(loop.Pos(), "unbounded loop on the solve path never polls the Canceller; call Poll/Check/Stopped or annotate the bound with //lint:allow ctxpoll <reason>")
+				return true
+			})
+		}
+	}
+}
+
+// loopPollsCanceller reports whether the loop's condition or body contains
+// a Poll/Check/Stopped call on a *cancel.Canceller. Nested function
+// literals count: a DFS closure polling inside the walk keeps the outer
+// drive loop honest.
+func loopPollsCanceller(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Poll", "Check", "Stopped":
+		default:
+			return true
+		}
+		if isCancellerType(info.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	}
+	if loop.Cond != nil {
+		ast.Inspect(loop.Cond, check)
+	}
+	ast.Inspect(loop.Body, check)
+	return found
+}
+
+// isCancellerType reports whether t is cancel.Canceller or a pointer to it,
+// identified by type name and defining-package segment so golden mounts
+// and the real package both match.
+func isCancellerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Canceller" && obj.Pkg() != nil &&
+		pathHasSegment(obj.Pkg().Path(), "cancel")
+}

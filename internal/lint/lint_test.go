@@ -12,6 +12,7 @@ import (
 // goldenMounts maps testdata subdirectories to the synthetic import paths
 // that put each golden package inside the analyzer's applicability set.
 var goldenMounts = map[string]string{
+	"ctxpoll":      "repro/internal/core/ctxpollgolden",
 	"detmap":       "repro/internal/graph/golden",
 	"nopanic":      "repro/internal/golden/nopaniclib",
 	"hotalloc":     "repro/internal/core/golden",
@@ -98,6 +99,13 @@ func expectDiags(t *testing.T, got, want []string) {
 // Each test pins the exact positions from the violating golden file and, by
 // asserting the complete list, also proves that the clean file's suppressed
 // and order-insensitive sites produce nothing.
+
+func TestCtxpollGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Ctxpoll), []string{
+		"ctxpoll/bad.go:21:2", // condition drain without a poll
+		"ctxpoll/bad.go:31:2", // infinite ladder without a poll
+	})
+}
 
 func TestDetmapGolden(t *testing.T) {
 	expectDiags(t, runOne(t, Detmap), []string{

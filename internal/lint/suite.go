@@ -2,7 +2,7 @@ package lint
 
 // All returns the full krsplint analyzer suite in report order.
 func All() []*Analyzer {
-	return []*Analyzer{Detmap, Nopanic, Hotalloc, Wallclock, Weightovf}
+	return []*Analyzer{Ctxpoll, Detmap, Nopanic, Hotalloc, Wallclock, Weightovf}
 }
 
 // ByName returns the named analyzers, erroring on unknown names via the

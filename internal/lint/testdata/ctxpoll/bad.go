@@ -1,0 +1,38 @@
+// Package ctxpollgolden is mounted at repro/internal/core/ctxpollgolden by
+// the analyzer self-tests: a solve-path package whose Solve* function roots
+// the reachability analysis for the ctxpoll invariant.
+package ctxpollgolden
+
+import "repro/internal/cancel"
+
+// SolveSpin drives the violating loops so they are reachable.
+func SolveSpin(c *cancel.Canceller, work int) int {
+	total := drainNoPoll(work)
+	total += ladderNoPoll(work)
+	total += okPolls(c, work)
+	total += visitClosure(c, work)
+	total += boundedWalk(work)
+	return total
+}
+
+// drainNoPoll spins on a condition without ever polling: flagged.
+func drainNoPoll(work int) int {
+	n := 0
+	for work > 0 {
+		work /= 2
+		n++
+	}
+	return n
+}
+
+// ladderNoPoll is an infinite ladder with a break and no poll: flagged.
+func ladderNoPoll(work int) int {
+	n := 0
+	for {
+		if work <= n {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package ctxpollgolden
+
+import "repro/internal/cancel"
+
+// okPolls exercises the accepted cancellation shapes: a Poll in the body,
+// a Check in an infinite ladder, and a Stopped in the condition.
+func okPolls(c *cancel.Canceller, work int) int {
+	n := 0
+	for work > n {
+		if c.Poll() {
+			break
+		}
+		n++
+	}
+	for {
+		if c.Check() || work <= n {
+			break
+		}
+		n++
+	}
+	for !c.Stopped() && n < work {
+		n++
+	}
+	return n
+}
+
+// visitClosure polls only inside the closure the loop calls each round —
+// accepted because the closure body is part of the loop body's subtree
+// when declared inline.
+func visitClosure(c *cancel.Canceller, work int) int {
+	n := 0
+	for n < work {
+		stop := func() bool { return c.Check() }
+		if stop() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// boundedWalk documents a structural bound instead of polling.
+func boundedWalk(work int) int {
+	n := 0
+	//lint:allow ctxpoll golden: trip count bounded by the halving argument
+	for work > 0 {
+		work /= 2
+		n++
+	}
+	return n
+}
+
+// notReachable is outside the Solve* call graph: not flagged even without
+// a poll.
+func notReachable(work int) int {
+	n := 0
+	for work > n {
+		n++
+	}
+	return n
+}

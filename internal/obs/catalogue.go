@@ -16,6 +16,11 @@ type ServerMetrics struct {
 	Inflight *Gauge
 	// RequestDuration is the end-to-end request latency histogram.
 	RequestDuration *Histogram
+	// Shed counts requests rejected 429 by admission control (overload).
+	Shed *Counter
+	// PanicsRecovered counts handler panics converted to 500s by the
+	// recover middleware.
+	PanicsRecovered *Counter
 }
 
 // SolverMetrics instruments core.Solve / core.SolveScaled outcomes. The
@@ -44,6 +49,12 @@ type SolverMetrics struct {
 	LambdaIterations *Histogram
 	// CancellationsPerSolve is the per-solve cancellation-count histogram.
 	CancellationsPerSolve *Histogram
+	// Degraded counts solves cut short by a deadline that returned the best
+	// feasible intermediate solution (Stats.Degraded).
+	Degraded *Counter
+	// ResidualRebuilds accumulates Stats.ResidualRebuilds: full residual
+	// rebuilds healing a failed incremental update.
+	ResidualRebuilds *Counter
 }
 
 // FlowMetrics instruments flow.MinCostKFlow.
@@ -158,6 +169,10 @@ func (r *Registry) registerCatalogue() {
 		"Solve/feasible requests currently executing.")
 	r.Server.RequestDuration = r.DurationHistogram("krspd_request_duration_seconds",
 		"End-to-end request latency.", "")
+	r.Server.Shed = r.Counter("krspd_shed_total",
+		"Requests rejected 429 by admission control.")
+	r.Server.PanicsRecovered = r.Counter("krspd_panic_recovered_total",
+		"Handler panics converted to 500s by the recover middleware.")
 
 	// core solve outcomes.
 	r.Solver.Solves = r.Counter("krsp_solves_total",
@@ -185,6 +200,10 @@ func (r *Registry) registerCatalogue() {
 		"Phase-1 Lagrangian iterations per solve.", countBounds)
 	r.Solver.CancellationsPerSolve = r.Histogram("krsp_cancellations_per_solve",
 		"Cycle cancellations per solve.", countBounds)
+	r.Solver.Degraded = r.Counter("krsp_solve_degraded_total",
+		"Solves cut short by a deadline, answered with the best feasible intermediate.")
+	r.Solver.ResidualRebuilds = r.Counter("krsp_residual_rebuilds_total",
+		"Full residual rebuilds healing a failed incremental update.")
 	for p := Phase(0); p < NumPhases; p++ {
 		r.phase[p] = r.DurationHistogram("krsp_solve_phase_duration_seconds",
 			"Solve pipeline phase duration.", `phase="`+p.String()+`"`)

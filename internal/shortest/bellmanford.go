@@ -20,7 +20,7 @@ func BellmanFordInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) 
 		t.Parent[v] = -1
 	}
 	t.Dist[s] = 0
-	return bfCore(g, w, t)
+	return bfCore(ws, g, w, t)
 }
 
 // BellmanFordAll runs Bellman–Ford from a virtual super-source connected to
@@ -39,14 +39,19 @@ func BellmanFordAllInto(ws *Workspace, g *graph.Digraph, w Weight) (Tree, graph.
 		t.Dist[v] = 0
 		t.Parent[v] = -1
 	}
-	return bfCore(g, w, t)
+	return bfCore(ws, g, w, t)
 }
 
-func bfCore(g *graph.Digraph, w Weight, t Tree) (Tree, graph.Cycle, bool) {
+func bfCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree) (Tree, graph.Cycle, bool) {
 	n := g.NumNodes()
 	edges := g.EdgesView()
 	var lastRelaxed graph.NodeID = -1
 	for pass := 0; pass < n; pass++ {
+		if ws.cancel.Check() {
+			// Cancelled between passes: conservative "no cycle" verdict;
+			// solve-path callers re-check the Canceller (SetCancel contract).
+			return t, graph.Cycle{}, true
+		}
 		changed := false
 		for _, e := range edges {
 			if t.Dist[e.From] == Inf {
@@ -79,7 +84,7 @@ func bfCore(g *graph.Digraph, w Weight, t Tree) (Tree, graph.Cycle, bool) {
 func extractParentCycle(g *graph.Digraph, parent []graph.EdgeID, start graph.NodeID) graph.Cycle {
 	var revEdges []graph.EdgeID
 	v := start
-	for {
+	for { //lint:allow ctxpoll bounded: parent-pointer cycle has ≤ n edges
 		id := parent[v]
 		revEdges = append(revEdges, id)
 		v = g.Edge(id).From

@@ -120,7 +120,7 @@ func DijkstraPotentialsInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w W
 	h := ws.heap
 	h.Reset()
 	h.Push(int(s), 0)
-	for h.Len() > 0 {
+	for h.Len() > 0 { //lint:allow ctxpoll bounded: each vertex finalizes once, heap holds ≤ m entries
 		ui, du := h.Pop()
 		u := graph.NodeID(ui)
 		if done[u] {

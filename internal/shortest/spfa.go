@@ -28,6 +28,11 @@ func SPFAInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) (Tree, 
 	if done {
 		return tree, cyc, ok
 	}
+	if ws.cancel.Stopped() {
+		// Cancelled mid-run: report "no cycle" rather than continue into
+		// the fallback scan. See Workspace.SetCancel for the contract.
+		return tree, graph.Cycle{}, true
+	}
 	// Relaxation budget blown without a certified verdict (possible when a
 	// negative cycle keeps the parent graph transiently acyclic): fall back
 	// to the pass-based scan, which always terminates with a proof.
@@ -53,6 +58,9 @@ func SPFAAllInto(ws *Workspace, g *graph.Digraph, w Weight) (Tree, graph.Cycle, 
 	tree, cyc, ok, done := spfaCore(ws, g, w, t, 0, false, defaultBudget(g))
 	if done {
 		return tree, cyc, ok
+	}
+	if ws.cancel.Stopped() {
+		return tree, graph.Cycle{}, true // cancelled: see Workspace.SetCancel
 	}
 	return BellmanFordAllInto(ws, g, w)
 }
@@ -111,6 +119,12 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 	}
 	head := 0
 	for head < len(queue) {
+		if ws.cancel.Poll() {
+			// Cancelled: no verdict. Callers distinguish this from budget
+			// exhaustion via Canceller.Stopped (see Workspace.SetCancel).
+			ws.recordSPFA(relaxations, false)
+			return t, graph.Cycle{}, false, false
+		}
 		u := queue[head]
 		head++
 		inQueue[u] = false
@@ -158,7 +172,7 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 // chain reaches a root.
 func chainRepeat(g *graph.Digraph, parent []graph.EdgeID, v graph.NodeID) (graph.NodeID, bool) {
 	seen := map[graph.NodeID]bool{v: true}
-	for {
+	for { //lint:allow ctxpoll bounded: seen set forces a repeat within n steps
 		id := parent[v]
 		if id < 0 {
 			return 0, false
@@ -175,7 +189,7 @@ func chainRepeat(g *graph.Digraph, parent []graph.EdgeID, v graph.NodeID) (graph
 // invoke it after chainRepeat reported no cycle, so it terminates.
 func chainLength(g *graph.Digraph, parent []graph.EdgeID, v graph.NodeID) int {
 	length := 0
-	for parent[v] >= 0 {
+	for parent[v] >= 0 { //lint:allow ctxpoll bounded: acyclic parent chain, ≤ n edges
 		v = g.Edge(parent[v]).From
 		length++
 	}

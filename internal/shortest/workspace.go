@@ -1,6 +1,7 @@
 package shortest
 
 import (
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/pq"
@@ -30,6 +31,7 @@ type Workspace struct {
 	done    []bool
 	heap    *pq.Heap
 	metrics *obs.ShortestMetrics
+	cancel  *cancel.Canceller
 }
 
 // SetMetrics attaches a metric sink to the workspace; every SPFA kernel
@@ -37,6 +39,21 @@ type Workspace struct {
 // sink (the default) records nothing. Parallel sweeps may point many
 // workspaces at the same sink: recording is atomic.
 func (ws *Workspace) SetMetrics(m *obs.ShortestMetrics) { ws.metrics = m }
+
+// SetCancel attaches a Canceller: kernels run through the workspace then
+// poll it in their relaxation loops and bail out early once it stops. A nil
+// Canceller (the default) costs one branch per poll site and nothing more.
+// Cancellers are single-goroutine state — a workspace handed to a parallel
+// worker must carry that worker's own cancel.Child.
+//
+// Cancellation semantics per kernel family: the bounded kernels
+// (SPFAAllBoundedInto) report their usual no-verdict; the verdict kernels
+// (SPFAInto, SPFAAllInto, BellmanFord*) return ok=true with an empty cycle,
+// i.e. a conservative "nothing found". Solve-path callers must therefore
+// check their Canceller after a kernel returns before trusting a negative
+// verdict — core treats a stopped Canceller as "degrade now", never as
+// proof that no cycle exists.
+func (ws *Workspace) SetCancel(c *cancel.Canceller) { ws.cancel = c }
 
 // recordSPFA folds one kernel run into the attached sink, if any. Counts
 // are accumulated locally by the kernel and recorded once per run, so the
