@@ -15,11 +15,16 @@ vet:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Project-invariant static analysis (internal/lint): determinism,
-# panic-freedom, zero-alloc hot paths, wall-clock bans, overflow guards.
-# Exits nonzero on any unsuppressed diagnostic.
+# Project-invariant static analysis (internal/lint): the per-package checks
+# (determinism, panic-freedom, zero-alloc hot paths, wall-clock bans,
+# overflow guards) plus the whole-module ones (//krsp: contract
+# verification, metric catalogue, fault seams, stale suppressions). Exits
+# nonzero on any unsuppressed diagnostic. Results are cached under
+# .lintcache keyed on source hashes — a no-change rerun replays instantly
+# and reports fresh vs warm time — and every run leaves a SARIF 2.1.0
+# artifact at krsplint.sarif for CI upload.
 lint:
-	$(GO) run ./cmd/krsplint ./...
+	$(GO) run ./cmd/krsplint -cache .lintcache -sarif-out krsplint.sarif ./...
 
 build:
 	$(GO) build ./...
@@ -30,10 +35,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short coverage-guided fuzz over SolveCtx: random instances, poll strides
-# and fault seeds must never panic or violate the delay bound.
+# Short coverage-guided fuzz: SolveCtx (random instances, poll strides and
+# fault seeds must never panic or violate the delay bound) and the lint
+# directive parsers (arbitrary comment text must parse fully or error,
+# never half-succeed).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveCtx$$' -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzDirectiveParser$$' -fuzztime 5s ./internal/lint/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -50,3 +58,4 @@ bench-guard:
 
 clean:
 	$(GO) clean ./...
+	rm -rf .lintcache krsplint.sarif

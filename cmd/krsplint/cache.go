@@ -1,0 +1,231 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/lint"
+)
+
+// The krsplint cache replays a whole-module report when nothing relevant
+// changed. The analyzers are interprocedural (contracts verify transitive
+// callees, metricscat counts uses anywhere in the module), so per-package
+// replay would be unsound: one edited file can change diagnostics in a
+// package that did not change. The cache key therefore covers the entire
+// module — go.mod, every .go file including _test.go (faultseam parses test
+// files for arming sites) — plus the requested analyzer set. Per-directory
+// hashes are still kept so a cold run can report how many packages moved.
+
+// cacheEntry is one stored report, keyed by module content.
+type cacheEntry struct {
+	Key         string            `json:"key"`
+	FreshNanos  int64             `json:"fresh_nanos"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+// cacheManifest records the last run's per-directory hashes for the
+// "K of N packages changed" report.
+type cacheManifest struct {
+	DirHashes map[string]string `json:"dir_hashes"`
+}
+
+type lintCache struct {
+	dir       string            // cache directory
+	key       string            // whole-module key (content + analyzer set)
+	dirHashes map[string]string // module-relative dir -> content hash
+}
+
+// openCache hashes the module under dir and prepares the cache rooted at
+// cacheDir. Errors (unreadable module, un-creatable cache dir) disable the
+// cache rather than the run.
+func openCache(cacheDir, dir string, analyzers []*lint.Analyzer) (*lintCache, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	dirHashes, err := hashModule(root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "analyzers:%s\n", strings.Join(names, ","))
+	dirs := sortedKeys(dirHashes)
+	for _, d := range dirs {
+		fmt.Fprintf(h, "%s:%s\n", d, dirHashes[d])
+	}
+	return &lintCache{
+		dir:       cacheDir,
+		key:       hex.EncodeToString(h.Sum(nil)),
+		dirHashes: dirHashes,
+	}, nil
+}
+
+func (c *lintCache) entryPath() string { return filepath.Join(c.dir, c.key+".json") }
+func (c *lintCache) latestPath() string {
+	return filepath.Join(c.dir, "latest.json")
+}
+
+// lookup returns the stored report for the current key, if any.
+func (c *lintCache) lookup() (*cacheEntry, bool) {
+	data, err := os.ReadFile(c.entryPath())
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != c.key {
+		return nil, false
+	}
+	return &e, true
+}
+
+// changedSinceLast diffs the current per-directory hashes against the last
+// stored manifest. With no prior manifest every package counts as changed.
+func (c *lintCache) changedSinceLast() (changed, total int) {
+	total = len(c.dirHashes)
+	prev := cacheManifest{}
+	if data, err := os.ReadFile(c.latestPath()); err == nil {
+		_ = json.Unmarshal(data, &prev)
+	}
+	for d, h := range c.dirHashes {
+		if prev.DirHashes[d] != h {
+			changed++
+		}
+	}
+	return changed, total
+}
+
+// store persists the report (file paths rewritten module-relative so replay
+// output matches a fresh run) and the per-directory manifest.
+func (c *lintCache) store(root string, diags []lint.Diagnostic, fresh time.Duration) error {
+	stored := make([]lint.Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Position.Filename = filepath.ToSlash(rel)
+		}
+		stored[i] = d
+	}
+	entry, err := json.MarshalIndent(cacheEntry{Key: c.key, FreshNanos: fresh.Nanoseconds(), Diagnostics: stored}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(c.entryPath(), entry, 0o644); err != nil {
+		return err
+	}
+	manifest, err := json.MarshalIndent(cacheManifest{DirHashes: c.dirHashes}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.latestPath(), manifest, 0o644)
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// hashModule walks the module the same way the loader does (skipping
+// testdata, vendor, hidden and underscore directories) and hashes every .go
+// file — tests included — plus go.mod under the synthetic "." entry.
+func hashModule(root string) (map[string]string, error) {
+	out := map[string]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirHash, n, err := hashDirGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		out[filepath.ToSlash(rel)] = dirHash
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(gomod)
+	out["go.mod"] = hex.EncodeToString(sum[:])
+	return out, nil
+}
+
+// hashDirGoFiles hashes the .go files directly in dir (sorted by name) and
+// returns how many it saw.
+func hashDirGoFiles(dir string) (string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", 0, err
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "%s:%s\n", name, hex.EncodeToString(sum[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil)), len(names), nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,70 +1,169 @@
 // Command krsplint runs the project-invariant static-analysis suite
 // (internal/lint) over the module: determinism of map iteration, panic
 // freedom in library packages, zero-alloc kernel discipline on the solve
-// path, wall-clock/unseeded-randomness bans, and overflow guards on int64
-// weight arithmetic.
+// path, wall-clock/unseeded-randomness bans, overflow guards on int64
+// weight arithmetic, checked //krsp: contracts verified over the module
+// call graph, and the cross-layer metric/fault-seam/suppression audits.
 //
 // Usage:
 //
-//	krsplint [-only name[,name...]] [packages]
+//	krsplint [-analyzers name[,name...]] [-format text|json|sarif]
+//	         [-sarif-out file] [-cache dir] [packages]
 //
 // The only accepted package pattern is ./... (the default): the loader
 // always analyzes the whole module so cross-package reachability is exact.
-// Exit status is 0 when no unsuppressed diagnostic is found, 1 otherwise,
-// 2 on loader errors. The report is sorted (file, line, column, analyzer)
-// so CI diffs are deterministic.
+// With -cache, results are replayed when no source file changed (the key
+// hashes every .go file including tests, go.mod, and the analyzer set);
+// fresh and warm timings go to stderr.
+//
+// Exit status is 0 when no unsuppressed diagnostic is found, 1 when the
+// suite reports diagnostics, and 2 when the run itself fails (bad flags,
+// unknown or duplicated analyzer names, load or type-check errors). The
+// report is sorted (file, line, column, analyzer) so CI diffs are
+// deterministic.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
-	flag.Parse()
-
-	for _, arg := range flag.Args() {
-		if arg != "./..." {
-			fmt.Fprintf(os.Stderr, "krsplint: only the ./... pattern is supported, got %q\n", arg)
-			os.Exit(2)
-		}
-	}
-
-	analyzers := lint.All()
-	if *only != "" {
-		var bad string
-		analyzers, bad = lint.ByName(strings.Split(*only, ","))
-		if bad != "" {
-			fmt.Fprintf(os.Stderr, "krsplint: unknown analyzer %q\n", bad)
-			os.Exit(2)
-		}
-	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "krsplint: %v\n", err)
 		os.Exit(2)
 	}
-	prog, err := lint.NewProgram(cwd)
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global edges, so main_test can drive
+// every exit path in-process.
+func run(argv []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("krsplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	only := fs.String("only", "", "alias for -analyzers")
+	format := fs.String("format", "text", "report format: text, json or sarif")
+	sarifOut := fs.String("sarif-out", "", "additionally write a SARIF 2.1.0 artifact to this file")
+	cacheDir := fs.String("cache", "", "cache directory: replay the report when no source changed")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	for _, arg := range fs.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(stderr, "krsplint: only the ./... pattern is supported, got %q\n", arg)
+			return 2
+		}
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "krsplint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
+	}
+
+	names := *analyzersFlag
+	if names == "" {
+		names = *only
+	}
+	analyzers := lint.All()
+	if names != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(names, ","))
+		if err != nil {
+			fmt.Fprintf(stderr, "krsplint: %v\n", err)
+			return 2
+		}
+	}
+
+	var cache *lintCache
+	if *cacheDir != "" {
+		c, err := openCache(*cacheDir, dir, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "krsplint: cache disabled: %v\n", err)
+		} else {
+			cache = c
+		}
+	}
+
+	var root string
+	var diags []lint.Diagnostic
+	if cache != nil {
+		if entry, ok := cache.lookup(); ok {
+			start := time.Now()
+			root, diags = "", entry.Diagnostics // cached paths are already module-relative
+			fmt.Fprintf(stderr, "krsplint: cache warm: replayed %d diagnostic(s) in %s (fresh run took %s)\n",
+				len(diags), time.Since(start).Round(time.Millisecond), time.Duration(entry.FreshNanos).Round(time.Millisecond))
+			return emit(stdout, stderr, *format, *sarifOut, root, diags)
+		}
+	}
+
+	start := time.Now()
+	prog, err := lint.NewProgram(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "krsplint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "krsplint: %v\n", err)
+		return 2
 	}
 	if err := prog.LoadAll(); err != nil {
-		fmt.Fprintf(os.Stderr, "krsplint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "krsplint: %v\n", err)
+		return 2
 	}
-	diags := lint.Run(prog, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.StringRel(prog.ModuleRoot()))
+	diags = lint.Run(prog, analyzers)
+	root = prog.ModuleRoot()
+	elapsed := time.Since(start)
+	if cache != nil {
+		changed, total := cache.changedSinceLast()
+		fmt.Fprintf(stderr, "krsplint: cache cold (%d of %d packages changed): analyzed in %s\n",
+			changed, total, elapsed.Round(time.Millisecond))
+		if err := cache.store(root, diags, elapsed); err != nil {
+			fmt.Fprintf(stderr, "krsplint: cache write failed: %v\n", err)
+		}
+	}
+	return emit(stdout, stderr, *format, *sarifOut, root, diags)
+}
+
+// emit renders the report in the chosen format (plus the optional SARIF
+// artifact) and maps the diagnostic count to the exit status.
+func emit(stdout, stderr io.Writer, format, sarifOut, root string, diags []lint.Diagnostic) int {
+	rep := lint.Report{Root: root, Diagnostics: diags}
+	var err error
+	switch format {
+	case "json":
+		err = rep.WriteJSON(stdout)
+	case "sarif":
+		err = rep.WriteSARIF(stdout)
+	default:
+		err = rep.WriteText(stdout)
+	}
+	if err == nil && sarifOut != "" {
+		err = writeSARIFFile(sarifOut, rep)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "krsplint: %v\n", err)
+		return 2
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "krsplint: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "krsplint: %d diagnostic(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+func writeSARIFFile(path string, rep lint.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteSARIF(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// drive runs the CLI in-process against one of the testdata mini-modules
+// and returns (exit, stdout, stderr).
+func drive(t *testing.T, mod string, argv ...string) (int, string, string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(argv, dir, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExitZeroOnCleanModule(t *testing.T) {
+	code, stdout, stderr := drive(t, "cleanmod", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run must print nothing, got %q", stdout)
+	}
+}
+
+func TestExitOneOnDiagnostics(t *testing.T) {
+	code, stdout, stderr := drive(t, "dirtymod")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "lib.go:") || !strings.Contains(stdout, "nopanic") {
+		t.Errorf("report missing position or analyzer: %q", stdout)
+	}
+	if !strings.Contains(stderr, "1 diagnostic(s)") {
+		t.Errorf("stderr missing count: %q", stderr)
+	}
+}
+
+func TestExitTwoOnTypeError(t *testing.T) {
+	code, _, stderr := drive(t, "brokenmod")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "krsplint:") {
+		t.Errorf("stderr missing failure report: %q", stderr)
+	}
+}
+
+func TestExitTwoOnBadInvocation(t *testing.T) {
+	cases := [][]string{
+		{"-analyzers", "nosuchanalyzer"},
+		{"-analyzers", "detmap,detmap"},
+		{"-format", "xml"},
+		{"./cmd/..."},
+		{"-nosuchflag"},
+	}
+	for _, argv := range cases {
+		if code, _, _ := drive(t, "cleanmod", argv...); code != 2 {
+			t.Errorf("argv %v: exit %d, want 2", argv, code)
+		}
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	// dirtymod's only finding belongs to nopanic; running detmap alone must
+	// be clean, and -only must keep working as the -analyzers alias.
+	if code, _, stderr := drive(t, "dirtymod", "-analyzers", "detmap"); code != 0 {
+		t.Errorf("detmap-only run: exit %d, stderr %s", code, stderr)
+	}
+	if code, _, _ := drive(t, "dirtymod", "-only", "nopanic"); code != 1 {
+		t.Errorf("-only nopanic: want exit 1")
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	code, stdout, _ := drive(t, "dirtymod", "-format", "json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "nopanic" || diags[0].File != "lib.go" {
+		t.Errorf("unexpected JSON report: %+v", diags)
+	}
+}
+
+func TestSARIFFormatAndArtifact(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "krsplint.sarif")
+	code, stdout, _ := drive(t, "dirtymod", "-format", "sarif", "-sarif-out", artifact)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) != 1 {
+		t.Errorf("unexpected SARIF shape: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	saved, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatalf("sarif artifact not written: %v", err)
+	}
+	if !bytes.Equal(saved, []byte(stdout)) {
+		t.Error("sarif artifact differs from -format sarif stdout")
+	}
+}
+
+func TestCacheColdThenWarm(t *testing.T) {
+	cacheDir := t.TempDir()
+	code, coldOut, coldErr := drive(t, "dirtymod", "-cache", cacheDir)
+	if code != 1 {
+		t.Fatalf("cold run: exit %d, stderr %s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "cache cold") {
+		t.Errorf("cold run stderr: %q", coldErr)
+	}
+	code, warmOut, warmErr := drive(t, "dirtymod", "-cache", cacheDir)
+	if code != 1 {
+		t.Fatalf("warm run: exit %d, stderr %s", code, warmErr)
+	}
+	if !strings.Contains(warmErr, "cache warm") {
+		t.Errorf("warm run stderr: %q", warmErr)
+	}
+	if coldOut != warmOut {
+		t.Errorf("warm replay differs from cold report:\ncold: %q\nwarm: %q", coldOut, warmOut)
+	}
+
+	// Touching a source file must invalidate the key.
+	lib := filepath.Join("testdata", "dirtymod", "lib.go")
+	src, err := os.ReadFile(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lib, append(src, []byte("\n// cache-buster\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.WriteFile(lib, src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// The manifest tracks the package dir plus a go.mod pseudo-entry, so
+	// one edited file reads as 1 of 2.
+	_, _, bustErr := drive(t, "dirtymod", "-cache", cacheDir)
+	if !strings.Contains(bustErr, "cache cold (1 of 2 packages changed)") {
+		t.Errorf("after edit, want cold run reporting 1 changed package, got: %q", bustErr)
+	}
+}
+
+func TestCacheKeyedOnAnalyzerSet(t *testing.T) {
+	cacheDir := t.TempDir()
+	if _, _, err := drive(t, "dirtymod", "-cache", cacheDir); !strings.Contains(err, "cache cold") {
+		t.Fatalf("first full run not cold: %q", err)
+	}
+	// A different analyzer subset must not replay the full-suite entry.
+	if _, _, err := drive(t, "dirtymod", "-cache", cacheDir, "-analyzers", "detmap"); !strings.Contains(err, "cache cold") {
+		t.Errorf("subset run replayed the full-suite cache: %q", err)
+	}
+}

@@ -1,0 +1,5 @@
+// Package brokenmod does not type-check; the CLI tests drive the exit-2
+// path over it.
+package brokenmod
+
+var oops int = "not an int"

@@ -1,0 +1,6 @@
+// Package cleanmod is a minimal module that passes the whole suite; the
+// CLI tests drive the exit-0 path over it.
+package cleanmod
+
+// Double returns 2x.
+func Double(x int) int { return x + x }

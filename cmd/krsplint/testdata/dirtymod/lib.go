@@ -1,0 +1,12 @@
+// Package dirtymod carries exactly one nopanic violation; the CLI tests
+// drive the exit-1 path and the report formats over it.
+package dirtymod
+
+// Explode panics on an input-dependent condition, which nopanic forbids in
+// library packages.
+func Explode(x int) int {
+	if x > 0 {
+		panic("boom")
+	}
+	return -x
+}

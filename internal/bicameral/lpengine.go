@@ -171,6 +171,8 @@ func lpCandidates(rg *residual.Graph, a *auxgraph.Aux, p Params, o Options, st *
 // extractSupportCycle finds a directed cycle among edges with x > eps,
 // returned as an H edge sequence, or nil if the support is (numerically)
 // empty or acyclic.
+//
+//krsp:terminates(the pos check ends the walk at the first repeated vertex, within n steps)
 func extractSupportCycle(h *graph.Digraph, x []float64) []graph.EdgeID {
 	const eps = 1e-7
 	next := make(map[graph.NodeID]graph.EdgeID)
@@ -192,7 +194,7 @@ func extractSupportCycle(h *graph.Digraph, x []float64) []graph.EdgeID {
 	pos := map[graph.NodeID]int{}
 	var walk []graph.EdgeID
 	cur := start
-	for { //lint:allow ctxpoll bounded: walk revisits a vertex within n steps (pos check)
+	for {
 		id, ok := next[cur]
 		if !ok {
 			return nil // dead end: conservation says this shouldn't happen

@@ -47,6 +47,8 @@ func effectiveWorkers(o Options, items int) int {
 // before i). fn receives a stable worker id in [0, workers) for per-worker
 // scratch. With workers ≤ 1 everything runs on the calling goroutine, and a
 // cancelled index ends the loop outright (the reduction stops before it).
+//
+//krsp:terminates(every claim-loop pass advances the shared atomic counter, which reaches n; kernels poll via the worker's child canceller)
 func parallelOrdered(n, workers int, fn func(i, worker int), cancelled func(i int) bool) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -63,7 +65,7 @@ func parallelOrdered(n, workers int, fn func(i, worker int), cancelled func(i in
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for { //lint:allow ctxpoll bounded: one atomic claim per seed, ≤ n rounds; kernels poll via the worker's child canceller
+			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -106,6 +108,8 @@ type seedResult struct {
 // the best of that seed's candidates (earlier seeds had none, so this
 // matches the serial early return). found=false leaves the caller to
 // escalate the budget.
+//
+//krsp:terminates(per-seed searches are relaxation-budgeted, and the stop-index CAS retries on a monotonically decreasing value)
 func sweepSeeds(rg *residual.Graph, perSeed []graph.NodeID, b int64, wOf shortest.Weight, relaxBudget int, p Params, o Options, st *Stats) (Candidate, bool) {
 	n := len(perSeed)
 	if n == 0 {
@@ -148,7 +152,7 @@ func sweepSeeds(rg *residual.Graph, perSeed []graph.NodeID, b int64, wOf shortes
 		}
 		results[i] = r
 		if len(r.quals) > 0 {
-			for { //lint:allow ctxpoll bounded: CAS retry on a monotonically decreasing stop index
+			for {
 				cur := stopAt.Load()
 				if int64(i) >= cur || stopAt.CompareAndSwap(cur, int64(i)) {
 					break
@@ -269,6 +273,8 @@ func enumerateRoot(rg *residual.Graph, start graph.NodeID, p Params, o Options, 
 // remaining budget ends the scan with exhausted=true (the enumeration is
 // then NOT a completeness certificate), and a type-0 hit stops it at the
 // first such root. Results are identical for every Options.Workers value.
+//
+//krsp:terminates(per-root DFS is step-budgeted, the frontier only advances, and the stop-index CAS retries on a monotonically decreasing value)
 func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (best Candidate, found, exhausted bool) {
 	g := rg.R
 	n := g.NumNodes()
@@ -300,7 +306,7 @@ func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (be
 	run := func(i, worker int) {
 		r := enumerateRoot(rg, graph.NodeID(i), p, o, scratch[worker])
 		if r.type0 {
-			for { //lint:allow ctxpoll bounded: CAS retry on a monotonically decreasing stop index
+			for {
 				cur := stopAt.Load()
 				if int64(i) >= cur || stopAt.CompareAndSwap(cur, int64(i)) {
 					break
@@ -311,7 +317,7 @@ func enumerateQualifying(rg *residual.Graph, p Params, o Options, st *Stats) (be
 		// neighbouring indices, so unsynchronized writes would race with it.
 		mu.Lock()
 		results[i] = r
-		for frontier < n && results[frontier].ran { //lint:allow ctxpoll bounded: frontier only advances, ≤ n total across all calls
+		for frontier < n && results[frontier].ran {
 			prefixSteps += results[frontier].steps
 			frontier++
 		}

@@ -10,6 +10,8 @@ import (
 // into k edge-disjoint s→t paths plus a set of edge-disjoint cycles
 // covering the remaining flow edges. It errors if the edge set does not
 // satisfy flow conservation with net outflow k at s and net inflow k at t.
+//
+//krsp:terminates(every pop consumes one of ≤ m available edges, and each walk is budget-checked against the edge count)
 func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) ([]graph.Path, []graph.Cycle, error) {
 	// Per-vertex unused outgoing flow edges. Maps keep the footprint
 	// proportional to the flow (not the graph); every scan below resolves
@@ -68,7 +70,7 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 	for i := 0; i < k; i++ {
 		var walk []graph.EdgeID
 		cur := s
-		for cur != t { //lint:allow ctxpoll bounded: every pop consumes one of ≤ m available edges
+		for cur != t {
 			id, ok := pop(cur)
 			if !ok {
 				return nil, nil, fmt.Errorf("flow: walk from source stuck at %d", cur)
@@ -93,7 +95,7 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 
 	// Peel remaining edges into cycles.
 	var cycles []graph.Cycle
-	for { //lint:allow ctxpoll bounded: each round peels ≥ 1 of ≤ m available edges
+	for {
 		start := graph.NodeID(-1)
 		//lint:allow detmap min-selection over the range is order-insensitive
 		for v, avail := range outAvail {
@@ -106,7 +108,7 @@ func Decompose(g *graph.Digraph, edges graph.EdgeSet, s, t graph.NodeID, k int) 
 		}
 		var walk []graph.EdgeID
 		cur := start
-		for { //lint:allow ctxpoll bounded: every pop consumes one of ≤ m available edges
+		for {
 			id, ok := pop(cur)
 			if !ok {
 				return nil, nil, fmt.Errorf("flow: cycle walk stuck at %d", cur)

@@ -165,6 +165,32 @@ func recordFlow(m *obs.FlowMetrics, rounds, relaxed int64, infeasible bool) {
 	}
 }
 
+// arc is a residual-graph step recorded in the Dijkstra parent array: push
+// one unit on an unused edge (fwd) or cancel a unit on a used one.
+type arc struct {
+	edge graph.EdgeID
+	fwd  bool // true: push on unused edge; false: cancel used edge
+}
+
+// augmentAlong flips flow along the parent chain from t back to s, pushing
+// on forward arcs and cancelling on backward ones.
+//
+//krsp:terminates(the parent array encodes a simple chain from t to s, ≤ n edges)
+func augmentAlong(g *graph.Digraph, parent []arc, inFlow []bool, s, t graph.NodeID) {
+	v := t
+	for v != s {
+		a := parent[v]
+		e := g.Edge(a.edge)
+		if a.fwd {
+			inFlow[a.edge] = true
+			v = e.From
+		} else {
+			inFlow[a.edge] = false
+			v = e.To
+		}
+	}
+}
+
 func minCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight, m *obs.FlowMetrics, c *cancel.Canceller) (UnitFlow, error) {
 	if k < 0 {
 		return UnitFlow{}, fmt.Errorf("flow: negative k=%d", k)
@@ -177,11 +203,6 @@ func minCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight,
 	// Dist doubles as the (mutated) potential array without a copy.
 	ws := shortest.NewWorkspace(n)
 	pot := shortest.DijkstraInto(ws, g, s, w).Dist
-
-	type arc struct {
-		edge graph.EdgeID
-		fwd  bool // true: push on unused edge; false: cancel used edge
-	}
 
 	// Scratch shared by the k augmentation rounds: allocating it per round
 	// dominated small-instance solves (Phase1 calls this in a Lagrangian
@@ -255,19 +276,7 @@ func minCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight,
 			return UnitFlow{}, ErrInfeasible
 		}
 		rounds++
-		// Augment along the parent chain.
-		v := t
-		for v != s { //lint:allow ctxpoll bounded: simple parent chain from t to s, ≤ n edges
-			a := parent[v]
-			e := g.Edge(a.edge)
-			if a.fwd {
-				inFlow[a.edge] = true
-				v = e.From
-			} else {
-				inFlow[a.edge] = false
-				v = e.To
-			}
-		}
+		augmentAlong(g, parent, inFlow, s, t)
 		// Update potentials: pot'[v] = pot[v] + dist_reduced[v]; vertices
 		// unreached this round become unreachable for future rounds too
 		// under reduced weights, mark Inf.

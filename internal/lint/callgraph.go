@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the whole-module interprocedural layer shared by every
+// analyzer that reasons across calls: the solve-path reachability used by
+// hotalloc and ctxpoll, and the transitive contract verification
+// (//krsp:noalloc / terminates / deterministic) done by the contracts
+// analyzer.
+//
+// The graph is static: calls are resolved through go/types to their
+// declared *types.Func. Dynamic calls through function values (the Weight
+// closures the kernels take) and interface method dispatch are not traced —
+// the former's allocation/termination behaviour is charged to the closure's
+// definition site, the latter shows up as an unverifiable callee where a
+// contract needs to see through it. Function literals are inspected as part
+// of their enclosing declaration, so a worker body inside a go statement
+// still contributes its calls to the declaring function's out-edges.
+
+// declSite pairs a function declaration with the type info of its package.
+type declSite struct {
+	fd   *ast.FuncDecl
+	file *ast.File
+	pkg  *Package
+}
+
+// callGraph is the module-wide static call graph: one node per function
+// declaration loaded through the Program (dependencies included), with
+// deterministic out-edge order.
+type callGraph struct {
+	fset *token.FileSet
+	// decls maps every module-local declared function (and method) with a
+	// body to its declaration site.
+	decls map[*types.Func]*declSite
+	// callees lists the statically-resolved callees of each declared
+	// function, deduplicated and sorted by position for deterministic
+	// traversal. Extern (non-module) callees are included; traversal
+	// descends only into functions present in decls.
+	callees map[*types.Func][]*types.Func
+	// callPos records one representative call position per (caller, callee)
+	// edge, for diagnostics.
+	callPos map[[2]*types.Func]token.Pos
+	// reachable marks functions statically reachable from the core.Solve*
+	// roots — the "solve path" set hotalloc and ctxpoll police.
+	reachable map[*types.Func]bool
+	// order lists decls sorted by (file, position) so whole-graph scans are
+	// deterministic.
+	order []*types.Func
+}
+
+// buildCallGraph builds (once) and returns the program's call graph.
+func (p *Program) buildCallGraph() *callGraph {
+	if p.callGraph != nil {
+		return p.callGraph
+	}
+	cg := &callGraph{
+		fset:    p.Fset,
+		decls:   map[*types.Func]*declSite{},
+		callees: map[*types.Func][]*types.Func{},
+		callPos: map[[2]*types.Func]token.Pos{},
+	}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						cg.decls[obj] = &declSite{fd: fd, file: f, pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	for obj, site := range cg.decls {
+		seen := map[*types.Func]bool{}
+		var out []*types.Func
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(site.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			key := [2]*types.Func{obj, callee}
+			if _, ok := cg.callPos[key]; !ok {
+				cg.callPos[key] = call.Pos()
+			}
+			if !seen[callee] {
+				seen[callee] = true
+				out = append(out, callee)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return cg.less(out[i], out[j]) })
+		cg.callees[obj] = out
+	}
+	for fn := range cg.decls {
+		cg.order = append(cg.order, fn)
+	}
+	sort.Slice(cg.order, func(i, j int) bool { return cg.less(cg.order[i], cg.order[j]) })
+
+	// Solve-path reachability: everything transitively callable from the
+	// core package's Solve* entry points.
+	var roots []*types.Func
+	for _, fn := range cg.order {
+		if fn.Pkg() != nil && pathHasSegment(fn.Pkg().Path(), "core") &&
+			len(fn.Name()) >= 5 && fn.Name()[:5] == "Solve" {
+			roots = append(roots, fn)
+		}
+	}
+	cg.reachable = cg.closure(roots)
+
+	p.callGraph = cg
+	return cg
+}
+
+// less orders functions by declaration position (extern functions, which
+// have no position in this fset, sort by package path and name).
+func (cg *callGraph) less(a, b *types.Func) bool {
+	da, db := cg.decls[a], cg.decls[b]
+	switch {
+	case da != nil && db != nil:
+		pa, pb := cg.fset.Position(da.fd.Pos()), cg.fset.Position(db.fd.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Offset < pb.Offset
+	case da != nil:
+		return true
+	case db != nil:
+		return false
+	}
+	ap, bp := pkgPathOf(a), pkgPathOf(b)
+	if ap != bp {
+		return ap < bp
+	}
+	return a.FullName() < b.FullName()
+}
+
+func pkgPathOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// closure returns the set of functions reachable from roots (roots
+// included), descending only through declared module-local functions.
+func (cg *callGraph) closure(roots []*types.Func) map[*types.Func]bool {
+	reach := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reach[fn] {
+			return
+		}
+		reach[fn] = true
+		if _, ok := cg.decls[fn]; !ok {
+			return
+		}
+		for _, c := range cg.callees[fn] {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return reach
+}
+
+// pathFrom returns a shortest call chain root → … → target (inclusive), or
+// nil if target is unreachable from root. BFS over the sorted out-edges
+// keeps the returned witness deterministic.
+func (cg *callGraph) pathFrom(root, target *types.Func) []*types.Func {
+	if root == target {
+		return []*types.Func{root}
+	}
+	parent := map[*types.Func]*types.Func{root: nil}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if _, ok := cg.decls[fn]; !ok {
+			continue
+		}
+		for _, c := range cg.callees[fn] {
+			if _, seen := parent[c]; seen {
+				continue
+			}
+			parent[c] = fn
+			if c == target {
+				var path []*types.Func
+				for at := c; at != nil; at = parent[at] {
+					path = append(path, at)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, c)
+		}
+	}
+	return nil
+}
+
+// chainString renders a call path as "A → B → C" using bare function names.
+func chainString(path []*types.Func) string {
+	s := ""
+	for i, fn := range path {
+		if i > 0 {
+			s += " → "
+		}
+		s += fn.Name()
+	}
+	return s
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic calls
+// and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Contracts is the whole-module checked-annotation analyzer. A function may
+// declare, in its doc comment, one or more //krsp: contracts:
+//
+//	//krsp:noalloc               steady-state zero-alloc
+//	//krsp:terminates(<reason>)  bounded or cancellable; reason states the bound
+//	//krsp:deterministic         no wall clock, no global rand, no
+//	                             order-sensitive map iteration
+//
+// Each contract is verified against the transitive closure of the
+// function's statically-resolved callees over the module-wide call graph —
+// an annotation is a checked fact, not a comment. Violations are reported
+// at the offending site (the make, the unpolled loop, the time.Now) with
+// the call chain from the annotated root, so one fix or one justified
+// //lint:allow contracts <reason> covers every kernel that funnels through
+// the site. Sites already justified to the matching per-package analyzer
+// (hotalloc for allocations, ctxpoll for loops, detmap/wallclock for
+// determinism) are honoured: the contract generalises those analyzers
+// across calls rather than demanding a second annotation.
+//
+// The analyzer also enforces annotation coverage: every *_Into workspace
+// kernel in a solve-path package must carry //krsp:noalloc, turning the
+// bench-guard's runtime allocs/op ceiling into a compile-time fact.
+// Malformed, misplaced and duplicate directives are themselves diagnostics.
+var Contracts = &Analyzer{
+	Name:       "contracts",
+	Doc:        "verify //krsp:noalloc, //krsp:terminates and //krsp:deterministic contracts over the module call graph",
+	RunProgram: runContracts,
+}
+
+// parsedContract is one //krsp: directive attached to a function.
+type parsedContract struct {
+	kind   Contract
+	reason string
+	pos    token.Pos
+}
+
+// contractIndex is the module-wide //krsp: annotation table plus the
+// directive-level diagnostics found while building it.
+type contractIndex struct {
+	byFunc map[*types.Func][]parsedContract
+	diags  []Diagnostic
+}
+
+func (ci *contractIndex) has(fn *types.Func, kind Contract) bool {
+	for _, c := range ci.byFunc[fn] {
+		if c.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// contractIndex parses every //krsp: directive in the program (built once).
+// Directives must live in the doc comment of a function declaration;
+// anything else — a floating comment, a type or var doc, a body comment —
+// is misplaced, because a contract that is not bound to a function is not
+// checked by anything. Directive diagnostics are only recorded for
+// requested packages: dependencies of golden test packages are loaded but
+// not re-audited.
+func (p *Program) contractIndex() *contractIndex {
+	if p.contractIdx != nil {
+		return p.contractIdx
+	}
+	ci := &contractIndex{byFunc: map[*types.Func][]parsedContract{}}
+	requested := map[*Package]bool{}
+	for _, pkg := range p.Requested {
+		requested[pkg] = true
+	}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			docOf := map[*ast.CommentGroup]*ast.FuncDecl{}
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+					docOf[fd.Doc] = fd
+				}
+			}
+			for _, cg := range f.Comments {
+				fd := docOf[cg]
+				for _, c := range cg.List {
+					kind, reason, isContract, err := parseContract(c.Text)
+					if !isContract {
+						continue
+					}
+					report := func(format string, args ...any) {
+						if requested[pkg] {
+							ci.diags = append(ci.diags, Diagnostic{
+								Analyzer: "contracts", // Contracts.Name; literal breaks the init cycle with runCtxpoll
+								Position: p.Fset.Position(c.Pos()),
+								Message:  fmt.Sprintf(format, args...),
+							})
+						}
+					}
+					if err != nil {
+						report("%v", err)
+						continue
+					}
+					if fd == nil {
+						report("misplaced //krsp:%s: contracts must appear in the doc comment of a function declaration", kind)
+						continue
+					}
+					obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					if ci.has(obj, kind) {
+						report("duplicate //krsp:%s on %s", kind, fd.Name.Name)
+						continue
+					}
+					ci.byFunc[obj] = append(ci.byFunc[obj], parsedContract{kind: kind, reason: reason, pos: c.Pos()})
+				}
+			}
+		}
+	}
+	p.contractIdx = ci
+	return ci
+}
+
+// allocSafeExternPkgs are non-module packages whose functions are known not
+// to allocate; calls into any other package from a noalloc closure are
+// unverifiable and therefore diagnostics.
+var allocSafeExternPkgs = map[string]bool{
+	"sync/atomic": true, "math": true, "math/bits": true,
+}
+
+func runContracts(pass *Pass) {
+	prog := pass.Prog
+	ci := prog.contractIndex()
+	cg := prog.buildCallGraph()
+	for _, d := range ci.diags {
+		*pass.diags = append(*pass.diags, d)
+	}
+
+	// Sibling-analyzer allows: a site justified to hotalloc/ctxpoll/detmap/
+	// wallclock already carries its reason; the contract does not demand a
+	// second one. (Usage tracking of those allows stays with their owning
+	// analyzers — this read-only view never marks them used.)
+	sibling, _ := collectAllows(prog, prog.Requested)
+	justified := func(pos token.Pos, analyzers ...string) bool {
+		position := prog.Fset.Position(pos)
+		for _, name := range analyzers {
+			if sibling[allowKey{position.Filename, position.Line, name}] != nil ||
+				sibling[allowKey{position.Filename, position.Line - 1, name}] != nil {
+				return true
+			}
+		}
+		return false
+	}
+
+	requested := map[*Package]bool{}
+	for _, pkg := range prog.Requested {
+		requested[pkg] = true
+	}
+	inRequested := func(fn *types.Func) bool {
+		site := cg.decls[fn]
+		return site != nil && requested[site.pkg]
+	}
+
+	// Annotation coverage: *_Into kernels on the solve path must carry
+	// //krsp:noalloc.
+	for _, fn := range cg.order {
+		if !inRequested(fn) || fn.Pkg() == nil || !pathHasAnySegment(fn.Pkg().Path(), hotPackages) {
+			continue
+		}
+		name := fn.Name()
+		if len(name) > len("Into") && strings.HasSuffix(name, "Into") && !ci.has(fn, ContractNoAlloc) {
+			pass.Reportf(cg.decls[fn].fd.Name.Pos(),
+				"workspace kernel %s lacks //krsp:noalloc; annotate the contract (it is verified against the kernel's transitive callees)", name)
+		}
+	}
+
+	// Verification proper. Sites are deduplicated across roots: the first
+	// annotated root (in declaration order) that reaches a site names it.
+	type siteKey struct {
+		pos  token.Pos
+		what string
+	}
+	reported := map[siteKey]bool{}
+	reportSite := func(pos token.Pos, what, format string, args ...any) {
+		k := siteKey{pos, what}
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	for _, root := range cg.order {
+		if !inRequested(root) {
+			continue
+		}
+		for _, c := range ci.byFunc[root] {
+			closure := cg.closure([]*types.Func{root})
+			var members []*types.Func
+			for _, fn := range cg.order {
+				if closure[fn] {
+					members = append(members, fn)
+				}
+			}
+			switch c.kind {
+			case ContractNoAlloc:
+				checkNoAlloc(pass, cg, root, members, reportSite, justified)
+			case ContractTerminates:
+				checkTerminates(pass, cg, ci, root, members, reportSite, justified)
+			case ContractDeterministic:
+				checkDeterministic(pass, cg, root, members, reportSite, justified)
+			}
+		}
+	}
+}
+
+type siteReporter func(pos token.Pos, what, format string, args ...any)
+type siteJustified func(pos token.Pos, analyzers ...string) bool
+
+// checkNoAlloc flags every steady-state allocation reachable from root:
+// direct alloc operations (make/append/new/map-insert/closure/go) anywhere
+// in the closure, plus calls that leave the module into packages not known
+// to be allocation-free.
+func checkNoAlloc(pass *Pass, cg *callGraph, root *types.Func, members []*types.Func, report siteReporter, justified siteJustified) {
+	for _, fn := range members {
+		site := cg.decls[fn]
+		if site != nil {
+			for _, op := range allocOps(site) {
+				if justified(op.pos, Hotalloc.Name) {
+					continue
+				}
+				report(op.pos, "noalloc",
+					"%s allocates but is reachable from //krsp:noalloc %s (%s); hoist into a Workspace or justify with //lint:allow contracts <reason>",
+					op.what, root.Name(), chainString(cg.pathFrom(root, fn)))
+			}
+		}
+		for _, callee := range cg.callees[fn] {
+			if _, declared := cg.decls[callee]; declared {
+				continue
+			}
+			pkgPath := ""
+			if callee.Pkg() != nil {
+				pkgPath = callee.Pkg().Path()
+			}
+			if allocSafeExternPkgs[pkgPath] {
+				continue
+			}
+			pos := cg.callPos[[2]*types.Func{fn, callee}]
+			if justified(pos, Hotalloc.Name) {
+				continue
+			}
+			report(pos, "noalloc",
+				"call to %s cannot be verified allocation-free (no body in the module) but is reachable from //krsp:noalloc %s (%s)",
+				calleeLabel(callee), root.Name(), chainString(cg.pathFrom(root, fn)))
+		}
+	}
+}
+
+// checkTerminates flags condition-only loops (`for {}` / `for cond {}`)
+// reachable from root that neither poll the Canceller nor sit inside a
+// function carrying its own //krsp:terminates bound.
+func checkTerminates(pass *Pass, cg *callGraph, ci *contractIndex, root *types.Func, members []*types.Func, report siteReporter, justified siteJustified) {
+	for _, fn := range members {
+		site := cg.decls[fn]
+		if site == nil || ci.has(fn, ContractTerminates) {
+			continue
+		}
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			if loopPollsCanceller(site.pkg.Info, loop) {
+				return true
+			}
+			if justified(loop.Pos(), Ctxpoll.Name) {
+				return true
+			}
+			report(loop.Pos(), "terminates",
+				"unbounded loop is reachable from //krsp:terminates %s (%s) but neither polls the Canceller nor carries its own //krsp:terminates bound on %s",
+				root.Name(), chainString(cg.pathFrom(root, fn)), fn.Name())
+			return true
+		})
+	}
+}
+
+// checkDeterministic flags wall-clock reads, global-source randomness and
+// order-sensitive map iteration anywhere in root's closure — including
+// packages outside the per-package det/wallclock sets, which is the point
+// of stating the contract on an entry function.
+func checkDeterministic(pass *Pass, cg *callGraph, root *types.Func, members []*types.Func, report siteReporter, justified siteJustified) {
+	for _, fn := range members {
+		site := cg.decls[fn]
+		if site == nil {
+			continue
+		}
+		// The single sanctioned wall-clock bridge (see Wallclock).
+		if pathHasSegment(site.pkg.Path, "obs") &&
+			filepath.Base(cg.fset.Position(site.file.Pos()).Filename) == "realclock.go" {
+			continue
+		}
+		info := site.pkg.Info
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgID, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.ObjectOf(pkgID).(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "time":
+					if timeFuncs[n.Sel.Name] && !justified(n.Pos(), Wallclock.Name) {
+						report(n.Pos(), "deterministic",
+							"time.%s is reachable from //krsp:deterministic %s (%s)",
+							n.Sel.Name, root.Name(), chainString(cg.pathFrom(root, fn)))
+					}
+				case "math/rand", "math/rand/v2":
+					if !randSeededCtors[n.Sel.Name] {
+						if _, isFunc := info.ObjectOf(n.Sel).(*types.Func); isFunc && !justified(n.Pos(), Wallclock.Name) {
+							report(n.Pos(), "deterministic",
+								"rand.%s draws from the global source but is reachable from //krsp:deterministic %s (%s)",
+								n.Sel.Name, root.Name(), chainString(cg.pathFrom(root, fn)))
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if reason := orderSensitiveWrite(info, n); reason != "" && !justified(n.For, Detmap.Name) {
+					report(n.For, "deterministic",
+						"map iteration with order-sensitive write (%s) is reachable from //krsp:deterministic %s (%s)",
+						reason, root.Name(), chainString(cg.pathFrom(root, fn)))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// allocOp is one statically-detectable allocation inside a function body.
+type allocOp struct {
+	pos  token.Pos
+	what string
+}
+
+// allocOps scans a declaration for the allocation operations the noalloc
+// contract forbids. Composite literals and string conversions are left to
+// escape analysis (they are routinely stack-allocated); the listed forms
+// always heap-allocate when they execute on a growth path. One exception:
+// a function literal that is the immediate callee of a defer OUTSIDE any
+// loop is open-coded by the compiler and does not escape, so the common
+// `defer func() { ws.cleanup() }()` shape stays contract-clean.
+func allocOps(site *declSite) []allocOp {
+	info := site.pkg.Info
+	var loopRanges [][2]token.Pos
+	ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopRanges = append(loopRanges, [2]token.Pos{n.Pos(), n.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, r := range loopRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	openCodedDefer := map[*ast.FuncLit]bool{}
+	ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && !inLoop(d.Pos()) {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				openCodedDefer[lit] = true
+			}
+		}
+		return true
+	})
+	var out []allocOp
+	ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make", "append", "new":
+						out = append(out, allocOp{pos: n.Pos(), what: id.Name})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := info.Types[ix.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						out = append(out, allocOp{pos: lhs.Pos(), what: "map insert"})
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if !openCodedDefer[n] {
+				out = append(out, allocOp{pos: n.Pos(), what: "function literal (captured closure)"})
+			}
+		case *ast.GoStmt:
+			out = append(out, allocOp{pos: n.Pos(), what: "go statement"})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// calleeLabel renders an extern callee as pkg.Name or Type.Method.
+func calleeLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -14,7 +14,9 @@ import (
 // Stopped on a *cancel.Canceller somewhere in its condition or body —
 // directly or through a nested loop. Loops whose trip count is structurally
 // bounded (path walks over n vertices, peel loops that remove an edge per
-// pass) document that bound with //lint:allow ctxpoll <reason>.
+// pass) document that bound with //krsp:terminates(<reason>) on the
+// enclosing function — which the contracts analyzer then re-verifies
+// transitively — or, for a single odd loop, //lint:allow ctxpoll <reason>.
 var Ctxpoll = &Analyzer{
 	Name:      "ctxpoll",
 	Doc:       "unbounded solve-path loops must poll the Canceller",
@@ -25,6 +27,7 @@ var Ctxpoll = &Analyzer{
 func runCtxpoll(pass *Pass) {
 	info := pass.Pkg.Info
 	reachable := pass.Prog.buildCallGraph().reachable
+	contracts := pass.Prog.contractIndex()
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -33,6 +36,12 @@ func runCtxpoll(pass *Pass) {
 			}
 			obj, ok := info.Defs[fd.Name].(*types.Func)
 			if !ok || !reachable[obj] {
+				continue
+			}
+			// A //krsp:terminates(<reason>) contract subsumes the per-loop
+			// allow: the bound is documented once on the function and the
+			// contracts analyzer re-checks it transitively.
+			if contracts.has(obj, ContractTerminates) {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the single parser for the project's two comment-directive
+// families:
+//
+//	//lint:allow <analyzer> <reason>      suppress one diagnostic site
+//	//krsp:noalloc                        contract: steady-state zero-alloc
+//	//krsp:terminates(<reason>)           contract: bounded / cancellable
+//	//krsp:deterministic                  contract: run-independent output
+//
+// Both grammars are strict: a directive that almost parses is a diagnostic,
+// never a silent no-op (a typo'd contract would otherwise quietly stop
+// being checked). FuzzDirectiveParser exercises the parsers against
+// arbitrary comment text.
+
+const (
+	allowPrefix    = "//lint:allow"
+	contractPrefix = "//krsp:"
+)
+
+// Contract enumerates the checked //krsp: contract kinds.
+type Contract int
+
+const (
+	// ContractNoAlloc asserts the function performs no steady-state heap
+	// allocation: no make/append/new/map-insert/closure-creation anywhere in
+	// the transitive closure of its statically-resolved module-local callees
+	// (deliberate amortized growth sites carry //lint:allow contracts).
+	ContractNoAlloc Contract = iota
+	// ContractTerminates asserts every loop the function can reach is
+	// structurally bounded or polls the Canceller; the mandatory reason
+	// documents the bound for the function's own loops.
+	ContractTerminates
+	// ContractDeterministic asserts the function's transitive closure reads
+	// no wall clock or global randomness and performs no order-sensitive
+	// work under map iteration.
+	ContractDeterministic
+)
+
+func (c Contract) String() string {
+	switch c {
+	case ContractNoAlloc:
+		return "noalloc"
+	case ContractTerminates:
+		return "terminates"
+	case ContractDeterministic:
+		return "deterministic"
+	}
+	return fmt.Sprintf("contract-%d", int(c))
+}
+
+// parseAllow parses one comment line as a //lint:allow directive.
+// ok=false means the comment is not an allow directive at all; err is set
+// when it is one but malformed (missing analyzer or mandatory reason).
+func parseAllow(text string) (analyzer, reason string, ok bool, err error) {
+	rest, found := strings.CutPrefix(text, allowPrefix)
+	if !found {
+		return "", "", false, nil
+	}
+	// "//lint:allowx" is not the directive; require a separator (or EOL,
+	// which the field check below rejects as malformed).
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", true, fmt.Errorf("malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)")
+	}
+	return fields[0], strings.Join(fields[1:], " "), true, nil
+}
+
+// parseContract parses one comment line as a //krsp: contract directive.
+// ok=false means the comment does not carry the //krsp: prefix; err is set
+// for a prefixed comment that does not parse (unknown verb, missing or
+// empty terminates reason, trailing junk).
+func parseContract(text string) (c Contract, reason string, ok bool, err error) {
+	rest, found := strings.CutPrefix(text, contractPrefix)
+	if !found {
+		return 0, "", false, nil
+	}
+	rest = strings.TrimSpace(rest)
+	switch {
+	case rest == "noalloc":
+		return ContractNoAlloc, "", true, nil
+	case rest == "deterministic":
+		return ContractDeterministic, "", true, nil
+	case rest == "terminates":
+		return 0, "", true, fmt.Errorf("malformed //krsp:terminates: want //krsp:terminates(<reason>) — the bound is mandatory")
+	case strings.HasPrefix(rest, "terminates"):
+		arg := strings.TrimPrefix(rest, "terminates")
+		if !strings.HasPrefix(arg, "(") || !strings.HasSuffix(arg, ")") {
+			return 0, "", true, fmt.Errorf("malformed //krsp:terminates: want //krsp:terminates(<reason>)")
+		}
+		reason = strings.TrimSpace(arg[1 : len(arg)-1])
+		if reason == "" {
+			return 0, "", true, fmt.Errorf("malformed //krsp:terminates: the reason inside the parentheses must be non-empty")
+		}
+		return ContractTerminates, reason, true, nil
+	case rest == "noalloc()" || strings.HasPrefix(rest, "noalloc("):
+		return 0, "", true, fmt.Errorf("malformed //krsp:noalloc: the contract takes no argument")
+	case rest == "deterministic()" || strings.HasPrefix(rest, "deterministic("):
+		return 0, "", true, fmt.Errorf("malformed //krsp:deterministic: the contract takes no argument")
+	default:
+		verb := rest
+		if i := strings.IndexAny(verb, "( \t"); i >= 0 {
+			verb = verb[:i]
+		}
+		return 0, "", true, fmt.Errorf("unknown //krsp: contract %q (want noalloc, terminates(<reason>) or deterministic)", verb)
+	}
+}

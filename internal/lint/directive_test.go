@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text                  string
+		analyzer, reason      string
+		wantOK, wantMalformed bool
+	}{
+		{"//lint:allow detmap the caller sorts", "detmap", "the caller sorts", true, false},
+		{"//lint:allow detmap", "", "", true, true},
+		{"//lint:allow", "", "", true, true},
+		{"//lint:allowance is not the directive", "", "", false, false},
+		{"// regular comment", "", "", false, false},
+		{"//lint:allow  ctxpoll   spaced   reason", "ctxpoll", "spaced reason", true, false},
+	}
+	for _, c := range cases {
+		analyzer, reason, ok, err := parseAllow(c.text)
+		if ok != c.wantOK || (err != nil) != c.wantMalformed {
+			t.Errorf("parseAllow(%q): ok=%v err=%v, want ok=%v malformed=%v", c.text, ok, err, c.wantOK, c.wantMalformed)
+			continue
+		}
+		if ok && err == nil && (analyzer != c.analyzer || reason != c.reason) {
+			t.Errorf("parseAllow(%q) = %q,%q want %q,%q", c.text, analyzer, reason, c.analyzer, c.reason)
+		}
+	}
+}
+
+func TestParseContract(t *testing.T) {
+	cases := []struct {
+		text                  string
+		kind                  Contract
+		reason                string
+		wantOK, wantMalformed bool
+	}{
+		{"//krsp:noalloc", ContractNoAlloc, "", true, false},
+		{"//krsp:deterministic", ContractDeterministic, "", true, false},
+		{"//krsp:terminates(the walk closes in n steps)", ContractTerminates, "the walk closes in n steps", true, false},
+		{"//krsp:terminates", 0, "", true, true},
+		{"//krsp:terminates()", 0, "", true, true},
+		{"//krsp:terminates(   )", 0, "", true, true},
+		{"//krsp:noalloc(arg)", 0, "", true, true},
+		{"//krsp:frobnicates(x)", 0, "", true, true},
+		{"// plain comment", 0, "", false, false},
+		{"//lint:allow detmap r", 0, "", false, false},
+	}
+	for _, c := range cases {
+		kind, reason, ok, err := parseContract(c.text)
+		if ok != c.wantOK || (err != nil) != c.wantMalformed {
+			t.Errorf("parseContract(%q): ok=%v err=%v, want ok=%v malformed=%v", c.text, ok, err, c.wantOK, c.wantMalformed)
+			continue
+		}
+		if ok && err == nil && (kind != c.kind || reason != c.reason) {
+			t.Errorf("parseContract(%q) = %v,%q want %v,%q", c.text, kind, reason, c.kind, c.reason)
+		}
+	}
+}
+
+// FuzzDirectiveParser throws arbitrary comment text at both directive
+// parsers and checks their structural invariants: no panics, prefix
+// discipline (ok only for prefixed input), and no silent half-parse — a
+// prefixed directive either parses fully or carries an error.
+func FuzzDirectiveParser(f *testing.F) {
+	seeds := []string{
+		"//lint:allow detmap the caller sorts",
+		"//lint:allow detmap",
+		"//lint:allowance",
+		"//krsp:noalloc",
+		"//krsp:terminates(bounded by n)",
+		"//krsp:terminates",
+		"//krsp:terminates(",
+		"//krsp:deterministic()",
+		"//krsp:",
+		"//krsp:noalloc extra",
+		"// nothing",
+		"",
+		"//lint:allow\tctxpoll\ttabbed reason",
+		"//krsp:terminates(()nested())",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok, err := parseAllow(text)
+		if ok && !strings.HasPrefix(text, "//lint:allow") {
+			t.Fatalf("parseAllow claimed ok for unprefixed %q", text)
+		}
+		if !ok && err != nil {
+			t.Fatalf("parseAllow(%q): error without ok", text)
+		}
+		if ok && err == nil {
+			if analyzer == "" || reason == "" {
+				t.Fatalf("parseAllow(%q): well-formed directive with empty analyzer/reason", text)
+			}
+			if strings.ContainsAny(analyzer, " \t") {
+				t.Fatalf("parseAllow(%q): analyzer %q contains whitespace", text, analyzer)
+			}
+		}
+		kind, creason, cok, cerr := parseContract(text)
+		if cok && !strings.HasPrefix(text, "//krsp:") {
+			t.Fatalf("parseContract claimed ok for unprefixed %q", text)
+		}
+		if !cok && cerr != nil {
+			t.Fatalf("parseContract(%q): error without ok", text)
+		}
+		if cok && cerr == nil {
+			switch kind {
+			case ContractNoAlloc, ContractDeterministic:
+				if creason != "" {
+					t.Fatalf("parseContract(%q): %v carries unexpected reason %q", text, kind, creason)
+				}
+			case ContractTerminates:
+				if creason == "" {
+					t.Fatalf("parseContract(%q): terminates with empty reason", text)
+				}
+			default:
+				t.Fatalf("parseContract(%q): unknown kind %v parsed ok", text, kind)
+			}
+		}
+	})
+}

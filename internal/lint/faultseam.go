@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Faultseam audits the fault-injection registry end to end. internal/fault
+// declares the Point enum; the value of a failpoint is zero unless (a) the
+// solve path actually consults it at a seam and (b) at least one test arms
+// it — an unconsulted point is dead configuration, an unarmed one is a seam
+// the chaos suite silently stopped exercising.
+//
+//  1. Every Point constant (NumPoints excluded) must appear as the argument
+//     of at least one Registry.Check call in the loaded program.
+//  2. Every Check call site must pass a named Point constant — a computed
+//     or literal argument defeats the greppable catalogue DESIGN.md §10
+//     promises.
+//  3. Every Point constant must be armed (Arm/ArmPanic/ArmFunc) by at least
+//     one _test.go file. Test files are outside the type-checked load, so
+//     this check is syntactic: the analyzer parses _test.go files from the
+//     requested packages' directories and looks for the constant's name in
+//     an Arm* argument list.
+var Faultseam = &Analyzer{
+	Name:       "faultseam",
+	Doc:        "fault points must be consulted at a seam, named by constant, and armed by at least one test",
+	RunProgram: runFaultseam,
+}
+
+func runFaultseam(pass *Pass) {
+	prog := pass.Prog
+
+	// Phase 1: the Point catalogue, from requested fault-segment packages.
+	type pointConst struct {
+		obj  *types.Const
+		pos  token.Pos
+		pkg  *Package
+		used bool
+	}
+	var points []*pointConst
+	byObj := map[types.Object]*pointConst{}
+	for _, pkg := range prog.Requested {
+		if !pathHasSegment(pkg.Path, "fault") {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || strings.HasPrefix(name, "Num") {
+				continue
+			}
+			if !isFaultPoint(c.Type()) {
+				continue
+			}
+			points = append(points, &pointConst{obj: c, pos: c.Pos(), pkg: pkg})
+			byObj[c] = points[len(points)-1]
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].pos < points[j].pos })
+
+	// Phase 2: Check call sites across requested packages. The argument must
+	// resolve (possibly through a local const or selector) to a catalogued
+	// Point constant.
+	for _, pkg := range prog.Requested {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Check" {
+					return true
+				}
+				fn, ok := pkg.Info.ObjectOf(sel.Sel).(*types.Func)
+				if !ok {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Params().Len() != 1 || !isFaultPoint(sig.Params().At(0).Type()) {
+					return true
+				}
+				obj := constObjOf(pkg.Info, call.Args[0])
+				pc := byObj[obj]
+				if pc == nil {
+					pass.Reportf(call.Args[0].Pos(),
+						"fault Check argument must be a registered Point constant so the failpoint catalogue stays greppable")
+					return true
+				}
+				pc.used = true
+				return true
+			})
+		}
+	}
+
+	// Phase 3: syntactic arm scan over _test.go files of every requested
+	// package directory (the loader skips test files by design).
+	armed := map[string]bool{}
+	dirs := map[string]bool{}
+	for _, pkg := range prog.Requested {
+		dirs[pkg.Dir] = true
+	}
+	sortedDirs := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sortedDirs = append(sortedDirs, d)
+	}
+	sort.Strings(sortedDirs)
+	for _, dir := range sortedDirs {
+		collectArmedPoints(dir, armed)
+	}
+
+	for _, pc := range points {
+		name := pc.obj.Name()
+		if !pc.used {
+			pass.Reportf(pc.pos, "fault point %s is never consulted by a Registry.Check seam on the solve path", name)
+			continue
+		}
+		if !armed[name] {
+			pass.Reportf(pc.pos, "fault point %s is consulted but never armed (Arm/ArmPanic/ArmFunc) by any test; the seam is unexercised", name)
+		}
+	}
+}
+
+// isFaultPoint reports whether t is a type named Point declared in a
+// fault-segment package.
+func isFaultPoint(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Point" && obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "fault")
+}
+
+// constObjOf resolves an expression to the constant object it names, or nil.
+func constObjOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if c, ok := info.ObjectOf(e).(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.ObjectOf(e.Sel).(*types.Const); ok {
+			return c
+		}
+	case *ast.ParenExpr:
+		return constObjOf(info, e.X)
+	}
+	return nil
+}
+
+// collectArmedPoints parses each _test.go file in dir (comments stripped,
+// no type check) and records every identifier appearing inside the argument
+// list of an Arm/ArmPanic/ArmFunc call.
+func collectArmedPoints(dir string, armed map[string]bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee string
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee = fun.Name
+			case *ast.SelectorExpr:
+				callee = fun.Sel.Name
+			}
+			switch callee {
+			case "Arm", "ArmPanic", "ArmFunc":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						armed[id.Name] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}

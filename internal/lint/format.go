@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Report packages one Run's surviving diagnostics for rendering. Root, when
+// nonempty, rewrites file paths relative to the module root so output is
+// machine-stable across checkouts (CI diffing, SARIF artifact upload).
+type Report struct {
+	Root        string
+	Diagnostics []Diagnostic
+}
+
+// relPath rewrites file relative to r.Root with forward slashes.
+func (r Report) relPath(file string) string {
+	if r.Root != "" {
+		if rel, err := filepath.Rel(r.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// WriteText renders the classic one-line-per-diagnostic form.
+func (r Report) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.StringRel(r.Root)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiagnostic is the stable machine-readable shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders the report as a JSON array (never null: an empty report
+// is []), one object per diagnostic, in report order.
+func (r Report) WriteJSON(w io.Writer) error {
+	out := make([]jsonDiagnostic, 0, len(r.Diagnostics))
+	for _, d := range r.Diagnostics {
+		out = append(out, jsonDiagnostic{
+			File:     r.relPath(d.Position.Filename),
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 document model — the minimal subset of the OASIS schema that
+// GitHub code scanning and sarif-tools consume. Field names follow the
+// specification exactly; sarifValidate (format_test.go) asserts the
+// required-property skeleton so drift here fails the build, not the upload.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders the report as a SARIF 2.1.0 log with one run. The rule
+// table always lists the full registered suite (plus the "directive"
+// pseudo-analyzer), so a clean run still publishes which checks were in
+// force.
+func (r Report) WriteSARIF(w io.Writer) error {
+	rules := []sarifRule{{
+		ID:               "directive",
+		ShortDescription: sarifMessage{Text: "malformed //lint:allow directive"},
+	}}
+	for _, a := range All() {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(r.Diagnostics))
+	for _, d := range r.Diagnostics {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: r.relPath(d.Position.Filename)},
+					Region: sarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "krsplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		Root: "/mod",
+		Diagnostics: []Diagnostic{
+			{
+				Analyzer: "ctxpoll",
+				Position: token.Position{Filename: "/mod/internal/core/solve.go", Line: 42, Column: 2},
+				Message:  "unbounded loop on the solve path never polls the Canceller",
+			},
+			{
+				Analyzer: "contracts",
+				Position: token.Position{Filename: "/mod/internal/shortest/spfa.go", Line: 7, Column: 9},
+				Message:  "make allocates but is reachable from //krsp:noalloc SPFAInto",
+			},
+		},
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 objects, got %d", len(got))
+	}
+	first := got[0]
+	if first["file"] != "internal/core/solve.go" {
+		t.Errorf("file not module-relative: %v", first["file"])
+	}
+	if first["line"] != float64(42) || first["column"] != float64(2) {
+		t.Errorf("position mangled: %v:%v", first["line"], first["column"])
+	}
+	if first["analyzer"] != "ctxpoll" || first["message"] == "" {
+		t.Errorf("analyzer/message mangled: %v", first)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Report{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Fatalf("empty report must encode as [], got %q", s)
+	}
+}
+
+// sarifValidate is a structural SARIF 2.1.0 check: it decodes the document
+// generically and asserts every property GitHub code scanning requires, so
+// a drift in the typed model fails here instead of at upload time.
+func sarifValidate(t *testing.T, data []byte) {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	schema, _ := doc["$schema"].(string)
+	if !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema must name the 2.1.0 schema, got %q", schema)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version must be \"2.1.0\", got %q", v)
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(runs))
+	}
+	run, _ := runs[0].(map[string]any)
+	tool, _ := run["tool"].(map[string]any)
+	driver, _ := tool["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name == "" {
+		t.Error("tool.driver.name is required")
+	}
+	ruleIDs := map[string]bool{}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) == 0 {
+		t.Fatal("tool.driver.rules must list the suite")
+	}
+	for _, r := range rules {
+		rule, _ := r.(map[string]any)
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Fatal("every rule needs an id")
+		}
+		ruleIDs[id] = true
+		sd, _ := rule["shortDescription"].(map[string]any)
+		if text, _ := sd["text"].(string); text == "" {
+			t.Errorf("rule %s needs shortDescription.text", id)
+		}
+	}
+	results, ok := run["results"].([]any)
+	if !ok {
+		t.Fatal("run.results must be present (empty array for a clean run)")
+	}
+	for _, r := range results {
+		res, _ := r.(map[string]any)
+		rid, _ := res["ruleId"].(string)
+		if !ruleIDs[rid] {
+			t.Errorf("result ruleId %q not in the rule table", rid)
+		}
+		msg, _ := res["message"].(map[string]any)
+		if text, _ := msg["text"].(string); text == "" {
+			t.Error("result needs message.text")
+		}
+		if lvl, _ := res["level"].(string); lvl != "error" {
+			t.Errorf("result level %q, want error", lvl)
+		}
+		locs, _ := res["locations"].([]any)
+		if len(locs) == 0 {
+			t.Fatal("result needs at least one location")
+		}
+		loc, _ := locs[0].(map[string]any)
+		phys, _ := loc["physicalLocation"].(map[string]any)
+		art, _ := phys["artifactLocation"].(map[string]any)
+		if uri, _ := art["uri"].(string); uri == "" || strings.HasPrefix(uri, "/") {
+			t.Errorf("artifactLocation.uri must be a relative path, got %q", uri)
+		}
+		region, _ := phys["region"].(map[string]any)
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("region.startLine must be ≥ 1, got %v", line)
+		}
+	}
+}
+
+func TestWriteSARIFValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sarifValidate(t, buf.Bytes())
+	var doc sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs[0].Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(doc.Runs[0].Results))
+	}
+	if got := doc.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "internal/core/solve.go" {
+		t.Errorf("URI not module-relative: %q", got)
+	}
+}
+
+func TestWriteSARIFEmptyStillListsRules(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Report{}).WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sarifValidate(t, buf.Bytes())
+	var doc sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(All()) + 1; len(doc.Runs[0].Tool.Driver.Rules) != want {
+		t.Fatalf("rule table: got %d, want %d (suite + directive)", len(doc.Runs[0].Tool.Driver.Rules), want)
+	}
+}

@@ -166,78 +166,5 @@ func inNestedLoop(outer *ast.BlockStmt, n ast.Node) bool {
 	return nested
 }
 
-// calleeFunc resolves the static callee of a call, or nil for dynamic calls
-// and builtins.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		f, _ := info.ObjectOf(fun).(*types.Func)
-		return f
-	case *ast.SelectorExpr:
-		f, _ := info.ObjectOf(fun.Sel).(*types.Func)
-		return f
-	}
-	return nil
-}
-
-// callGraph is the whole-program static call graph used for reachability
-// from the solver entry points. Dynamic calls through function values are
-// not traced; the kernels this analyzer polices are all called statically.
-type callGraph struct {
-	reachable map[*types.Func]bool
-}
-
-func (p *Program) buildCallGraph() *callGraph {
-	if p.callGraph != nil {
-		return p.callGraph
-	}
-	decls := map[*types.Func]*declSite{}
-	for _, pkg := range p.Packages {
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						decls[obj] = &declSite{fd: fd, info: pkg.Info}
-					}
-				}
-			}
-		}
-	}
-	var roots []*types.Func
-	for obj := range decls {
-		if obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "core") &&
-			len(obj.Name()) >= 5 && obj.Name()[:5] == "Solve" {
-			roots = append(roots, obj)
-		}
-	}
-	reach := map[*types.Func]bool{}
-	var visit func(fn *types.Func)
-	visit = func(fn *types.Func) {
-		if reach[fn] {
-			return
-		}
-		reach[fn] = true
-		site, ok := decls[fn]
-		if !ok {
-			return
-		}
-		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
-				if callee := calleeFunc(site.info, call); callee != nil {
-					visit(callee)
-				}
-			}
-			return true
-		})
-	}
-	for _, r := range roots {
-		visit(r)
-	}
-	p.callGraph = &callGraph{reachable: reach}
-	return p.callGraph
-}
-
-type declSite struct {
-	fd   *ast.FuncDecl
-	info *types.Info
-}
+// The static call graph, solve-path reachability and calleeFunc live in
+// callgraph.go, shared with ctxpoll and the contracts analyzer.

@@ -1,8 +1,16 @@
 // Package lint is the project-invariant static-analysis suite behind
-// cmd/krsplint. It enforces the three properties PR 1 made load-bearing but
-// left unguarded: bit-identical determinism for any worker count, zero-alloc
-// *_Into kernels on the solve path, and overflow-safe int64 weight
-// arithmetic within the 2^62 sentinel range.
+// cmd/krsplint. It runs at two levels. Six per-package analyzers enforce
+// the properties PR 1 made load-bearing but left unguarded: bit-identical
+// determinism for any worker count, zero-alloc *_Into kernels on the solve
+// path, and overflow-safe int64 weight arithmetic within the 2^62 sentinel
+// range. On top of them a whole-module interprocedural engine loads every
+// package into one shared type universe, builds a static call graph, and
+// runs four cross-layer analyzers: contracts (checked //krsp:noalloc,
+// //krsp:terminates(<reason>) and //krsp:deterministic annotations,
+// verified against each function's transitive callees), metricscat (the
+// obs metric catalogue: registered, recorded, well-formed unique family
+// names), faultseam (every fault point consulted at a seam and armed by a
+// test), and suppressdrift (stale //lint:allow directives are errors).
 //
 // The framework is built on the standard library only (go/ast, go/parser,
 // go/types with GOROOT source importing), so it runs offline. Analyzers
@@ -12,7 +20,8 @@
 //	//lint:allow <analyzer> <reason>
 //
 // where the reason is mandatory — an allow without a justification is
-// itself reported. DESIGN.md §8 lists each analyzer and the invariant it
+// itself reported, and one that no longer suppresses anything is flagged
+// by suppressdrift. DESIGN.md §8 lists each analyzer and the invariant it
 // protects.
 package lint
 
@@ -25,16 +34,23 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check. Run reports through the Pass; AppliesTo
-// filters by package import path so invariants can target the deterministic
-// or solve-path package sets.
+// Analyzer is one named check. Per-package analyzers set Run and report
+// through a Pass bound to each requested package in turn; AppliesTo filters
+// by package import path so invariants can target the deterministic or
+// solve-path package sets. Whole-module analyzers (the call-graph contract
+// checker and the cross-layer consistency checks) set RunProgram instead:
+// it is invoked once per Run with Pass.Pkg == nil and sees every loaded
+// package through Pass.Prog.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// AppliesTo reports whether the analyzer runs on the given import path.
-	// nil means every requested package.
+	// nil means every requested package. Ignored for RunProgram analyzers.
 	AppliesTo func(pkgPath string) bool
 	Run       func(pass *Pass)
+	// RunProgram, when non-nil, makes the analyzer whole-module: it runs
+	// once per Run call instead of once per package.
+	RunProgram func(pass *Pass)
 }
 
 // Pass is the per-(analyzer, package) analysis context.
@@ -82,18 +98,39 @@ func (d Diagnostic) StringRel(root string) string {
 // by (file, line, column, analyzer, message) — a stable report for CI
 // diffing. Malformed allow directives are reported under the pseudo-analyzer
 // name "directive".
+//
+// Suppression usage is tracked: when the suppressdrift analyzer is among
+// the requested set, every //lint:allow whose named analyzer also ran but
+// which suppressed nothing is itself reported — stale annotations rot the
+// audit trail exactly like stale code comments. An allow naming an analyzer
+// that did not run this invocation is left alone (a partial `-analyzers`
+// run must not flag the rest of the suite's annotations).
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	pkgs := append([]*Package(nil), prog.Requested...)
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.RunProgram != nil || a.Run == nil {
+				continue
+			}
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
 			a.Run(pass)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Prog: prog, diags: &diags}
+		a.RunProgram(pass)
 	}
 	allows, malformed := collectAllows(prog, pkgs)
 	diags = append(diags, malformed...)
@@ -103,6 +140,15 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 			continue
 		}
 		kept = append(kept, d)
+	}
+	if ran[Suppressdrift.Name] {
+		stale := staleAllowDiags(allows, ran)
+		for _, d := range stale {
+			if allows.suppresses(d) {
+				continue
+			}
+			kept = append(kept, d)
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -132,14 +178,27 @@ type allowKey struct {
 	analyzer string
 }
 
-type allowSet map[allowKey]bool
+// allowDirective is one well-formed //lint:allow with its usage bookkeeping.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+type allowSet map[allowKey]*allowDirective
 
 func (s allowSet) suppresses(d Diagnostic) bool {
 	f, l := d.Position.Filename, d.Position.Line
-	return s[allowKey{f, l, d.Analyzer}] || s[allowKey{f, l - 1, d.Analyzer}]
+	if a := s[allowKey{f, l, d.Analyzer}]; a != nil {
+		a.used = true
+		return true
+	}
+	if a := s[allowKey{f, l - 1, d.Analyzer}]; a != nil {
+		a.used = true
+		return true
+	}
+	return false
 }
-
-const allowPrefix = "//lint:allow"
 
 func collectAllows(prog *Program, pkgs []*Package) (allowSet, []Diagnostic) {
 	allows := allowSet{}
@@ -148,26 +207,53 @@ func collectAllows(prog *Program, pkgs []*Package) (allowSet, []Diagnostic) {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, allowPrefix) {
+					analyzer, _, isAllow, err := parseAllow(c.Text)
+					if !isAllow {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
-					rest := strings.TrimPrefix(c.Text, allowPrefix)
-					fields := strings.Fields(rest)
-					if len(fields) < 2 {
+					if err != nil {
 						malformed = append(malformed, Diagnostic{
 							Analyzer: "directive",
 							Position: pos,
-							Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)",
+							Message:  err.Error(),
 						})
 						continue
 					}
-					allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+					allows[allowKey{pos.Filename, pos.Line, analyzer}] = &allowDirective{pos: pos, analyzer: analyzer}
 				}
 			}
 		}
 	}
 	return allows, malformed
+}
+
+// staleAllowDiags reports, in deterministic order, every allow directive
+// that (a) names an analyzer outside the registered suite, or (b) names an
+// analyzer that ran in this invocation yet suppressed no diagnostic.
+func staleAllowDiags(allows allowSet, ran map[string]bool) []Diagnostic {
+	known := map[string]bool{"directive": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, a := range allows {
+		switch {
+		case !known[a.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: Suppressdrift.Name,
+				Position: a.pos,
+				Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q; the suppression can never fire", a.analyzer),
+			})
+		case ran[a.analyzer] && !a.used:
+			out = append(out, Diagnostic{
+				Analyzer: Suppressdrift.Name,
+				Position: a.pos,
+				Message:  fmt.Sprintf("stale //lint:allow %s: the line no longer triggers the analyzer; remove the directive", a.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // pathHasSegment reports whether path, split on '/', contains seg.

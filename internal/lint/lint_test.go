@@ -20,6 +20,10 @@ var goldenMounts = map[string]string{
 	"wallclockobs": "repro/internal/obs/golden",
 	"weightovf":    "repro/internal/rsp/golden",
 	"directive":    "repro/internal/golden/directive",
+	"contracts":    "repro/internal/auxgraph/golden",
+	"metricscat":   "repro/internal/obs/metricsgolden",
+	"faultseam":    "repro/internal/fault/seamgolden",
+	"staledrift":   "repro/internal/gen/staledrift",
 }
 
 var (
@@ -143,6 +147,67 @@ func TestWeightovfGolden(t *testing.T) {
 	expectDiags(t, runOne(t, Weightovf), []string{
 		"weightovf/bad.go:9:9",   // unguarded += on weight
 		"weightovf/bad.go:16:15", // unguarded * on weights
+	})
+}
+
+// TestContractsGolden covers the whole-module contract checker: annotation
+// coverage (including the SumInto kernel in the hotalloc golden, which the
+// cross-package sweep must also see), transitive noalloc/terminates/
+// deterministic verification, and the directive-level diagnostics.
+func TestContractsGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Contracts), []string{
+		"contracts/bad.go:9:6",         // ScratchInto lacks //krsp:noalloc
+		"contracts/bad.go:23:9",        // make in fill, reached from noalloc BuildInto
+		"contracts/bad.go:33:2",        // sort.Ints: unverifiable extern call from noalloc SortInto
+		"contracts/bad.go:46:2",        // unpolled condition loop in drainLoop, from terminates Drain
+		"contracts/bad.go:63:2",        // order-sensitive map range in collect, from deterministic Reduce
+		"contracts/directives.go:6:1",  // misplaced contract on a type
+		"contracts/directives.go:12:1", // duplicate //krsp:noalloc
+		"contracts/directives.go:19:1", // terminates without the mandatory bound
+		"contracts/directives.go:24:1", // unknown contract verb
+		"hotalloc/bad.go:7:6",          // SumInto in the hotalloc golden also lacks //krsp:noalloc
+	})
+}
+
+func TestMetricscatGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Metricscat), []string{
+		"metricscat/families.go:5:12",  // "Bad_total" is not a well-formed family name
+		"metricscat/families.go:6:12",  // counter family without _total
+		"metricscat/families.go:8:10",  // duplicate family "dup_depth"
+		"metricscat/families.go:11:12", // computed (non-constant, non-parameter) family argument
+		"metricscat/metrics.go:37:2",   // Orphan registered but never recorded
+		"metricscat/metrics.go:38:2",   // Missing never registered
+	})
+}
+
+func TestFaultseamGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Faultseam), []string{
+		"faultseam/seam.go:13:2",  // PointUnarmed consulted but never armed by a test
+		"faultseam/seam.go:14:2",  // PointDead never consulted at a Check seam
+		"faultseam/seam.go:45:14", // computed Check argument defeats the catalogue
+	})
+}
+
+// TestSuppressdriftGolden runs detmap together with suppressdrift: the used
+// allow in Gather survives, the stale one and the unknown-analyzer one are
+// reported, and allows naming analyzers that did not run are left alone.
+func TestSuppressdriftGolden(t *testing.T) {
+	prog := goldenProgram(t)
+	var got []string
+	for _, d := range Run(prog, []*Analyzer{Detmap, Suppressdrift}) {
+		if d.Analyzer != Suppressdrift.Name {
+			continue
+		}
+		fname := filepath.ToSlash(d.Position.Filename)
+		rel, ok := strings.CutPrefix(fname, "testdata/")
+		if !ok {
+			t.Fatalf("diagnostic outside testdata: %s", d.String())
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%d", rel, d.Position.Line, d.Position.Column))
+	}
+	expectDiags(t, got, []string{
+		"staledrift/golden.go:21:2", // detmap ran, allow suppressed nothing
+		"staledrift/golden.go:31:2", // "detmpa" is no registered analyzer
 	})
 }
 

@@ -42,7 +42,8 @@ type Program struct {
 	cache   map[string]*Package
 	loading map[string]bool
 
-	callGraph *callGraph // lazily built by hotalloc
+	callGraph   *callGraph     // lazily built, shared by hotalloc/ctxpoll/contracts
+	contractIdx *contractIndex // lazily built //krsp: annotation index
 }
 
 // NewProgram prepares a loader rooted at the module containing dir.

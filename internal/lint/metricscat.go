@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Metricscat audits the observability catalogue end to end. The typed
+// metric groups in internal/obs (structs named *Metrics with *Counter,
+// *Gauge or *Histogram fields) are the contract between the solver and its
+// dashboards; this analyzer closes the loop the compiler cannot:
+//
+//  1. Every catalogue field must be registered (assigned) somewhere — an
+//     unregistered field is a nil pointer waiting for the first Inc.
+//  2. Every registered field must also be recorded (read/Inc'd/observed)
+//     somewhere reachable — an orphan metric is dashboard noise that decays
+//     into a lie about coverage.
+//  3. Prometheus family names passed to Registry.Counter/LabeledCounter/
+//     Gauge/Histogram/DurationHistogram must be well-formed
+//     ([a-z][a-z0-9_]*, counters ending _total) and unique per call site;
+//     two sites registering the same family silently merge series.
+//
+// Group discovery and field diagnostics are confined to requested
+// obs-segment packages; uses are counted anywhere in the loaded program, so
+// a metric recorded in cmd/krspd still counts.
+var Metricscat = &Analyzer{
+	Name:       "metricscat",
+	Doc:        "obs metric catalogue: no unregistered fields, no orphan metrics, well-formed unique family names",
+	RunProgram: runMetricscat,
+}
+
+var familyNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricField is one tracked catalogue field.
+type metricField struct {
+	obj        *types.Var
+	structName string
+	pos        token.Pos
+}
+
+func runMetricscat(pass *Pass) {
+	prog := pass.Prog
+	requested := map[*Package]bool{}
+	for _, pkg := range prog.Requested {
+		requested[pkg] = true
+	}
+
+	// Phase 1: discover catalogue fields in requested obs-segment packages.
+	var fields []*metricField
+	tracked := map[*types.Var]*metricField{}
+	for _, pkg := range prog.Requested {
+		if !pathHasSegment(pkg.Path, "obs") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || !hasMetricsSuffix(ts.Name.Name) {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						v, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok || !isInstrumentType(v.Type()) {
+							continue
+						}
+						mf := &metricField{obj: v, structName: ts.Name.Name, pos: name.Pos()}
+						fields = append(fields, mf)
+						tracked[v] = mf
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: classify every use of a tracked field across the whole
+	// program. An assignment LHS is a registration; ranging over an array
+	// field is neutral (registerCatalogue loops over it); anything else —
+	// Inc, Add, Observe, a read — is a record.
+	registered := map[*types.Var]bool{}
+	recorded := map[*types.Var]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			regPos := map[token.Pos]bool{}
+			neutralPos := map[token.Pos]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel := baseSelector(lhs); sel != nil {
+							regPos[sel.Pos()] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if sel := baseSelector(n.X); sel != nil {
+						neutralPos[sel.Pos()] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, ok := pkg.Info.ObjectOf(sel.Sel).(*types.Var)
+				if !ok || tracked[v] == nil {
+					return true
+				}
+				switch {
+				case regPos[sel.Pos()]:
+					registered[v] = true
+				case neutralPos[sel.Pos()]:
+				default:
+					recorded[v] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, mf := range fields {
+		switch {
+		case !registered[mf.obj]:
+			pass.Reportf(mf.pos, "catalogue field %s.%s is never registered; the first Inc would dereference nil",
+				mf.structName, mf.obj.Name())
+		case !recorded[mf.obj]:
+			pass.Reportf(mf.pos, "catalogue field %s.%s is registered but never recorded anywhere in the module (orphan metric)",
+				mf.structName, mf.obj.Name())
+		}
+	}
+
+	// Phase 3: family-name hygiene at Registry construction call sites in
+	// requested packages.
+	type familySite struct {
+		pos  token.Pos
+		name string
+	}
+	firstSite := map[string]token.Pos{}
+	var sites []familySite
+	for _, pkg := range prog.Requested {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isMetricCtor(sel.Sel.Name) || len(call.Args) == 0 {
+					return true
+				}
+				if !isObsRegistry(pkg.Info.TypeOf(sel.X)) {
+					return true
+				}
+				arg := call.Args[0]
+				tv := pkg.Info.Types[arg]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					if !isParamOfEnclosing(pkg.Info, f, call, arg) {
+						pass.Reportf(arg.Pos(),
+							"metric family passed to %s must be a constant string (or a parameter delegated from one)", sel.Sel.Name)
+					}
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !familyNameRE.MatchString(name) {
+					pass.Reportf(arg.Pos(), "metric family %q is not a well-formed Prometheus name (want [a-z][a-z0-9_]*)", name)
+					return true
+				}
+				if (sel.Sel.Name == "Counter" || sel.Sel.Name == "LabeledCounter") && !hasTotalSuffix(name) {
+					pass.Reportf(arg.Pos(), "counter family %q must end in _total (Prometheus naming convention)", name)
+				}
+				sites = append(sites, familySite{pos: arg.Pos(), name: name})
+				return true
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	for _, s := range sites {
+		if prev, ok := firstSite[s.name]; ok && prev != s.pos {
+			pass.Reportf(s.pos, "metric family %q is already registered at another call site (%s); two sites silently merge series",
+				s.name, prog.Fset.Position(prev))
+			continue
+		}
+		firstSite[s.name] = s.pos
+	}
+}
+
+func hasMetricsSuffix(name string) bool {
+	return len(name) > len("Metrics") && name[len(name)-len("Metrics"):] == "Metrics"
+}
+
+func hasTotalSuffix(name string) bool {
+	return len(name) > len("_total") && name[len(name)-len("_total"):] == "_total"
+}
+
+// isInstrumentType reports whether t is *Counter/*Gauge/*Histogram (declared
+// in an obs-segment package) or an array of such pointers.
+func isInstrumentType(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = arr.Elem()
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathHasSegment(obj.Pkg().Path(), "obs") {
+		return false
+	}
+	switch obj.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return true
+	}
+	return false
+}
+
+func isMetricCtor(name string) bool {
+	switch name {
+	case "Counter", "LabeledCounter", "Gauge", "Histogram", "DurationHistogram":
+		return true
+	}
+	return false
+}
+
+// isObsRegistry reports whether t is (a pointer to) a type named Registry
+// declared in an obs-segment package.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "obs")
+}
+
+// baseSelector unwraps index/paren/star wrappers down to the selector at the
+// root of an assignable expression, or nil.
+func baseSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// isParamOfEnclosing reports whether arg is a bare identifier naming a
+// parameter of the function declaration enclosing the call — the delegation
+// shape Registry.Counter uses to forward its family to LabeledCounter.
+func isParamOfEnclosing(info *types.Info, f *ast.File, call *ast.CallExpr, arg ast.Expr) bool {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	fd := enclosingFuncDecl(f, call.Pos())
+	if fd == nil || fd.Type.Params == nil {
+		return false
+	}
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			if info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,24 +1,52 @@
 package lint
 
-// All returns the full krsplint analyzer suite in report order.
+import "fmt"
+
+// All returns the full krsplint analyzer suite in report order: the six
+// per-package invariant checks, the whole-module contract checker, and the
+// three cross-layer consistency analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{Ctxpoll, Detmap, Nopanic, Hotalloc, Wallclock, Weightovf}
+	return []*Analyzer{
+		Ctxpoll, Detmap, Nopanic, Hotalloc, Wallclock, Weightovf,
+		Contracts, Metricscat, Faultseam, Suppressdrift,
+	}
 }
 
-// ByName returns the named analyzers, erroring on unknown names via the
-// second return (the unknown name itself, or "").
-func ByName(names []string) ([]*Analyzer, string) {
+// UnknownAnalyzerError reports a name that matches no registered analyzer.
+type UnknownAnalyzerError struct{ Name string }
+
+func (e *UnknownAnalyzerError) Error() string {
+	return fmt.Sprintf("lint: unknown analyzer %q", e.Name)
+}
+
+// DuplicateAnalyzerError reports a name requested more than once; running
+// an analyzer twice would report every finding twice.
+type DuplicateAnalyzerError struct{ Name string }
+
+func (e *DuplicateAnalyzerError) Error() string {
+	return fmt.Sprintf("lint: analyzer %q requested more than once", e.Name)
+}
+
+// ByName resolves the named analyzers against the registered suite. A name
+// outside the suite yields an *UnknownAnalyzerError, a repeated name a
+// *DuplicateAnalyzerError; both leave the returned slice nil.
+func ByName(names []string) ([]*Analyzer, error) {
 	index := map[string]*Analyzer{}
 	for _, a := range All() {
 		index[a.Name] = a
 	}
+	seen := map[string]bool{}
 	var out []*Analyzer
 	for _, n := range names {
 		a, ok := index[n]
 		if !ok {
-			return nil, n
+			return nil, &UnknownAnalyzerError{Name: n}
 		}
+		if seen[n] {
+			return nil, &DuplicateAnalyzerError{Name: n}
+		}
+		seen[n] = true
 		out = append(out, a)
 	}
-	return out, ""
+	return out, nil
 }

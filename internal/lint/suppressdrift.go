@@ -1,0 +1,21 @@
+package lint
+
+// Suppressdrift keeps the //lint:allow audit trail honest. An allow
+// directive is a standing claim — "this site violates analyzer X for the
+// stated reason" — and the claim rots the moment the code changes: either
+// the violation is gone (the directive is dead weight hiding future
+// regressions at the same site) or the analyzer name was never right (a
+// typo'd allow silently suppresses nothing while reading as if it did).
+//
+// The analyzer's logic lives inside Run, which already owns the suppression
+// bookkeeping: after every requested analyzer has reported and allows have
+// been applied, each directive that (a) names an analyzer outside the
+// registered suite or (b) names one that ran yet suppressed nothing is
+// itself a diagnostic. Directives naming analyzers that did NOT run this
+// invocation are left alone, so partial `-analyzers` runs never flag the
+// rest of the suite's annotations. This declaration exists so the check can
+// be selected, listed and itself suppressed like any other analyzer.
+var Suppressdrift = &Analyzer{
+	Name: "suppressdrift",
+	Doc:  "flag stale //lint:allow directives: unknown analyzer names and suppressions that no longer fire",
+}

@@ -1,0 +1,67 @@
+// Package golden is mounted at repro/internal/auxgraph/golden by the
+// analyzer self-tests: a solve-path package for the contracts checker.
+package golden
+
+import "sort"
+
+// ScratchInto lacks the mandatory //krsp:noalloc: the coverage check must
+// demand the annotation on every *_Into kernel in a solve-path package.
+func ScratchInto(dst []int, n int) []int {
+	_ = n
+	return dst[:0]
+}
+
+// BuildInto funnels through a callee that allocates: the verifier must
+// report at the make, one call deep.
+//
+//krsp:noalloc
+func BuildInto(dst []int64, n int) []int64 {
+	return fill(dst, n)
+}
+
+func fill(dst []int64, n int) []int64 {
+	buf := make([]int64, n)
+	copy(dst, buf)
+	return dst[:0]
+}
+
+// SortInto leaves the module: sort is not on the allocation-safe list, so
+// the call is unverifiable and must report.
+//
+//krsp:noalloc
+func SortInto(xs []int) {
+	sort.Ints(xs)
+}
+
+// Drain's callee spins on a condition-only loop with no poll and no bound
+// of its own: the terminates verifier must report at the loop.
+//
+//krsp:terminates(golden: one queue item is consumed per pass)
+func Drain(q []int) int {
+	return drainLoop(q)
+}
+
+func drainLoop(q []int) int {
+	i, n := 0, 0
+	for i < len(q) {
+		n += q[i]
+		i++
+	}
+	return n
+}
+
+// Reduce's callee performs an order-sensitive write under map iteration in
+// a package outside the detmap set: only the contract sees across the call.
+//
+//krsp:deterministic
+func Reduce(m map[int]int) []int {
+	return collect(m)
+}
+
+func collect(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

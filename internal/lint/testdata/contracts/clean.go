@@ -1,0 +1,38 @@
+package golden
+
+// CopyInto is annotated and clean: it writes into presized scratch only.
+//
+//krsp:noalloc
+func CopyInto(dst, src []int64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[i]
+	}
+}
+
+// WalkChain's condition-only loop is covered by the function's own bound;
+// the verifier must not demand a poll from it.
+//
+//krsp:terminates(golden: the cursor strictly advances to the sentinel)
+func WalkChain(next []int, start int) int {
+	v := start
+	for next[v] >= 0 {
+		v = next[v]
+	}
+	return v
+}
+
+// Fold is deterministic: the map range writes only into a map, which the
+// order-sensitivity rule treats as commutative.
+//
+//krsp:deterministic
+func Fold(m map[int]int) map[int]bool {
+	seen := make(map[int]bool, len(m))
+	for k := range m {
+		seen[k] = true
+	}
+	return seen
+}

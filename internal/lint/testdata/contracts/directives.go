@@ -1,0 +1,25 @@
+package golden
+
+// Widget shows a misplaced contract: only function declarations are
+// verified, so a contract on a type binds to nothing.
+//
+//krsp:deterministic
+type Widget struct{}
+
+// DupInto carries the same contract twice: the second must report.
+//
+//krsp:noalloc
+//krsp:noalloc
+func DupInto(dst []int) []int {
+	return dst[:0]
+}
+
+// badReason omits the mandatory terminates bound.
+//
+//krsp:terminates
+func badReason() {}
+
+// badVerb uses a contract verb outside the grammar.
+//
+//krsp:frobnicates(golden)
+func badVerb() {}

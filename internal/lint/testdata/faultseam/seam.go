@@ -1,0 +1,46 @@
+// Package seamgolden is mounted at repro/internal/fault/seamgolden by the
+// analyzer self-tests: a fault-segment package with its own miniature
+// Point/Registry pair, so the seam audit runs without importing the real
+// fault package.
+package seamgolden
+
+// Point names one golden failpoint.
+type Point int
+
+// The golden catalogue: one fully wired point, one unarmed, one dead.
+const (
+	PointWired Point = iota
+	PointUnarmed
+	PointDead
+	NumPoints // sentinel, excluded from the audit like fault.NumPoints
+)
+
+// Registry is a miniature fault registry.
+type Registry struct {
+	armed [NumPoints]bool
+}
+
+// Check consults a failpoint.
+func (r *Registry) Check(p Point) error {
+	if r != nil && r.armed[p] {
+		return errInjected
+	}
+	return nil
+}
+
+// Arm arms a failpoint.
+func (r *Registry) Arm(p Point) { r.armed[p] = true }
+
+var errInjected = errorString("seamgolden: injected")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// seams consults two of the three points; the computed argument is its own
+// diagnostic, and PointDead is consulted nowhere.
+func seams(r *Registry) {
+	_ = r.Check(PointWired)
+	_ = r.Check(PointUnarmed)
+	_ = r.Check(Point(2))
+}

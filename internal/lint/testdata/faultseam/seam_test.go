@@ -1,0 +1,15 @@
+package seamgolden
+
+import "testing"
+
+// TestWired arms the wired point; the analyzer's syntactic scan picks the
+// constant name out of the Arm argument list. (This file is never compiled
+// by the go tool — testdata is skipped — but the faultseam analyzer parses
+// it to credit the arming.)
+func TestWired(t *testing.T) {
+	var r Registry
+	r.Arm(PointWired)
+	if err := r.Check(PointWired); err == nil {
+		t.Fatal("want injected error")
+	}
+}

@@ -1,0 +1,18 @@
+package metricsgolden
+
+// families exercises the family-name hygiene checks.
+func families(r *Registry) {
+	r.Counter("Bad_total")      // uppercase: not a well-formed Prometheus name
+	r.Counter("missing_suffix") // counter family without the _total suffix
+	r.Gauge("dup_depth")
+	r.Gauge("dup_depth") // second site: silently merged series
+	delegated(r, "delegated_ops_total")
+	local := "computed_total"
+	r.Counter(local) // neither constant nor delegated parameter
+}
+
+// delegated forwards a family name: a parameter is an accepted argument,
+// because the constant lives at the delegating call site.
+func delegated(r *Registry, family string) *Counter {
+	return r.Counter(family)
+}

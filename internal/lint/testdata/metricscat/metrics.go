@@ -1,0 +1,50 @@
+// Package metricsgolden is mounted at repro/internal/obs/metricsgolden by
+// the analyzer self-tests: an obs-segment package with miniature instrument
+// and registry types, so the catalogue audit runs without importing the
+// real obs package.
+package metricsgolden
+
+// Counter is a miniature obs-style counter.
+type Counter struct{ n int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Gauge is a miniature obs-style gauge.
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Registry is a miniature obs-style registry.
+type Registry struct{}
+
+// Counter registers a counter family.
+func (r *Registry) Counter(family string) *Counter {
+	_ = family
+	return &Counter{}
+}
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(family string) *Gauge {
+	_ = family
+	return &Gauge{}
+}
+
+// SolverMetrics is the golden catalogue group.
+type SolverMetrics struct {
+	Good    *Counter // registered and recorded: clean
+	Orphan  *Gauge   // registered, never recorded: orphan diagnostic
+	Missing *Counter // never registered: nil-deref diagnostic
+}
+
+// register wires the catalogue.
+func register(r *Registry, m *SolverMetrics) {
+	m.Good = r.Counter("good_ops_total")
+	m.Orphan = r.Gauge("orphan_depth")
+}
+
+// work records the one live metric.
+func work(m *SolverMetrics) {
+	m.Good.Inc()
+}

@@ -1,0 +1,33 @@
+// Package staledrift is mounted at repro/internal/gen/staledrift by the
+// suppressdrift self-test: one live suppression, one stale, one naming an
+// unknown analyzer.
+package staledrift
+
+// Gather suppresses a real detmap finding: the allow is used and must NOT
+// be reported as stale.
+func Gather(m map[int]int) []int {
+	var out []int
+	//lint:allow detmap golden: the caller sorts, so collection order is erased
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Stale carries an allow with nothing left to suppress: the loop below
+// ranges a slice, not a map.
+func Stale(xs []int) int {
+	total := 0
+	//lint:allow detmap golden: stale — no map iteration below anymore
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Unknown names an analyzer outside the suite; the suppression can never
+// fire, whichever analyzers run.
+func Unknown() int {
+	//lint:allow detmpa golden: typo'd analyzer name can never fire
+	return 0
+}

@@ -14,9 +14,12 @@ type Heap struct {
 // New returns a heap able to hold items 0..n-1.
 func New(n int) *Heap {
 	h := &Heap{
+		//lint:allow contracts construction: runs once per workspace, buffers reused across every run
 		heap: make([]int, 0, n),
-		pos:  make([]int, n),
-		key:  make([]int64, n),
+		//lint:allow contracts construction: runs once per workspace, buffers reused across every run
+		pos: make([]int, n),
+		//lint:allow contracts construction: runs once per workspace, buffers reused across every run
+		key: make([]int64, n),
 	}
 	for i := range h.pos {
 		h.pos[i] = -1
@@ -45,6 +48,7 @@ func (h *Heap) Push(item int, key int64) {
 		return
 	}
 	h.key[item] = key
+	//lint:allow contracts amortized: New/Grow precap the buffer to the item universe, so append stays in place
 	h.heap = append(h.heap, item)
 	h.pos[item] = len(h.heap) - 1
 	h.up(len(h.heap) - 1)
@@ -81,7 +85,9 @@ func (h *Heap) Grow(n int) {
 	if n <= len(h.pos) {
 		return
 	}
+	//lint:allow contracts amortized: reallocates only when the item universe expands
 	pos := make([]int, n)
+	//lint:allow contracts amortized: reallocates only when the item universe expands
 	key := make([]int64, n)
 	copy(pos, h.pos)
 	copy(key, h.key)
@@ -103,6 +109,7 @@ func (h *Heap) swap(i, j int) {
 	h.pos[h.heap[j]] = j
 }
 
+//krsp:terminates(i moves strictly toward the heap root each pass)
 func (h *Heap) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -114,6 +121,7 @@ func (h *Heap) up(i int) {
 	}
 }
 
+//krsp:terminates(i strictly descends a heap of ≤ n entries)
 func (h *Heap) down(i int) {
 	n := len(h.heap)
 	for {

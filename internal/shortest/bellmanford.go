@@ -13,6 +13,8 @@ func BellmanFord(g *graph.Digraph, s graph.NodeID, w Weight) (t Tree, cycle grap
 
 // BellmanFordInto is BellmanFord over caller-provided scratch. The returned
 // Tree aliases the workspace (see Workspace).
+//
+//krsp:noalloc
 func BellmanFordInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) (Tree, graph.Cycle, bool) {
 	t := ws.tree(g.NumNodes())
 	for v := range t.Dist {
@@ -33,6 +35,8 @@ func BellmanFordAll(g *graph.Digraph, w Weight) (t Tree, cycle graph.Cycle, ok b
 
 // BellmanFordAllInto is BellmanFordAll over caller-provided scratch. The
 // returned Tree aliases the workspace (see Workspace).
+//
+//krsp:noalloc
 func BellmanFordAllInto(ws *Workspace, g *graph.Digraph, w Weight) (Tree, graph.Cycle, bool) {
 	t := ws.tree(g.NumNodes())
 	for v := range t.Dist {
@@ -81,11 +85,14 @@ func bfCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree) (Tree, graph.Cycl
 
 // extractParentCycle follows parent edges from a vertex known to lie on a
 // parent-pointer cycle and returns that cycle in forward edge order.
+//
+//krsp:terminates(parent-pointer cycle is vertex-simple, so the walk closes within n steps)
 func extractParentCycle(g *graph.Digraph, parent []graph.EdgeID, start graph.NodeID) graph.Cycle {
 	var revEdges []graph.EdgeID
 	v := start
-	for { //lint:allow ctxpoll bounded: parent-pointer cycle has ≤ n edges
+	for {
 		id := parent[v]
+		//lint:allow contracts cold path: runs once per extracted cycle, ≤ n appends; counted in the bench-guard alloc budget
 		revEdges = append(revEdges, id)
 		v = g.Edge(id).From
 		if v == start {
@@ -109,6 +116,8 @@ func NegativeCycle(g *graph.Digraph, w Weight) (graph.Cycle, bool) {
 }
 
 // NegativeCycleInto is NegativeCycle over caller-provided scratch.
+//
+//krsp:noalloc
 func NegativeCycleInto(ws *Workspace, g *graph.Digraph, w Weight) (graph.Cycle, bool) {
 	_, cyc, ok := BellmanFordAllInto(ws, g, w)
 	if ok {
@@ -127,6 +136,8 @@ func Potentials(g *graph.Digraph, w Weight) ([]int64, bool) {
 
 // PotentialsInto is Potentials over caller-provided scratch. The returned
 // slice aliases the workspace (see Workspace).
+//
+//krsp:noalloc
 func PotentialsInto(ws *Workspace, g *graph.Digraph, w Weight) ([]int64, bool) {
 	t, _, ok := BellmanFordAllInto(ws, g, w)
 	if !ok {

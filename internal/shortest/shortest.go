@@ -97,12 +97,17 @@ func DijkstraPotentials(g *graph.Digraph, s graph.NodeID, w Weight, pot []int64)
 
 // DijkstraInto is Dijkstra over caller-provided scratch. The returned Tree
 // aliases the workspace (see Workspace).
+//
+//krsp:noalloc
 func DijkstraInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight) Tree {
 	return DijkstraPotentialsInto(ws, g, s, w, nil)
 }
 
 // DijkstraPotentialsInto is DijkstraPotentials over caller-provided
 // scratch. The returned Tree aliases the workspace (see Workspace).
+//
+//krsp:noalloc
+//krsp:terminates(each vertex finalizes once and the heap holds ≤ m entries)
 func DijkstraPotentialsInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w Weight, pot []int64) Tree {
 	n := g.NumNodes()
 	t := ws.tree(n)
@@ -120,7 +125,7 @@ func DijkstraPotentialsInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w W
 	h := ws.heap
 	h.Reset()
 	h.Push(int(s), 0)
-	for h.Len() > 0 { //lint:allow ctxpoll bounded: each vertex finalizes once, heap holds ≤ m entries
+	for h.Len() > 0 {
 		ui, du := h.Pop()
 		u := graph.NodeID(ui)
 		if done[u] {

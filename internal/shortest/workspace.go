@@ -75,11 +75,11 @@ func (ws *Workspace) Grow(n int) {
 	if n <= cap(ws.dist) {
 		return
 	}
-	ws.dist = make([]int64, n)
-	ws.parent = make([]graph.EdgeID, n)
-	ws.inQueue = make([]bool, n)
-	ws.pathLen = make([]int, n)
-	ws.done = make([]bool, n)
+	ws.dist = make([]int64, n)          //lint:allow contracts amortized: reallocates only on expansion (n > cap), zero steady-state
+	ws.parent = make([]graph.EdgeID, n) //lint:allow contracts amortized: reallocates only on expansion (n > cap), zero steady-state
+	ws.inQueue = make([]bool, n)        //lint:allow contracts amortized: reallocates only on expansion (n > cap), zero steady-state
+	ws.pathLen = make([]int, n)         //lint:allow contracts amortized: reallocates only on expansion (n > cap), zero steady-state
+	ws.done = make([]bool, n)           //lint:allow contracts amortized: reallocates only on expansion (n > cap), zero steady-state
 	if ws.heap == nil {
 		ws.heap = pq.New(n)
 	} else {
