@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint build test race fuzz-smoke bench-smoke bench bench-guard clean
+.PHONY: check vet fmt-check lint build test race fuzz-smoke bench-smoke bench-large bench bench-guard clean
 
 # The full CI gate: static checks (vet, gofmt, krsplint), build, race-enabled
 # tests, a short fuzz smoke over the robustness harness, a one-shot benchmark
-# smoke run (catches benchmarks that panic or regress to failure), and the
-# allocation guard on the flagship solve bench.
-check: vet fmt-check lint build race fuzz-smoke bench-smoke bench-guard
+# smoke run (catches benchmarks that panic or regress to failure), the
+# N=5k large-tier smoke, and the allocation guard on the flagship benches.
+check: vet fmt-check lint build race fuzz-smoke bench-smoke bench-large bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -43,18 +43,31 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveCtx$$' -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzDirectiveParser$$' -fuzztime 5s ./internal/lint/
 
+# -short skips the large tier (bench_large_test.go); bench-large covers it.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
-# Regenerate the hot-path benchmark snapshot.
+# One-shot N=5k smoke of the large tier: phase-1 classic vs scaled plus the
+# end-to-end solve. The full N=5k/20k/50k sweep is
+#   go test -run '^$$' -bench 'Phase1(Classic|Scaled)N|SolveLargeN' -benchmem .
+bench-large:
+	$(GO) test -run '^$$' -bench 'Phase1ClassicN5k|Phase1ScaledN5k|SolveLargeN5k' -benchtime 1x .
+
+# Regenerate the hot-path benchmark snapshot. Reports are numbered; the
+# newest BENCH_*.json is the baseline the guard compares against.
 bench:
-	$(GO) run ./cmd/krspbench -out BENCH_1.json
+	$(GO) run ./cmd/krspbench -out BENCH_2.json
+
+# Newest snapshot on disk (lexicographic; fine for single-digit revisions).
+BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
 # Zero-alloc contracts: core.Solve with Options.Metrics unset must not
-# allocate above the BENCH_1.json baseline, and SolveCtx with a live
-# Canceller must match it (allocs/op comparison).
+# allocate above the newest baseline, SolveCtx with a live Canceller must
+# match it, and the CSR phase-1 kernels must hold their alloc counts flat.
+# -baseline prints the full ns/B/allocs delta table and fails on any
+# allocs/op regression.
 bench-guard:
-	$(GO) run ./cmd/krspbench -run SolveN60K3,SolveCtxN60K3 -guard BENCH_1.json
+	$(GO) run ./cmd/krspbench -run SolveN60K3,SolveCtxN60K3,Phase1ClassicN5k,Phase1ScaledN5k -baseline $(BENCH_BASELINE)
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,9 @@
 //	krspbench -guard BENCH_1.json   # fail if allocs/op regress above the
 //	                                # baseline (no report written unless
 //	                                # -out is given explicitly)
+//	krspbench -baseline BENCH_1.json# per-benchmark delta table (ns/op, B/op,
+//	                                # allocs/op vs the baseline), failing on
+//	                                # any allocs/op regression
 package main
 
 import (
@@ -68,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "BENCH_1.json", "output JSON path (- for stdout)")
 	filter := fs.String("run", "", "comma-separated substrings; empty = all")
 	guardPath := fs.String("guard", "", "baseline JSON: fail on allocs/op regression instead of writing a report")
+	basePath := fs.String("baseline", "", "baseline JSON: print a per-benchmark delta table and fail on allocs/op regression")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +111,14 @@ func run(args []string, out io.Writer) error {
 		rep.Benchmarks = append(rep.Benchmarks, rec)
 		fmt.Fprintf(out, "%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
 			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+	}
+	if *basePath != "" {
+		if err := diffBaseline(out, *basePath, rep.Benchmarks); err != nil {
+			return err
+		}
+		if !outSet {
+			return nil // baseline mode: don't clobber the baseline
+		}
 	}
 	if *guardPath != "" {
 		if err := guard(out, *guardPath, rep.Benchmarks); err != nil {
@@ -171,6 +183,60 @@ func guard(out io.Writer, path string, current []record) error {
 	return nil
 }
 
+// diffBaseline prints a per-benchmark delta table against a previous report
+// and, like guard, fails on any allocs/op regression. ns/op and B/op deltas
+// are informational (they are machine- and load-dependent); allocs/op is the
+// deterministic, guarded column.
+func diffBaseline(out io.Writer, path string, current []record) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+	pct := func(cur, old float64) string {
+		if old == 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", (cur-old)/old*100)
+	}
+	fmt.Fprintf(out, "\ndelta vs %s\n", path)
+	fmt.Fprintf(out, "%-24s %14s %9s %12s %9s %12s %6s\n",
+		"benchmark", "ns/op", "Δ", "B/op", "Δ", "allocs/op", "Δ")
+	compared := 0
+	var regressed []string
+	for _, r := range current {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-24s %14.0f %9s %12d %9s %12d %6s  (new)\n",
+				r.Name, r.NsPerOp, "", r.BytesPerOp, "", r.AllocsPerOp, "")
+			continue
+		}
+		compared++
+		fmt.Fprintf(out, "%-24s %14.0f %9s %12d %9s %12d %+6d\n",
+			r.Name, r.NsPerOp, pct(r.NsPerOp, b.NsPerOp),
+			r.BytesPerOp, pct(float64(r.BytesPerOp), float64(b.BytesPerOp)),
+			r.AllocsPerOp, r.AllocsPerOp-b.AllocsPerOp)
+		if r.AllocsPerOp > b.AllocsPerOp {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: %d allocs/op > baseline %d", r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline: no benchmark in common with %s (check -run filter)", path)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("alloc regression vs %s:\n  %s", path, strings.Join(regressed, "\n  "))
+	}
+	return nil
+}
+
 func matches(name string, wanted []string) bool {
 	if len(wanted) == 0 {
 		return true
@@ -191,6 +257,45 @@ func benchInstance(n, k int, slack float64) graph.Instance {
 		panic("krspbench: benchmark instance infeasible")
 	}
 	return bounded
+}
+
+// largeInstance mirrors the repo-level bench_large_test.go helper: a
+// layered-grid instance with ≈ n vertices, Θ(n) edges, and a delay bound in
+// the Lagrangian-hard band (min-delay feasible, min-cost infeasible), built
+// without gen.WithBound's Θ(width)-augmentation feasibility certificate.
+func largeInstance(n, k int) graph.Instance {
+	width := 100
+	for width*width < 2*n {
+		width += 50
+	}
+	layers := (n + width - 1) / width
+	ins := gen.LayeredGrid(42, layers, width, gen.DefaultWeights())
+	ins.K = k
+	fd, err := flow.MinCostKFlow(ins.G, ins.S, ins.T, k, shortest.DelayWeight)
+	if err != nil {
+		panic("krspbench: large instance infeasible: " + err.Error())
+	}
+	minD := fd.Delay(ins.G)
+	ins.Bound = minD + minD/10 + 1
+	return ins
+}
+
+func phase1Row(n, k int, scaled bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ins := largeInstance(n, k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if scaled {
+				_, err = core.Phase1Scaled(ins, core.DefaultPhase1Eps)
+			} else {
+				_, err = core.Phase1(ins)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // suite mirrors the hot-path subset of the repo-level bench_test.go — the
@@ -297,6 +402,15 @@ func suite() []bench {
 				shortest.SPFAAllInto(ws, ins.G, shortest.CostWeight)
 			}
 		}},
+		// Large tier: classic vs scaled phase-1 kernel on the same instance.
+		// The scaled/classic ns/op ratio at each size is the headline claim
+		// of the CSR + scaled-kernel work (≥2× at N ≥ 5k, allocs/op flat).
+		{"Phase1ClassicN5k", phase1Row(5_000, 3, false)},
+		{"Phase1ScaledN5k", phase1Row(5_000, 3, true)},
+		{"Phase1ClassicN20k", phase1Row(20_000, 3, false)},
+		{"Phase1ScaledN20k", phase1Row(20_000, 3, true)},
+		{"Phase1ClassicN50k", phase1Row(50_000, 3, false)},
+		{"Phase1ScaledN50k", phase1Row(50_000, 3, true)},
 	}
 }
 

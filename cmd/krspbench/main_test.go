@@ -61,6 +61,65 @@ func TestGuardFailsOnEmptyIntersection(t *testing.T) {
 	}
 }
 
+const baselineFullJSON = `{
+  "schema": "krspbench/1",
+  "benchmarks": [
+    {"name": "SolveN60K3", "ns_per_op": 900000, "allocs_per_op": 229, "bytes_per_op": 200000},
+    {"name": "Phase1ScaledN5k", "ns_per_op": 16000000, "allocs_per_op": 270, "bytes_per_op": 2200000}
+  ]
+}`
+
+func TestBaselineDeltaTable(t *testing.T) {
+	path := writeBaseline(t, baselineFullJSON)
+	var out bytes.Buffer
+	current := []record{
+		{Name: "SolveN60K3", NsPerOp: 450000, AllocsPerOp: 173, BytesPerOp: 150000},
+		{Name: "Phase1ScaledN5k", NsPerOp: 15000000, AllocsPerOp: 270, BytesPerOp: 2200000},
+		{Name: "BrandNewRow", NsPerOp: 10, AllocsPerOp: 1, BytesPerOp: 8},
+	}
+	if err := diffBaseline(&out, path, current); err != nil {
+		t.Fatalf("diffBaseline failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	// The table must carry the improvement as a negative ns/op delta, flag
+	// rows absent from the baseline, and show a zero allocs delta.
+	if !strings.Contains(text, "-50.0%") {
+		t.Fatalf("ns/op delta missing:\n%s", text)
+	}
+	if !strings.Contains(text, "(new)") {
+		t.Fatalf("new row not flagged:\n%s", text)
+	}
+	if !strings.Contains(text, "+0") {
+		t.Fatalf("flat allocs delta missing:\n%s", text)
+	}
+}
+
+func TestBaselineFailsOnAllocRegression(t *testing.T) {
+	path := writeBaseline(t, baselineFullJSON)
+	var out bytes.Buffer
+	err := diffBaseline(&out, path, []record{
+		{Name: "SolveN60K3", NsPerOp: 400000, AllocsPerOp: 230, BytesPerOp: 150000},
+	})
+	if err == nil {
+		t.Fatal("alloc regression not caught")
+	}
+	if !strings.Contains(err.Error(), "SolveN60K3: 230 allocs/op > baseline 229") {
+		t.Fatalf("error: %v", err)
+	}
+	// A faster-but-allocating run must still fail: ns/op never excuses allocs.
+	if !strings.Contains(out.String(), "-5") {
+		t.Fatalf("table should still have printed:\n%s", out.String())
+	}
+}
+
+func TestBaselineFailsOnEmptyIntersection(t *testing.T) {
+	path := writeBaseline(t, baselineFullJSON)
+	var out bytes.Buffer
+	if err := diffBaseline(&out, path, []record{{Name: "Nope"}}); err == nil {
+		t.Fatal("empty intersection accepted")
+	}
+}
+
 func TestGuardFailsOnMissingOrBadBaseline(t *testing.T) {
 	var out bytes.Buffer
 	if err := guard(&out, "/nonexistent.json", nil); err == nil {

@@ -4,7 +4,9 @@
 //
 //	krspgen -topo er -n 40 -seed 7 -k 2 -slack 1.5 > instance.krsp
 //
-// Topologies: er, grid, layered, geometric, isp, figure1, figure2.
+// Topologies: er, grid, layered, geometric, isp, figure1, figure2, plus the
+// large-instance families lgrid, geofast and expander (Θ(n) edges, built for
+// -n in the tens of thousands).
 package main
 
 import (
@@ -26,8 +28,10 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("krspgen", flag.ContinueOnError)
-	topo := fs.String("topo", "er", "topology: er|grid|layered|geometric|isp|figure1|figure2")
-	n := fs.Int("n", 30, "vertex count (er, geometric) or side length (grid)")
+	topo := fs.String("topo", "er", "topology: er|grid|layered|geometric|isp|figure1|figure2|lgrid|geofast|expander")
+	n := fs.Int("n", 30, "vertex count (er, geometric, geofast, lgrid, expander) or side length (grid)")
+	deg := fs.Int("deg", 3, "permutation count (expander)")
+	radius := fs.Float64("radius", 0.35, "connection radius (geometric, geofast)")
 	seed := fs.Int64("seed", 1, "random seed")
 	k := fs.Int("k", 2, "number of disjoint paths")
 	density := fs.Float64("density", 0.2, "edge density (er, layered)")
@@ -51,7 +55,19 @@ func run(args []string, out io.Writer) error {
 	case "layered":
 		ins = gen.Layered(*seed, 5, *n/5+2, *density, w)
 	case "geometric":
-		ins = gen.Geometric(*seed, *n, 0.35, w)
+		ins = gen.Geometric(*seed, *n, *radius, w)
+	case "geofast":
+		ins = gen.GeometricFast(*seed, *n, *radius, w)
+	case "lgrid":
+		// Aspect ratio ~1:10 keeps lane diversity high while the layer count
+		// (path length) grows slowly with n.
+		width := *n / 10
+		if width < 2 {
+			width = 2
+		}
+		ins = gen.LayeredGrid(*seed, (*n+width-1)/width, width, w)
+	case "expander":
+		ins = gen.Expander(*seed, *n, *deg, w)
 	case "isp":
 		ins = gen.ISP(*seed, *n/3+3, 2, w)
 	case "figure1":

@@ -10,9 +10,10 @@ import (
 )
 
 func TestGenerateAllTopologies(t *testing.T) {
-	for _, topo := range []string{"er", "grid", "layered", "geometric", "isp", "figure1", "figure2"} {
+	for _, topo := range []string{"er", "grid", "layered", "geometric", "isp", "figure1", "figure2",
+		"lgrid", "geofast", "expander"} {
 		var out bytes.Buffer
-		args := []string{"-topo", topo, "-n", "12", "-seed", "3"}
+		args := []string{"-topo", topo, "-n", "40", "-seed", "3"}
 		if err := run(args, &out); err != nil {
 			t.Fatalf("%s: %v", topo, err)
 		}

@@ -61,7 +61,7 @@ func main() {
 			}
 			// Rebuild the degraded topology and re-solve.
 			deg := graph.New(ins.G.NumNodes())
-			for _, e := range ins.G.Edges() {
+			for _, e := range ins.G.EdgesView() {
 				if e.ID != dead {
 					deg.AddEdge(e.From, e.To, e.Cost, e.Delay)
 				}

@@ -119,7 +119,7 @@ func GreedySequential(ins graph.Instance) (Result, error) {
 func subgraph(g *graph.Digraph, alive []bool) (*graph.Digraph, []graph.EdgeID) {
 	sub := graph.New(g.NumNodes())
 	var mapping []graph.EdgeID
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		if alive[e.ID] {
 			sub.AddEdge(e.From, e.To, e.Cost, e.Delay)
 			mapping = append(mapping, e.ID)

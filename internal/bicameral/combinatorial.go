@@ -24,12 +24,16 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 		// nonnegative weights): no bicameral cycle can exist.
 		return Candidate{}, st, false
 	}
+	// The fast-path detection rounds below run on the residual's CSR view:
+	// flat weight arrays for the scans here, packed rows for the SPFA sweeps.
+	view := rg.View()
+	m := view.NumEdges()
 	sumAbs := int64(0)
-	for _, e := range rg.R.EdgesView() {
-		if e.Cost >= 0 {
-			sumAbs += e.Cost
+	for i := 0; i < m; i++ {
+		if c := view.Cost(graph.EdgeID(i)); c >= 0 {
+			sumAbs += c
 		} else {
-			sumAbs -= e.Cost
+			sumAbs -= c
 		}
 	}
 	// Default ceiling is Σ|c|: prefix cost sums of ANY simple cycle fit in
@@ -61,18 +65,16 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 	// cost (a boundary type-2). K > n·max(|d|,|c|) prevents the secondary
 	// term from flipping the primary's sign over any simple cycle.
 	maxW := int64(1)
-	for _, e := range rg.R.EdgesView() {
-		if a := abs64(e.Delay); a > maxW {
+	for i := 0; i < m; i++ {
+		if a := abs64(view.Delay(graph.EdgeID(i))); a > maxW {
 			maxW = a
 		}
-		if a := abs64(e.Cost); a > maxW {
+		if a := abs64(view.Cost(graph.EdgeID(i))); a > maxW {
 			maxW = a
 		}
 	}
 	k := int64(rg.R.NumNodes()+1)*maxW + 1
-	wDelay := func(e graph.Edge) int64 { return p.Weight(e)*k + e.Delay }
-	wCost := func(e graph.Edge) int64 { return p.Weight(e)*k + e.Cost }
-	wOf := wDelay
+	wOf := func(e graph.Edge) int64 { return p.Weight(e)*k + e.Delay } //lint:allow weightovf Find's entry guard keeps |Δ|·maxW·K below 2^61
 
 	var best Candidate
 	haveBest := false
@@ -101,19 +103,17 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 	// Excluded edges are masked by a sentinel weight instead of cloning the
 	// graph minus them (the clone dominated the engine's allocations): with
 	// all-sources detection every tentative distance is ≤ 0 and only ever
-	// decreases, so a relaxation through a sentinel edge (du + excludedW > 0)
+	// decreases, so a relaxation through a sentinel edge (du + sentinel > 0)
 	// can never win — the edge is unreachable without rebuilding anything.
+	// The CSR kernel applies the same sentinel to !alive edges internally;
 	// Find's overflow guard keeps |du| < 2^61, so the sum cannot overflow.
-	const excludedW = int64(1) << 62
-	masked := func(w shortest.Weight) shortest.Weight {
-		return func(e graph.Edge) int64 {
-			if !alive[e.ID] {
-				return excludedW
-			}
-			return w(e)
-		}
+	// The lexicographic weights in LinWeight form: W(e)·K + d and W(e)·K + c
+	// expanded over W(e) = ΔC·d − ΔD·c (two's-complement distributivity
+	// keeps them bitwise equal to the closure forms at any magnitude).
+	weights := []shortest.LinWeight{
+		{Q: -p.DeltaD * k, P: p.DeltaC*k + 1},
+		{Q: -p.DeltaD*k + 1, P: p.DeltaC * k},
 	}
-	weights := []shortest.Weight{masked(wDelay), masked(wCost)}
 	wi := 0
 	// One workspace serves every sequential search below: the detection
 	// rounds here and the shared layered sweeps (it grows to layered size on
@@ -129,7 +129,7 @@ func findCombinatorial(rg *residual.Graph, p Params, o Options) (Candidate, Stat
 			return Candidate{}, st, false
 		}
 		st.Searches++
-		_, cyc, noNeg := shortest.SPFAAllInto(ws, rg.R, weights[wi])
+		_, cyc, noNeg := shortest.SPFAAllCSRInto(ws, view, weights[wi], alive)
 		if noNeg {
 			if wi+1 < len(weights) {
 				// Switch to the cost-lexicographic weight with a fresh

@@ -115,6 +115,17 @@ type Options struct {
 	// Phase1Only stops after the first phase, returning the better of the
 	// two Lagrangian endpoint flows — the (2,2)-style baseline of [9].
 	Phase1Only bool
+	// Phase1Kernel selects the first-phase implementation: "classic" (the
+	// default; exact λ* search, bit-identical output across releases) or
+	// "scaled" (interval-restricted relaxation after Ashvinkumar–Bernstein–
+	// Karczmarz: target-stopped augmentation Dijkstras plus an ε duality-gap
+	// early exit from the λ search). The scaled kernel keeps feasibility
+	// verdicts exact and reports a lower bound within (1+ε) of C_LP, at a
+	// ≥2× phase-1 speedup on N ≥ 5k instances. Unknown names error.
+	Phase1Kernel string
+	// Phase1Eps is the scaled kernel's duality-gap tolerance ε (default
+	// 0.125; must be positive when set). Ignored by the classic kernel.
+	Phase1Eps float64
 	// DisableCostCap removes Definition 10's |c(O)| ≤ C_OPT constraint —
 	// the Figure 1 pathology switch (experiment E3). Never use it for real
 	// solving.

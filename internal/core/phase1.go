@@ -87,7 +87,13 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase
 	}
 	g, s, t, k, bound := ins.G, ins.S, ins.T, ins.K, ins.Bound
 
-	fc, err := flow.MinCostKFlowCancel(g, s, t, k, costWeight, fm, c)
+	// All min-cost-flow calls in the Lagrangian search run on one frozen CSR
+	// view through one reusable solver: packing costs O(n + m) once, and the
+	// ~10 flow computations per phase 1 then allocate nothing but their
+	// result sets. The solver's augmentation order is bit-identical to the
+	// Digraph path, so this port changes no output anywhere downstream.
+	kf := flow.NewKFlowSolver(graph.NewCSR(g))
+	fc, err := kf.MinCostKFlow(s, t, k, shortest.LinCost, fm, c)
 	if err != nil {
 		if errors.Is(err, cancel.ErrCancelled) {
 			return Phase1Result{}, fmt.Errorf("%w: deadline hit during the min-cost endpoint flow", ErrNoProgress)
@@ -100,7 +106,7 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase
 			CLP: clp, CLPCeil: fc.Cost(g),
 			Stats: Phase1Stats{CLPNum: fc.Cost(g), CLPDen: 1}}, nil
 	}
-	fd, err := flow.MinCostKFlowCancel(g, s, t, k, delayWeight, fm, c)
+	fd, err := kf.MinCostKFlow(s, t, k, shortest.LinDelay, fm, c)
 	if err != nil {
 		if errors.Is(err, cancel.ErrCancelled) {
 			return Phase1Result{}, fmt.Errorf("%w: deadline hit during the min-delay endpoint flow", ErrNoProgress)
@@ -133,7 +139,7 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase
 			p = 0 // cost(lo) < cost(hi) can only happen via ties; λ=0 ends it
 		}
 		w := shortest.Combine(q, p)
-		f, err := flow.MinCostKFlowCancel(g, s, t, k, w, fm, c)
+		f, err := kf.MinCostKFlow(s, t, k, shortest.LinCombine(q, p), fm, c)
 		if err != nil {
 			if errors.Is(err, cancel.ErrCancelled) {
 				degraded = true

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// onePlusEps returns (1+eps) as the exact rational the kernel itself uses,
+// so the differential below tests the advertised bound, not a float echo.
+func onePlusEps(eps float64) *big.Rat {
+	r := new(big.Rat).SetFloat64(eps)
+	return r.Add(r, big.NewRat(1, 1))
+}
+
+// TestPhase1ScaledMatchesClassicVerdicts is the differential contract of the
+// scaled kernel: on every instance it must agree with the classic kernel on
+// feasibility (same error classes, same Exact shortcut), keep the Lo/Hi
+// sandwich, and report a lower bound within the ε guarantee —
+// scaled.CLP ≤ classic.CLP ≤ (1+ε)·scaled.CLP.
+func TestPhase1ScaledMatchesClassicVerdicts(t *testing.T) {
+	const eps = 0.125
+	factor := onePlusEps(eps)
+	checked := 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randInstance(r, 5+r.Intn(6), 3, 30, 30, 1+r.Intn(3))
+		if feas, err := CheckFeasible(ins); err == nil && feas.MaxDisjoint >= ins.K {
+			ins.Bound = feas.MinDelay + r.Int63n(25)
+		} else {
+			ins.Bound = 1 + r.Int63n(40)
+		}
+		classic, errC := Phase1(ins)
+		scaled, errS := Phase1Scaled(ins, eps)
+		if (errC == nil) != (errS == nil) {
+			t.Logf("seed %d: verdicts differ: classic=%v scaled=%v", seed, errC, errS)
+			return false
+		}
+		if errC != nil {
+			// Same error class: both kernels run identical (non-target-stopped)
+			// endpoint flows, so infeasibility reasons must match exactly.
+			for _, sentinel := range []error{ErrNoKPaths, ErrDelayInfeasible} {
+				if errors.Is(errC, sentinel) != errors.Is(errS, sentinel) {
+					t.Logf("seed %d: error class differs: %v vs %v", seed, errC, errS)
+					return false
+				}
+			}
+			return true
+		}
+		checked++
+		g := ins.G
+		if classic.Exact != scaled.Exact {
+			t.Logf("seed %d: Exact differs: %v vs %v", seed, classic.Exact, scaled.Exact)
+			return false
+		}
+		if scaled.Lo.Delay(g) > ins.Bound {
+			t.Logf("seed %d: scaled Lo infeasible: %d > %d", seed, scaled.Lo.Delay(g), ins.Bound)
+			return false
+		}
+		if !scaled.Exact && scaled.Hi.Delay(g) <= ins.Bound {
+			t.Logf("seed %d: scaled Hi does not violate the bound", seed)
+			return false
+		}
+		// Lower-bound sandwich: the scaled kernel stops the dual ascent early,
+		// so it can only undershoot the classic bound — and by at most the ε
+		// factor (either the gap closed within ε·best, or λ* was certified).
+		if scaled.CLP.Cmp(classic.CLP) > 0 {
+			t.Logf("seed %d: scaled CLP %v above classic %v", seed, scaled.CLP, classic.CLP)
+			return false
+		}
+		relaxed := new(big.Rat).Mul(factor, scaled.CLP)
+		if classic.CLP.Cmp(relaxed) > 0 {
+			t.Logf("seed %d: classic CLP %v outside (1+ε)·%v", seed, classic.CLP, scaled.CLP)
+			return false
+		}
+		// Never more dual iterations than classic: early exit only removes work.
+		if scaled.Stats.LambdaIterations > classic.Stats.LambdaIterations {
+			t.Logf("seed %d: scaled ran MORE λ iterations (%d > %d)",
+				seed, scaled.Stats.LambdaIterations, classic.Stats.LambdaIterations)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 25 {
+		t.Fatalf("only %d feasible differential checks ran", checked)
+	}
+}
+
+func flowIDs(f flow.UnitFlow) []graph.EdgeID {
+	ids := f.Edges.IDs()
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// TestPhase1ScaledDeterministic: same instance, same eps → bitwise-identical
+// result, across repeated runs and fresh big.Rat plumbing.
+func TestPhase1ScaledDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		ins := randInstance(r, 8, 3, 25, 25, 2)
+		feas, err := CheckFeasible(ins)
+		if err != nil || feas.MaxDisjoint < ins.K {
+			continue
+		}
+		ins.Bound = feas.MinDelay + 7
+		a, errA := Phase1Scaled(ins, 0.125)
+		b, errB := Phase1Scaled(ins, 0.125)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: nondeterministic verdict: %v vs %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.CLP.Cmp(b.CLP) != 0 || a.CLPCeil != b.CLPCeil || a.Exact != b.Exact ||
+			a.Stats != b.Stats {
+			t.Fatalf("trial %d: results drift: %+v vs %+v", trial, a, b)
+		}
+		loA, loB := flowIDs(a.Lo), flowIDs(b.Lo)
+		hiA, hiB := flowIDs(a.Hi), flowIDs(b.Hi)
+		for i := range loA {
+			if loA[i] != loB[i] {
+				t.Fatalf("trial %d: Lo flows differ", trial)
+			}
+		}
+		for i := range hiA {
+			if hiA[i] != hiB[i] {
+				t.Fatalf("trial %d: Hi flows differ", trial)
+			}
+		}
+	}
+}
+
+// TestSolveWithScaledKernel: the full pipeline accepts the kernel switch and
+// still returns a feasible, valid solution with a populated lower bound.
+func TestSolveWithScaledKernel(t *testing.T) {
+	ins := tradeoff(10)
+	res, err := Solve(ins, Options{Phase1Kernel: "scaled"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Solution.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay > ins.Bound {
+		t.Fatalf("delay %d > bound %d", res.Delay, ins.Bound)
+	}
+	if res.Stats.Phase1.CLPDen == 0 {
+		t.Fatal("scaled kernel left phase-1 stats empty")
+	}
+
+	r := rand.New(rand.NewSource(4242))
+	solved := 0
+	for trial := 0; trial < 30; trial++ {
+		rins := randInstance(r, 6+r.Intn(5), 3, 20, 20, 1+r.Intn(2))
+		feas, err := CheckFeasible(rins)
+		if err != nil || feas.MaxDisjoint < rins.K {
+			continue
+		}
+		rins.Bound = feas.MinDelay + r.Int63n(15)
+		res, err := Solve(rins, Options{Phase1Kernel: "scaled", Phase1Eps: 0.25})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Solution.Validate(rins); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Delay > rins.Bound {
+			t.Fatalf("trial %d: delay %d > bound %d", trial, res.Delay, rins.Bound)
+		}
+		solved++
+	}
+	if solved < 10 {
+		t.Fatalf("only %d random solves ran", solved)
+	}
+}
+
+// TestPhase1KernelRejectsUnknownName: a typo'd kernel name must fail loudly,
+// not silently fall back to classic.
+func TestPhase1KernelRejectsUnknownName(t *testing.T) {
+	_, err := Solve(tradeoff(10), Options{Phase1Kernel: "turbo"})
+	if err == nil || !strings.Contains(err.Error(), "unknown phase-1 kernel") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPhase1ScaledRejectsBadEps: ε must be strictly positive.
+func TestPhase1ScaledRejectsBadEps(t *testing.T) {
+	for _, eps := range []float64{0, -0.5} {
+		if _, err := Phase1Scaled(tradeoff(10), eps); err == nil {
+			t.Fatalf("eps=%g accepted", eps)
+		}
+	}
+}
+
+// TestPhase1ScaledExactShortcut mirrors TestPhase1ExactWhenCheapFits: when
+// the unconstrained min-cost flow already fits the bound, both kernels take
+// the identical exact path.
+func TestPhase1ScaledExactShortcut(t *testing.T) {
+	p1, err := Phase1Scaled(tradeoff(30), 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Exact || p1.Lo.Cost(tradeoff(30).G) != 5 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+}

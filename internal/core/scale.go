@@ -49,7 +49,7 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options, c *cancel.
 	// Phase 1 on the ORIGINAL instance supplies Ĉ and settles feasibility
 	// questions exactly (scaling must not change feasibility verdicts).
 	ps := m.StartSpan(obs.PhasePhase1)
-	p1, err := phase1(ins, m.FlowMetrics(), c)
+	p1, err := phase1Kernel(ins, opt, m.FlowMetrics(), c)
 	ps.End()
 	if err != nil {
 		return Result{}, err
@@ -79,7 +79,7 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options, c *cancel.
 	// double-counted as a second krsp_solves_total.
 	ss := m.StartSpan(obs.PhaseScale)
 	sg := graph.New(g.NumNodes())
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		sg.AddEdge(e.From, e.To, e.Cost/thetaC, e.Delay/thetaD)
 	}
 	scaled := graph.Instance{

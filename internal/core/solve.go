@@ -88,7 +88,7 @@ func recordOutcome(m *obs.Registry, res Result, err error) {
 func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error) {
 	m := opt.Metrics
 	ps := m.StartSpan(obs.PhasePhase1)
-	p1, err := phase1(ins, m.FlowMetrics(), c)
+	p1, err := phase1Kernel(ins, opt, m.FlowMetrics(), c)
 	ps.End()
 	if err != nil {
 		return Result{}, err

@@ -104,7 +104,7 @@ func solveRelaxation(ins graph.Instance, fixed map[graph.EdgeID]int) (x []float6
 	g := ins.G
 	m := g.NumEdges()
 	p := lp.NewProblem(m)
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		p.SetObjective(int(e.ID), float64(e.Cost))
 		switch v, pinned := fixed[e.ID]; {
 		case pinned && v == 0:
@@ -139,7 +139,7 @@ func solveRelaxation(ins graph.Instance, fixed map[graph.EdgeID]int) (x []float6
 		}
 	}
 	var dRow []lp.Coef
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		if e.Delay != 0 {
 			dRow = append(dRow, lp.Coef{Var: int(e.ID), Val: float64(e.Delay)})
 		}

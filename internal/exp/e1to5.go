@@ -177,7 +177,7 @@ func RunE4(cfg Config) (*Table, error) {
 	for seed := int64(0); seed < int64(cfg.seeds()); seed++ {
 		base := gen.ER(seed+500, 8, 0.3, gen.Weights{MaxCost: 3, MaxDelay: 6, Correlation: -0.5})
 		sol := graph.NewEdgeSet()
-		for _, e := range base.G.Edges() {
+		for _, e := range base.G.EdgesView() {
 			if e.ID%3 == 0 {
 				sol.Add(e.ID)
 			}

@@ -1,0 +1,225 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/cancel"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/pq"
+	"repro/internal/shortest"
+)
+
+// KFlowSolver computes min-cost k-flows over a frozen CSR view with
+// reusable scratch. Phase 1 calls min-cost flow ~10 times per solve (two
+// endpoint flows plus the Lagrangian iterations) on the SAME graph;
+// minCostKFlow re-allocates its workspace, potential, distance, parent and
+// heap arrays on every call, which dominated both the allocation budget and
+// the cache behaviour at N ≥ 5k. A solver instance hoists all of that: a
+// call allocates only its UnitFlow result.
+//
+// Augmentation rounds iterate the CSR rows directly (forward arcs from
+// OutRow, cancelling arcs from InRow, both ID-ascending), which makes
+// MinCostKFlow bit-identical to minCostKFlow on the Digraph the view was
+// packed from. Not safe for concurrent use; one solver per goroutine.
+type KFlowSolver struct {
+	c       *graph.CSR
+	ws      *shortest.Workspace
+	inFlow  []bool
+	pot     []int64
+	dist    []int64
+	parent  []arc
+	settled []bool
+	h       *pq.Heap
+}
+
+// NewKFlowSolver returns a solver bound to the view. The view must not be
+// flipped while the solver is in use (problem graphs never are; the solver
+// checks and panics to keep the contract loud).
+func NewKFlowSolver(c *graph.CSR) *KFlowSolver {
+	n := c.NumNodes()
+	return &KFlowSolver{
+		c:       c,
+		ws:      shortest.NewWorkspace(n),
+		inFlow:  make([]bool, c.NumEdges()),
+		pot:     make([]int64, n),
+		dist:    make([]int64, n),
+		parent:  make([]arc, n),
+		settled: make([]bool, n),
+		h:       pq.New(n),
+	}
+}
+
+// MinCostKFlow is minCostKFlow over the solver's CSR view: a minimum-weight
+// integral s→t flow of value k under unit capacities by successive shortest
+// paths with Johnson potentials, bit-identical to the Digraph path
+// (identical augmentation order, flows, metrics and errors).
+func (kf *KFlowSolver) MinCostKFlow(s, t graph.NodeID, k int, lw shortest.LinWeight, m *obs.FlowMetrics, c *cancel.Canceller) (UnitFlow, error) {
+	return kf.run(s, t, k, lw, m, c, false)
+}
+
+// MinCostKFlowTarget is MinCostKFlow with target-stopped Dijkstra rounds:
+// each augmentation stops as soon as t settles and repairs potentials with
+// pot'[v] = pot[v] + min(dist[v], dist[t]) — the standard early-exit for
+// successive shortest paths, still EXACT (every augmenting path is a true
+// shortest path; reduced weights stay nonnegative under the capped repair).
+// Roughly halves per-round work on large instances. Tie-broken flows may
+// differ from MinCostKFlow's, so only value-level guarantees (optimal
+// weight, feasibility verdicts) are preserved — the scaled phase-1 kernel
+// is its only solve-path caller.
+func (kf *KFlowSolver) MinCostKFlowTarget(s, t graph.NodeID, k int, lw shortest.LinWeight, m *obs.FlowMetrics, c *cancel.Canceller) (UnitFlow, error) {
+	return kf.run(s, t, k, lw, m, c, true)
+}
+
+func (kf *KFlowSolver) run(s, t graph.NodeID, k int, lw shortest.LinWeight, m *obs.FlowMetrics, c *cancel.Canceller, targetStop bool) (UnitFlow, error) {
+	if k < 0 {
+		return UnitFlow{}, fmt.Errorf("flow: negative k=%d", k)
+	}
+	cs := kf.c
+	if cs.Mixed() {
+		//lint:allow nopanic solver contract: flipping the view mid-use is a programming error, not runtime input
+		panic("flow: KFlowSolver used on a flipped CSR view")
+	}
+	var rounds, relaxed int64
+	n := cs.NumNodes()
+	inFlow := kf.inFlow[:cs.NumEdges()]
+	for i := range inFlow {
+		inFlow[i] = false
+	}
+	// Potentials initialized by a plain Dijkstra (weights nonnegative),
+	// copied out of the workspace tree so the per-round searches below can
+	// reuse the workspace-independent scratch.
+	pot := kf.pot[:n]
+	copy(pot, shortest.DijkstraCSRInto(kf.ws, cs, s, lw).Dist)
+
+	dist, parent, settled, h := kf.dist[:n], kf.parent[:n], kf.settled[:n], kf.h
+	for it := 0; it < k; it++ {
+		for v := range dist {
+			dist[v] = shortest.Inf
+			parent[v] = arc{edge: -1}
+			settled[v] = false
+		}
+		if pot[s] == shortest.Inf {
+			recordFlow(m, rounds, relaxed, true)
+			return UnitFlow{}, ErrInfeasible
+		}
+		dist[s] = 0
+		h.Reset()
+		h.Push(int(s), 0)
+		for h.Len() > 0 {
+			if c.Poll() {
+				recordFlow(m, rounds, relaxed, false)
+				return UnitFlow{}, cancel.ErrCancelled
+			}
+			ui, du := h.Pop()
+			u := graph.NodeID(ui)
+			if settled[u] {
+				continue
+			}
+			settled[u] = true
+			if targetStop && u == t {
+				break
+			}
+			for _, id := range cs.OutRow(u) {
+				if inFlow[id] {
+					continue
+				}
+				to := cs.Head(id)
+				if settled[to] || pot[to] == shortest.Inf {
+					continue
+				}
+				rw := lw.Of(cs.Cost(id), cs.Delay(id)) + pot[u] - pot[to]
+				if rw < 0 {
+					//lint:allow nopanic potential-validity invariant; a violation is a solver bug, not bad input
+					panic(fmt.Sprintf("flow: negative reduced weight %d", rw))
+				}
+				if nd := du + rw; nd < dist[to] {
+					dist[to] = nd
+					parent[to] = arc{edge: id, fwd: true}
+					h.Push(int(to), nd)
+					relaxed++
+				}
+			}
+			for _, id := range cs.InRow(u) {
+				if !inFlow[id] {
+					continue
+				}
+				to := cs.Tail(id)
+				if settled[to] || pot[to] == shortest.Inf {
+					continue
+				}
+				rw := -lw.Of(cs.Cost(id), cs.Delay(id)) + pot[u] - pot[to]
+				if rw < 0 {
+					//lint:allow nopanic potential-validity invariant; a violation is a solver bug, not bad input
+					panic(fmt.Sprintf("flow: negative reduced weight %d", rw))
+				}
+				if nd := du + rw; nd < dist[to] {
+					dist[to] = nd
+					parent[to] = arc{edge: id, fwd: false}
+					h.Push(int(to), nd)
+					relaxed++
+				}
+			}
+		}
+		if dist[t] == shortest.Inf {
+			recordFlow(m, rounds, relaxed, true)
+			return UnitFlow{}, ErrInfeasible
+		}
+		rounds++
+		kf.augmentAlong(parent, inFlow, s, t)
+		if targetStop {
+			// Capped repair: pot'[v] = pot[v] + min(dist[v], dist[t]) keeps
+			// every residual reduced weight nonnegative without requiring the
+			// round to settle the whole graph.
+			dt := dist[t]
+			for v := range pot {
+				if pot[v] == shortest.Inf {
+					continue
+				}
+				if dist[v] < dt {
+					pot[v] += dist[v]
+				} else {
+					pot[v] += dt
+				}
+			}
+		} else {
+			for v := range pot {
+				if pot[v] == shortest.Inf {
+					continue
+				}
+				if dist[v] == shortest.Inf {
+					pot[v] = shortest.Inf
+				} else {
+					pot[v] += dist[v]
+				}
+			}
+		}
+	}
+
+	set := graph.NewEdgeSet()
+	for id, used := range inFlow {
+		if used {
+			set.Add(graph.EdgeID(id))
+		}
+	}
+	recordFlow(m, rounds, relaxed, false)
+	return UnitFlow{Edges: set, Value: k}, nil
+}
+
+// augmentAlong is augmentAlong over the CSR view: flip flow along the
+// parent chain from t back to s.
+//
+//krsp:terminates(the parent array encodes a simple chain from t to s, ≤ n edges)
+func (kf *KFlowSolver) augmentAlong(parent []arc, inFlow []bool, s, t graph.NodeID) {
+	v := t
+	for v != s {
+		a := parent[v]
+		if a.fwd {
+			inFlow[a.edge] = true
+			v = kf.c.Tail(a.edge)
+		} else {
+			inFlow[a.edge] = false
+			v = kf.c.Head(a.edge)
+		}
+	}
+}

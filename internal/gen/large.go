@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Large-instance generators. The families in gen.go top out around a few
+// hundred vertices because their edge synthesis is O(n²) (ER, Geometric) or
+// dense per layer (Layered). The three families here are built for the
+// N=5k..50k bench tier: every one of them emits Θ(n) edges with bounded
+// degree and runs in O(n + m), so instance construction never dominates the
+// solve being measured.
+
+// LayeredGrid generates a DAG of `layers` layers of `width` vertices where
+// each vertex connects to the same-index and adjacent-index vertices of the
+// next layer (wrapping at the edges), plus a source and sink fanned into the
+// first and last layers. It is the constant-degree cousin of Layered: m ≈
+// 3·layers·width regardless of width, so width can grow into the tens of
+// thousands. Disjoint s→t routes abound by construction (any two
+// column-disjoint lanes), making it the friendliest large family for k > 2.
+func LayeredGrid(seed int64, layers, width int, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	n := layers*width + 2
+	g := graph.New(n)
+	s := graph.NodeID(n - 2)
+	t := graph.NodeID(n - 1)
+	at := func(l, i int) graph.NodeID { return graph.NodeID(l*width + i) }
+	for i := 0; i < width; i++ {
+		c, d := w.draw(r)
+		g.AddEdge(s, at(0, i), c, d)
+		c, d = w.draw(r)
+		g.AddEdge(at(layers-1, i), t, c, d)
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for _, j := range [3]int{(i + width - 1) % width, i, (i + 1) % width} {
+				c, d := w.draw(r)
+				g.AddEdge(at(l, i), at(l+1, j), c, d)
+			}
+		}
+	}
+	return graph.Instance{G: g, S: s, T: t, K: 2,
+		Name: fmt.Sprintf("lgrid-%dx%d-s%d", layers, width, seed)}
+}
+
+// GeometricFast is Geometric with the O(n²) pair scan replaced by a uniform
+// cell grid of side `radius`: each point only tests the 3×3 neighbourhood of
+// its cell, so construction is O(n + m) in expectation. For any (seed, n,
+// radius) the output instance is BYTE-IDENTICAL to Geometric's — candidates
+// are re-sorted into ascending index order before edges are drawn, which
+// reproduces Geometric's edge order and random-stream consumption exactly.
+// Use it whenever n is large; the quadratic original stays as the oracle its
+// differential test checks against.
+func GeometricFast(seed int64, n int, radius float64, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{r.Float64(), r.Float64()}
+	}
+	// Bucket points by cell. Cell width 1/side must be ≥ radius so that all
+	// neighbours of a point live in its 3×3 cell block; side = ⌊1/radius⌋ is
+	// the finest grid satisfying that. Buckets hold ascending indices by
+	// construction (points are appended in index order).
+	side := 1
+	if radius > 0 && radius < 1 {
+		if side = int(1 / radius); side < 1 {
+			side = 1
+		}
+	}
+	cellOf := func(p pt) (int, int) {
+		cx, cy := int(p.x*float64(side)), int(p.y*float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx, cy
+	}
+	cells := make([][]int32, side*side)
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		cells[cx*side+cy] = append(cells[cx*side+cy], int32(i))
+	}
+	g := graph.New(n)
+	cand := make([]int32, 0, 64)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(pts[i])
+		cand = cand[:0]
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || y < 0 || x >= side || y >= side {
+					continue
+				}
+				cand = append(cand, cells[x*side+y]...)
+			}
+		}
+		// Merge the ≤9 ascending bucket runs into ascending index order so
+		// edges (and the Weights random draws they consume) appear in exactly
+		// the order Geometric's j-ascending scan produces.
+		insertionSortInt32(cand)
+		for _, j32 := range cand {
+			j := int(j32)
+			if i == j {
+				continue
+			}
+			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+			dist := math.Sqrt(dx*dx + dy*dy)
+			if dist <= radius {
+				c := 1 + int64(dist/radius*float64(w.MaxCost-1)+0.5)
+				_, d := w.draw(r)
+				g.AddEdge(graph.NodeID(i), graph.NodeID(j), c, d)
+			}
+		}
+	}
+	s, t := 0, 0
+	for i := 1; i < n; i++ {
+		if pts[i].x+pts[i].y < pts[s].x+pts[s].y {
+			s = i
+		}
+		if pts[i].x+pts[i].y > pts[t].x+pts[t].y {
+			t = i
+		}
+	}
+	ins := graph.Instance{G: g, S: graph.NodeID(s), T: graph.NodeID(t), K: 2,
+		Name: fmt.Sprintf("geo-n%d-r%.2f-s%d", n, radius, seed)}
+	plantPaths(r, &ins, w, 2)
+	return ins
+}
+
+// insertionSortInt32 sorts in place. The input is a concatenation of ≤9
+// short ascending runs, the regime where insertion sort beats sort.Slice by
+// a wide margin and allocates nothing.
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Expander generates a d-regular-ish expander: the union of d random
+// permutations of [0, n), self-loops skipped. Expanders are the adversarial
+// large family — no geometry to exploit, diameter O(log n), and edge cuts
+// everywhere — so phase-1 Dijkstras see frontier sizes near n. Two disjoint
+// s→t paths are planted so k = 2 stays feasible.
+func Expander(seed int64, n, d int, w Weights) graph.Instance {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for p := 0; p < d; p++ {
+		perm := r.Perm(n)
+		for u, v := range perm {
+			if u == v {
+				continue
+			}
+			c, dl := w.draw(r)
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v), c, dl)
+		}
+	}
+	ins := graph.Instance{G: g, S: 0, T: graph.NodeID(n - 1), K: 2,
+		Name: fmt.Sprintf("expander-n%d-d%d-s%d", n, d, seed)}
+	plantPaths(r, &ins, w, 2)
+	return ins
+}

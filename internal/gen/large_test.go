@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestLargeGeneratorsSeedDeterministic extends the determinism contract to
+// the large families: same seed → byte-identical instance; different seeds
+// must actually differ (a generator ignoring its seed would silently turn
+// the bench sweep into one repeated instance).
+func TestLargeGeneratorsSeedDeterministic(t *testing.T) {
+	w := DefaultWeights()
+	families := []struct {
+		name string
+		make func(seed int64) graph.Instance
+	}{
+		{"LayeredGrid", func(seed int64) graph.Instance { return LayeredGrid(seed, 12, 30, w) }},
+		{"GeometricFast", func(seed int64) graph.Instance { return GeometricFast(seed, 300, 0.08, w) }},
+		{"Expander", func(seed int64) graph.Instance { return Expander(seed, 400, 3, w) }},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 42} {
+				want := fingerprint(fam.make(seed))
+				if got := fingerprint(fam.make(seed)); !bytes.Equal(want, got) {
+					t.Fatalf("seed %d: second run differs from first", seed)
+				}
+			}
+			if bytes.Equal(fingerprint(fam.make(1)), fingerprint(fam.make(2))) {
+				t.Fatal("seeds 1 and 2 generated identical instances")
+			}
+		})
+	}
+}
+
+// TestGeometricFastMatchesGeometric: the cell-bucketed generator is a
+// drop-in for the quadratic one — byte-identical output across seeds, sizes
+// and radii (including radius ≥ 1, the single-cell degenerate case).
+func TestGeometricFastMatchesGeometric(t *testing.T) {
+	w := DefaultWeights()
+	cases := []struct {
+		n      int
+		radius float64
+	}{
+		{20, 0.3}, {60, 0.15}, {150, 0.09}, {40, 1.0}, {35, 0.51},
+	}
+	for _, c := range cases {
+		for seed := int64(0); seed < 6; seed++ {
+			want := fingerprint(Geometric(seed, c.n, c.radius, w))
+			got := fingerprint(GeometricFast(seed, c.n, c.radius, w))
+			if !bytes.Equal(want, got) {
+				t.Fatalf("n=%d r=%g seed=%d: GeometricFast diverges from Geometric",
+					c.n, c.radius, seed)
+			}
+		}
+	}
+}
+
+// TestLargeGeneratorsShape pins the size contracts the bench tier relies
+// on: Θ(n) edges with small constants, and feasible k=2 instances.
+func TestLargeGeneratorsShape(t *testing.T) {
+	w := DefaultWeights()
+
+	lg := LayeredGrid(3, 10, 50, w)
+	if n := lg.G.NumNodes(); n != 10*50+2 {
+		t.Fatalf("LayeredGrid nodes = %d", n)
+	}
+	if m, want := lg.G.NumEdges(), 9*50*3+2*50; m != want {
+		t.Fatalf("LayeredGrid edges = %d want %d", m, want)
+	}
+
+	ex := Expander(3, 500, 4, w)
+	if n := ex.G.NumNodes(); n != 500 {
+		t.Fatalf("Expander nodes = %d", n)
+	}
+	// 4 permutations minus skipped fixed points minus planted-path extras:
+	// within [4n − 4·ln n − slack, 4n + planted].
+	if m := ex.G.NumEdges(); m < 4*500-60 || m > 4*500+10 {
+		t.Fatalf("Expander edges = %d", m)
+	}
+	// Out-degrees stay bounded (expander property sanity, not exact
+	// regularity: permutations overlap and planted paths add a few).
+	maxDeg := 0
+	for v := 0; v < ex.G.NumNodes(); v++ {
+		if d := len(ex.G.Out(graph.NodeID(v))); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 4+6 {
+		t.Fatalf("Expander max out-degree = %d", maxDeg)
+	}
+
+	for _, ins := range []graph.Instance{lg, ex, GeometricFast(3, 250, 0.1, w)} {
+		if _, ok := WithBound(ins, 1.5); !ok {
+			t.Fatalf("%s: not feasible for k=2", ins.Name)
+		}
+	}
+}
+
+// TestInsertionSortInt32 exercises the merge helper against sort.Slice on
+// random bucket-run shaped inputs.
+func TestInsertionSortInt32(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var a []int32
+		for run := 0; run < 1+r.Intn(9); run++ {
+			start := int32(r.Intn(100))
+			for x := start; x < start+int32(r.Intn(8)); x++ {
+				a = append(a, x)
+			}
+		}
+		want := append([]int32(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		insertionSortInt32(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("trial %d: sort mismatch at %d", trial, i)
+			}
+		}
+		a = a[:0]
+	}
+}

@@ -31,7 +31,7 @@ func WriteDIMACS(w io.Writer, ins Instance) error {
 	}
 	fmt.Fprintf(bw, "p sp %d %d\n", ins.G.NumNodes(), ins.G.NumEdges())
 	fmt.Fprintf(bw, "q %d %d %d %d\n", ins.S+1, ins.T+1, ins.K, ins.Bound)
-	for _, e := range ins.G.Edges() {
+	for _, e := range ins.G.EdgesView() {
 		fmt.Fprintf(bw, "a %d %d %d %d\n", e.From+1, e.To+1, e.Cost, e.Delay)
 	}
 	return bw.Flush()

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -79,5 +80,57 @@ func TestReadDIMACSErrors(t *testing.T) {
 		if _, err := ReadDIMACS(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d accepted: %q", i, src)
 		}
+	}
+}
+
+// TestDIMACSLargeRoundTripByteIdentical drives a 10k-node instance through
+// write → read → write and requires the two serializations to be identical
+// byte for byte: the reader must preserve vertex numbering, edge order and
+// the query line exactly, at the scale the large-instance tier exchanges
+// files. (Write order is insertion order on both sides, so any silent
+// reordering or renumbering in either direction shows up as a byte diff.)
+func TestDIMACSLargeRoundTripByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	const n = 10_000
+	g := New(n)
+	// A ring for connectivity plus random chords: ~3 edges per vertex.
+	for v := 0; v < n; v++ {
+		g.AddEdge(NodeID(v), NodeID((v+1)%n), r.Int63n(100)+1, r.Int63n(100)+1)
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(NodeID(u), NodeID(v), r.Int63n(100)+1, r.Int63n(100)+1)
+		}
+	}
+	ins := Instance{G: g, S: 0, T: NodeID(n / 2), K: 3, Bound: 12345,
+		Name: "dimacs large roundtrip"}
+
+	var first bytes.Buffer
+	if err := WriteDIMACS(&first, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACS(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteDIMACS(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		// Find the first differing line for a useful failure message.
+		a := strings.Split(first.String(), "\n")
+		b := strings.Split(second.String(), "\n")
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("re-serialization differs at line %d:\n  first:  %q\n  second: %q", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("re-serialization differs in length: %d vs %d bytes", first.Len(), second.Len())
+	}
+	if back.G.NumNodes() != n || back.G.NumEdges() != g.NumEdges() {
+		t.Fatalf("size drift: %d/%d nodes, %d/%d edges",
+			back.G.NumNodes(), n, back.G.NumEdges(), g.NumEdges())
 	}
 }

@@ -32,7 +32,7 @@ func WriteInstance(w io.Writer, ins Instance) error {
 	fmt.Fprintf(bw, "st %d %d\n", ins.S, ins.T)
 	fmt.Fprintf(bw, "k %d\n", ins.K)
 	fmt.Fprintf(bw, "bound %d\n", ins.Bound)
-	for _, e := range ins.G.Edges() {
+	for _, e := range ins.G.EdgesView() {
 		fmt.Fprintf(bw, "edge %d %d %d %d\n", e.From, e.To, e.Cost, e.Delay)
 	}
 	return bw.Flush()
@@ -152,7 +152,7 @@ func WriteDOT(w io.Writer, g *Digraph, name string, highlight EdgeSet) error {
 	for v := 0; v < g.NumNodes(); v++ {
 		fmt.Fprintf(bw, "  %d;\n", v)
 	}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		attr := ""
 		if highlight.m != nil && highlight.Has(e.ID) {
 			attr = ", color=red, penwidth=2"

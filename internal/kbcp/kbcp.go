@@ -62,7 +62,7 @@ func Solve(ins graph.Instance, costBound int64, opt core.Options) (Result, error
 
 	// Orientation 2: swap weight roles — bound the cost, minimize delay.
 	swapped := graph.New(ins.G.NumNodes())
-	for _, e := range ins.G.Edges() {
+	for _, e := range ins.G.EdgesView() {
 		swapped.AddEdge(e.From, e.To, e.Delay, e.Cost) // cost↔delay
 	}
 	sIns := graph.Instance{G: swapped, S: ins.S, T: ins.T, K: ins.K,

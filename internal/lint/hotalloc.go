@@ -24,6 +24,10 @@ var hotPackages = map[string]bool{
 //     core.Solve*, `make` calls and appends to slices declared empty in the
 //     same loop are flagged: both allocate once per iteration and belong in
 //     a Workspace.
+//  3. Calls to (*graph.Digraph).Edges are flagged anywhere in a hot
+//     package: Edges copies the whole edge slice per call, and every solve
+//     kernel has an allocation-free alternative (EdgesView, or the packed
+//     CSR view).
 //
 // Deliberate boundary allocations carry //lint:allow hotalloc <reason>.
 var Hotalloc = &Analyzer{
@@ -52,7 +56,13 @@ func runHotalloc(pass *Pass) {
 				return true
 			}
 			callee := calleeFunc(info, call)
-			if callee == nil || callee.Type().(*types.Signature).Recv() != nil {
+			if callee == nil {
+				return true
+			}
+			if callee.Type().(*types.Signature).Recv() != nil {
+				if callee.Name() == "Edges" && callee.Pkg() != nil && callee.Pkg().Name() == "graph" {
+					pass.Reportf(call.Pos(), "(*graph.Digraph).Edges copies the edge slice on every call; range EdgesView (or the CSR view) on the solve path")
+				}
 				return true
 			}
 			if callee.Pkg() == nil || !scopeHasInto(callee.Pkg().Scope(), callee.Name()) {

@@ -1,0 +1,22 @@
+package golden
+
+import "repro/internal/graph"
+
+// Route walks the graph the allocating way and the zero-copy way: Edges
+// copies the whole edge slice per call and is banned in hot packages;
+// EdgesView is the free alternative.
+func Route(g *graph.Digraph) int {
+	n := 0
+	for _, e := range g.Edges() {
+		n += int(e.Cost)
+	}
+	for _, e := range g.EdgesView() {
+		n += int(e.Delay)
+	}
+	return n
+}
+
+// RouteAllowed documents a deliberate boundary copy.
+func RouteAllowed(g *graph.Digraph) []graph.Edge {
+	return g.Edges() //lint:allow hotalloc snapshot handed to the caller; mutation-safe copy is the point
+}

@@ -25,6 +25,10 @@ type Graph struct {
 	// reversed[i] reports whether residual edge i is a reversed solution
 	// edge (negated weights).
 	reversed []bool
+	// view is the CSR mirror of R, maintained in lockstep: Build packs it
+	// once, Update patches orientation bits in place (no re-pack). The
+	// bicameral fast path runs its detection kernels on it.
+	view *graph.CSR
 	// sol is the solution edge set the residual was built against.
 	sol graph.EdgeSet
 }
@@ -53,8 +57,16 @@ func Build(g *graph.Digraph, sol graph.EdgeSet) *Graph {
 			res.reversed[i] = true
 		}
 	}
+	// Pack the CSR view AFTER the flips: its frozen orientation is the
+	// residual's current one, so a fresh Build always starts with clean
+	// (all-forward) rev bits regardless of the solution it encodes.
+	res.view = graph.NewCSR(r)
 	return res
 }
+
+// View returns the CSR mirror of R. It tracks every Update incrementally
+// (epoch bumps on each flipped edge); treat it as read-only.
+func (rg *Graph) View() *graph.CSR { return rg.view }
 
 // Update re-points the residual graph at the solution obtained by applying
 // the given edge-disjoint residual cycles (the same set a preceding
@@ -97,6 +109,7 @@ func (rg *Graph) Update(applied []graph.Cycle) error {
 			}
 			rg.reversed[id] = !rg.reversed[id]
 			rg.R.FlipEdge(id)
+			rg.view.Flip(id)
 		}
 	}
 	return nil

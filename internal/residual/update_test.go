@@ -59,6 +59,15 @@ func requireSameResidual(t *testing.T, got, want *residual.Graph) {
 			t.Fatalf("solution sets differ at edge %d", id)
 		}
 	}
+	// The CSR views must mirror their residual Digraphs exactly — same
+	// edges, weights and merged adjacency order — whether they got there
+	// incrementally (got: Update flips) or by a fresh pack (want: Build).
+	if err := got.View().Validate(got.R); err != nil {
+		t.Fatalf("updated CSR view drifted: %v", err)
+	}
+	if err := want.View().Validate(want.R); err != nil {
+		t.Fatalf("fresh CSR view drifted: %v", err)
+	}
 }
 
 // diffUpdate drives one differential check on an instance: build the

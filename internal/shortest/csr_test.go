@@ -1,0 +1,157 @@
+package shortest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mirrorPair builds a seeded random multigraph, flips a subset of its edges
+// in both representations (Digraph sorted re-insertion vs CSR rev bits), and
+// returns the pair. Weights land in [-25, 25) after flips — the residual
+// shape the solve-path kernels actually see.
+func mirrorPair(t *testing.T, seed int64, n, m, flips int) (*graph.Digraph, *graph.CSR) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		for v == u {
+			v = graph.NodeID(rng.Intn(n))
+		}
+		g.AddEdge(u, v, int64(rng.Intn(25)), int64(rng.Intn(25)))
+	}
+	c := graph.NewCSR(g)
+	for i := 0; i < flips; i++ {
+		id := graph.EdgeID(rng.Intn(m))
+		g.FlipEdge(id)
+		c.Flip(id)
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatalf("mirror pair diverged: %v", err)
+	}
+	return g, c
+}
+
+func sameCycle(t *testing.T, label string, a, b graph.Cycle) {
+	t.Helper()
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("%s: cycle lengths %d vs %d", label, len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("%s: cycle edge %d: %d vs %d", label, i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+// TestSPFAAllCSRMatchesDigraph drives the CSR all-sources SPFA against the
+// Digraph kernel over many seeds, weights, and mask states, asserting
+// bit-identical trees, verdicts and extracted cycles.
+func TestSPFAAllCSRMatchesDigraph(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, c := mirrorPair(t, seed, 20, 60, int(seed%7)*4)
+		q, p := int64(seed%5)-2, int64(seed%3)+1
+		w := Combine(q, p)
+		lw := LinCombine(q, p)
+
+		var alive []bool
+		wMasked := w
+		if seed%2 == 0 {
+			alive = make([]bool, g.NumEdges())
+			rng := rand.New(rand.NewSource(seed + 1000))
+			for i := range alive {
+				alive[i] = rng.Intn(4) != 0
+			}
+			al := alive
+			wMasked = func(e graph.Edge) int64 {
+				if !al[e.ID] {
+					return int64(1) << 62
+				}
+				return w(e)
+			}
+		}
+
+		wsD, wsC := NewWorkspace(g.NumNodes()), NewWorkspace(g.NumNodes())
+		td, cycD, okD := SPFAAllInto(wsD, g, wMasked)
+		tc, cycC, okC := SPFAAllCSRInto(wsC, c, lw, alive)
+		if okD != okC {
+			t.Fatalf("seed %d: verdict %v vs %v", seed, okD, okC)
+		}
+		sameTree(t, "spfa", td, tc)
+		sameCycle(t, "spfa", cycD, cycC)
+	}
+}
+
+func TestBellmanFordAllCSRMatchesDigraph(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, c := mirrorPair(t, seed+100, 15, 45, int(seed%5)*3)
+		w := Combine(1, -1)
+		lw := LinCombine(1, -1)
+		wsD, wsC := NewWorkspace(g.NumNodes()), NewWorkspace(g.NumNodes())
+		td, cycD, okD := BellmanFordAllInto(wsD, g, w)
+		tc, cycC, okC := BellmanFordAllCSRInto(wsC, c, lw, nil)
+		if okD != okC {
+			t.Fatalf("seed %d: verdict %v vs %v", seed, okD, okC)
+		}
+		sameTree(t, "bf", td, tc)
+		sameCycle(t, "bf", cycD, cycC)
+	}
+}
+
+// TestDijkstraCSRMatchesDigraph covers both the unmixed fast path and the
+// merged iteration of a flipped view (weights re-patched nonnegative via
+// SetWeights so Dijkstra's contract holds).
+func TestDijkstraCSRMatchesDigraph(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, c := mirrorPair(t, seed+200, 20, 70, 0)
+		if seed%2 == 1 {
+			// Flip a few edges, then restore nonnegative weights in place on
+			// both representations: the view stays Mixed (merge path) while
+			// satisfying Dijkstra's nonnegativity contract.
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10; i++ {
+				id := graph.EdgeID(rng.Intn(g.NumEdges()))
+				g.FlipEdge(id)
+				c.Flip(id)
+				e := g.Edge(id)
+				cost, delay := e.Cost, e.Delay
+				if cost < 0 {
+					cost = -cost
+				}
+				if delay < 0 {
+					delay = -delay
+				}
+				g.SetEdgeWeights(id, cost, delay)
+				c.SetWeights(id, cost, delay)
+			}
+			if err := c.Validate(g); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !c.Mixed() {
+				t.Fatalf("seed %d: expected a mixed view", seed)
+			}
+		}
+		s := graph.NodeID(seed % 20)
+		wsD, wsC := NewWorkspace(g.NumNodes()), NewWorkspace(g.NumNodes())
+		td := DijkstraInto(wsD, g, s, CostWeight)
+		tc := DijkstraCSRInto(wsC, c, s, LinCost)
+		sameTree(t, "dijkstra", td, tc)
+	}
+}
+
+func TestLinWeightMatchesCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		q := rng.Int63n(1<<31) - (1 << 30)
+		p := rng.Int63n(1<<31) - (1 << 30)
+		cost := rng.Int63n(1<<31) - (1 << 30)
+		delay := rng.Int63n(1<<31) - (1 << 30)
+		e := graph.Edge{Cost: cost, Delay: delay}
+		if got, want := LinCombine(q, p).Of(cost, delay), Combine(q, p)(e); got != want {
+			t.Fatalf("q=%d p=%d c=%d d=%d: %d vs %d", q, p, cost, delay, got, want)
+		}
+	}
+}

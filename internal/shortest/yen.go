@@ -85,7 +85,7 @@ func dijkstraRestricted(ws *Workspace, g *graph.Digraph, s, t graph.NodeID, w We
 	}
 	sub := graph.New(g.NumNodes())
 	mapping := make([]graph.EdgeID, 0, g.NumEdges())
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		if bannedEdges.Has(e.ID) || bannedNodes[e.From] || bannedNodes[e.To] {
 			continue
 		}
