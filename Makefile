@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint build test race fuzz-smoke bench-smoke bench-large bench bench-guard clean
+.PHONY: check vet fmt-check lint bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard clean
 
-# The full CI gate: static checks (vet, gofmt, krsplint), build, race-enabled
-# tests, a short fuzz smoke over the robustness harness, a one-shot benchmark
-# smoke run (catches benchmarks that panic or regress to failure), the
-# N=5k large-tier smoke, and the allocation guard on the flagship benches.
-check: vet fmt-check lint build race fuzz-smoke bench-smoke bench-large bench-guard
+# The full CI gate: static checks (vet, gofmt, krsplint, the BCE ratchet),
+# build, race-enabled tests, a short fuzz smoke over the robustness harness,
+# a one-shot benchmark smoke run (catches benchmarks that panic or regress
+# to failure), the N=5k large-tier smoke, and the allocation guard on the
+# flagship benches.
+check: vet fmt-check lint bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,13 @@ fmt-check:
 # artifact at krsplint.sarif for CI upload.
 lint:
 	$(GO) run ./cmd/krsplint -cache .lintcache -sarif-out krsplint.sarif ./...
+
+# Bounds-check-elimination ratchet: build with -d=ssa/check_bce and fail if
+# any //krsp:inbounds kernel carries more compiler bounds checks than the
+# committed BCE_BASELINE.json records. After a genuine improvement, tighten
+# the ratchet with `go run ./cmd/krsplint -bce -bce-update`.
+bce-audit:
+	$(GO) run ./cmd/krsplint -bce
 
 build:
 	$(GO) build ./...

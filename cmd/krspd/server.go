@@ -46,7 +46,11 @@ type config struct {
 // the operational config, the admission semaphore, and the request-id
 // source.
 type server struct {
-	reg   *obs.Registry
+	reg *obs.Registry
+	// sm is the HTTP metric group, cached off reg once; the group's
+	// recording methods are nil-safe, so handlers record unconditionally
+	// even on a registry-less server.
+	sm    *obs.ServerMetrics
 	log   *slog.Logger
 	cfg   config
 	sem   chan struct{}
@@ -56,7 +60,7 @@ type server struct {
 // newServer wires the handler state. Tests pass a ManualClock-backed
 // registry and a discard logger; main passes RealClock and stderr.
 func newServer(reg *obs.Registry, logger *slog.Logger, cfg config) *server {
-	s := &server{reg: reg, log: logger, cfg: cfg}
+	s := &server{reg: reg, sm: reg.ServerMetrics(), log: logger, cfg: cfg}
 	if cfg.maxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInflight)
 	}
@@ -77,8 +81,7 @@ func (s *server) recoverWrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.reg.Server.PanicsRecovered.Inc()
-				s.reg.Server.RequestErrors.Inc()
+				s.sm.RecordPanic()
 				s.log.Error("panic recovered", "path", r.URL.Path, "panic", fmt.Sprint(p))
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
@@ -98,7 +101,7 @@ func (s *server) admit(fail func(string, int)) (release func(), ok bool) {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, true
 	default:
-		s.reg.Server.Shed.Inc()
+		s.sm.RecordShed()
 		fail("overloaded: max inflight solves reached, retry later", http.StatusTooManyRequests)
 		return nil, false
 	}
@@ -176,13 +179,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() {
 		dur := s.reg.Now() - start
-		s.reg.Server.RequestDuration.Observe(dur)
+		s.sm.ObserveRequest(dur)
 		s.log.Info("solve", "id", id, "algo", algo, "n", n, "m", m, "k", k,
 			"outcome", outcome, "status", status, "durMs", float64(dur)/1e6)
 	}()
 	fail := func(msg string, code int) {
 		status, outcome = code, msg
-		s.reg.Server.RequestErrors.Inc()
+		s.sm.RecordError()
 		http.Error(w, msg, code)
 	}
 	if r.Method != http.MethodPost {
@@ -194,9 +197,9 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	s.reg.Server.SolveRequests.Inc()
-	s.reg.Server.Inflight.Add(1)
-	defer s.reg.Server.Inflight.Add(-1)
+	s.sm.RecordAccepted(false)
+	s.sm.AddInflight(1)
+	defer s.sm.AddInflight(-1)
 	deadline, derr := s.solveDeadline(r)
 	if derr != nil {
 		fail(derr.Error(), http.StatusBadRequest)
@@ -279,13 +282,13 @@ func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 	outcome := "ok"
 	defer func() {
 		dur := s.reg.Now() - start
-		s.reg.Server.RequestDuration.Observe(dur)
+		s.sm.ObserveRequest(dur)
 		s.log.Info("feasible", "id", id, "outcome", outcome, "status", status,
 			"durMs", float64(dur)/1e6)
 	}()
 	fail := func(msg string, code int) {
 		status, outcome = code, msg
-		s.reg.Server.RequestErrors.Inc()
+		s.sm.RecordError()
 		http.Error(w, msg, code)
 	}
 	if r.Method != http.MethodPost {
@@ -297,9 +300,9 @@ func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	s.reg.Server.FeasibleRequests.Inc()
-	s.reg.Server.Inflight.Add(1)
-	defer s.reg.Server.Inflight.Add(-1)
+	s.sm.RecordAccepted(true)
+	s.sm.AddInflight(1)
+	defer s.sm.AddInflight(-1)
 	ins, ok := s.readInstance(w, r, fail)
 	if !ok {
 		return

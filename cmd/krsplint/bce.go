@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// The BCE audit closes the loop between boundsafe's source-level proofs and
+// the code the compiler emits. boundsafe discharges index arithmetic in
+// //krsp:inbounds kernels with interval facts, the typed-ID axiom and the
+// monotone-row pattern; the compiler's own bounds-check elimination sees
+// none of those, so some checked instructions survive in the binary. The
+// audit builds the module with -d=ssa/check_bce, counts the "Found
+// IsInBounds" / "Found IsSliceInBounds" reports that land inside annotated
+// kernel spans, and ratchets the per-kernel counts against a committed
+// baseline: a count above baseline (or a newly annotated kernel missing
+// from it) fails, a count below it asks for a -bce-update so the ratchet
+// only ever tightens.
+
+// bceBaseline is the committed ratchet: per-kernel surviving bounds-check
+// counts keyed by "file:Func" (no line numbers, so unrelated edits that
+// shift a kernel do not churn the file).
+type bceBaseline struct {
+	Checks map[string]int `json:"checks"`
+}
+
+// runBCE drives the audit; it shares krsplint's exit convention (0 clean,
+// 1 regression, 2 the run itself failed).
+func runBCE(dir, baselinePath string, update bool, stdout, stderr io.Writer) int {
+	prog, err := lint.NewProgram(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "krsplint: %v\n", err)
+		return 2
+	}
+	if err := prog.LoadAll(); err != nil {
+		fmt.Fprintf(stderr, "krsplint: %v\n", err)
+		return 2
+	}
+	extents := lint.InBoundsExtents(prog)
+	root := prog.ModuleRoot()
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		fmt.Fprintf(stderr, "krsplint: %v\n", err)
+		return 2
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags="+modPath+"/...=-d=ssa/check_bce", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(stderr, "krsplint: go build -d=ssa/check_bce failed: %v\n%s", err, out)
+		return 2
+	}
+
+	counts := map[string]int{}
+	total := 0
+	for _, line := range strings.Split(string(out), "\n") {
+		file, lineNo, ok := parseBCELine(line)
+		if !ok {
+			continue
+		}
+		for i := range extents {
+			if extents[i].Contains(file, lineNo) {
+				counts[extents[i].Key()]++
+				total++
+				break
+			}
+		}
+	}
+	// Kernels the compiler fully cleaned still belong in the baseline at 0,
+	// so deleting the annotation (or the kernel) is a visible diff.
+	for i := range extents {
+		if _, ok := counts[extents[i].Key()]; !ok {
+			counts[extents[i].Key()] = 0
+		}
+	}
+
+	if !filepath.IsAbs(baselinePath) {
+		baselinePath = filepath.Join(root, baselinePath)
+	}
+	if update {
+		data, err := json.MarshalIndent(bceBaseline{Checks: counts}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "krsplint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "krsplint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "krsplint -bce: baseline updated: %d bounds check(s) across %d //krsp:inbounds kernel(s)\n",
+			total, len(extents))
+		return 0
+	}
+
+	baseline := bceBaseline{Checks: map[string]int{}}
+	if data, err := os.ReadFile(baselinePath); err != nil {
+		fmt.Fprintf(stderr, "krsplint: no BCE baseline at %s (run with -bce -bce-update to create it)\n", baselinePath)
+		return 2
+	} else if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(stderr, "krsplint: reading BCE baseline: %v\n", err)
+		return 2
+	}
+
+	var regressions, improvements []string
+	for _, key := range sortedCountKeys(counts) {
+		base, known := baseline.Checks[key]
+		switch {
+		case !known:
+			regressions = append(regressions, fmt.Sprintf("%s: %d bounds check(s), kernel missing from baseline", key, counts[key]))
+		case counts[key] > base:
+			regressions = append(regressions, fmt.Sprintf("%s: %d bounds check(s), baseline %d", key, counts[key], base))
+		case counts[key] < base:
+			improvements = append(improvements, fmt.Sprintf("%s: %d bounds check(s), baseline %d", key, counts[key], base))
+		}
+	}
+	for _, key := range sortedCountKeys(baseline.Checks) {
+		if _, ok := counts[key]; !ok {
+			improvements = append(improvements, fmt.Sprintf("%s: gone from the //krsp:inbounds set, baseline %d", key, baseline.Checks[key]))
+		}
+	}
+
+	fmt.Fprintf(stdout, "krsplint -bce: %d bounds check(s) across %d //krsp:inbounds kernel(s)\n", total, len(extents))
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(stdout, "  regression: %s\n", r)
+		}
+		fmt.Fprintf(stderr, "krsplint -bce: %d kernel(s) above baseline; eliminate the checks or rerun with -bce-update and justify the new counts\n", len(regressions))
+		return 1
+	}
+	for _, im := range improvements {
+		fmt.Fprintf(stdout, "  improvable baseline: %s (rerun with -bce-update to tighten the ratchet)\n", im)
+	}
+	return 0
+}
+
+// parseBCELine extracts (file, line) from a compiler bounds-check report of
+// the form "path/file.go:LINE:COL: Found IsInBounds" (or IsSliceInBounds).
+// go build prints paths relative to the invocation directory, which runBCE
+// pins to the module root.
+func parseBCELine(line string) (string, int, bool) {
+	if !strings.HasSuffix(line, ": Found IsInBounds") && !strings.HasSuffix(line, ": Found IsSliceInBounds") {
+		return "", 0, false
+	}
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) < 3 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, false
+	}
+	return filepath.ToSlash(strings.TrimPrefix(parts[0], "./")), n, true
+}
+
+// modulePath reads the module directive from go.mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+func sortedCountKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -21,8 +21,11 @@ import (
 // replay would be unsound: one edited file can change diagnostics in a
 // package that did not change. The cache key therefore covers the entire
 // module — go.mod, every .go file including _test.go (faultseam parses test
-// files for arming sites) — plus the requested analyzer set. Per-directory
-// hashes are still kept so a cold run can report how many packages moved.
+// files for arming sites) — plus lint.Fingerprint of the requested analyzer
+// set, which folds in each analyzer's Version and the dataflow engine
+// schema: bumping an analyzer (or the engine) invalidates warm entries even
+// though no source changed. Per-directory hashes are still kept so a cold
+// run can report how many packages moved.
 
 // cacheEntry is one stored report, keyed by module content.
 type cacheEntry struct {
@@ -58,13 +61,8 @@ func openCache(cacheDir, dir string, analyzers []*lint.Analyzer) (*lintCache, er
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, len(analyzers))
-	for i, a := range analyzers {
-		names[i] = a.Name
-	}
-	sort.Strings(names)
 	h := sha256.New()
-	fmt.Fprintf(h, "analyzers:%s\n", strings.Join(names, ","))
+	fmt.Fprintf(h, "fingerprint:%s\n", lint.Fingerprint(analyzers))
 	dirs := sortedKeys(dirHashes)
 	for _, d := range dirs {
 		fmt.Fprintf(h, "%s:%s\n", d, dirHashes[d])

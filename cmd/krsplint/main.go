@@ -9,12 +9,19 @@
 //
 //	krsplint [-analyzers name[,name...]] [-format text|json|sarif]
 //	         [-sarif-out file] [-cache dir] [packages]
+//	krsplint -bce [-bce-baseline file] [-bce-update]
 //
 // The only accepted package pattern is ./... (the default): the loader
 // always analyzes the whole module so cross-package reachability is exact.
 // With -cache, results are replayed when no source file changed (the key
-// hashes every .go file including tests, go.mod, and the analyzer set);
-// fresh and warm timings go to stderr.
+// hashes every .go file including tests, go.mod, and the fingerprint of
+// the analyzer set — names, versions and the dataflow engine schema);
+// load/analyze and fresh-vs-warm timings go to stderr.
+//
+// -bce switches to the bounds-check-elimination audit: the module is built
+// with -gcflags=-d=ssa/check_bce and the bounds checks the compiler still
+// emits inside //krsp:inbounds kernels are ratcheted against the committed
+// BCE_BASELINE.json (see cmd/krsplint/bce.go).
 //
 // Exit status is 0 when no unsuppressed diagnostic is found, 1 when the
 // suite reports diagnostics, and 2 when the run itself fails (bad flags,
@@ -53,6 +60,9 @@ func run(argv []string, dir string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "report format: text, json or sarif")
 	sarifOut := fs.String("sarif-out", "", "additionally write a SARIF 2.1.0 artifact to this file")
 	cacheDir := fs.String("cache", "", "cache directory: replay the report when no source changed")
+	bce := fs.Bool("bce", false, "audit compiler bounds checks inside //krsp:inbounds kernels against the baseline")
+	bceBaselinePath := fs.String("bce-baseline", "BCE_BASELINE.json", "baseline file for -bce, module-root relative")
+	bceUpdate := fs.Bool("bce-update", false, "with -bce: rewrite the baseline to the current counts")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -67,6 +77,10 @@ func run(argv []string, dir string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "krsplint: unknown -format %q (want text, json or sarif)\n", *format)
 		return 2
+	}
+
+	if *bce {
+		return runBCE(dir, *bceBaselinePath, *bceUpdate, stdout, stderr)
 	}
 
 	names := *analyzersFlag
@@ -115,13 +129,15 @@ func run(argv []string, dir string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "krsplint: %v\n", err)
 		return 2
 	}
+	loaded := time.Now()
 	diags = lint.Run(prog, analyzers)
 	root = prog.ModuleRoot()
 	elapsed := time.Since(start)
 	if cache != nil {
 		changed, total := cache.changedSinceLast()
-		fmt.Fprintf(stderr, "krsplint: cache cold (%d of %d packages changed): analyzed in %s\n",
-			changed, total, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stderr, "krsplint: cache cold (%d of %d packages changed): load %s + analyze %s = %s\n",
+			changed, total, loaded.Sub(start).Round(time.Millisecond),
+			time.Since(loaded).Round(time.Millisecond), elapsed.Round(time.Millisecond))
 		if err := cache.store(root, diags, elapsed); err != nil {
 			fmt.Fprintf(stderr, "krsplint: cache write failed: %v\n", err)
 		}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // drive runs the CLI in-process against one of the testdata mini-modules
@@ -166,6 +168,63 @@ func TestCacheColdThenWarm(t *testing.T) {
 	_, _, bustErr := drive(t, "dirtymod", "-cache", cacheDir)
 	if !strings.Contains(bustErr, "cache cold (1 of 2 packages changed)") {
 		t.Errorf("after edit, want cold run reporting 1 changed package, got: %q", bustErr)
+	}
+}
+
+// TestCacheKeyedOnAnalyzerFingerprint pins the staleness fix: the cache key
+// folds in lint.Fingerprint, so bumping an analyzer's Version invalidates a
+// warm entry even though neither the source nor the analyzer NAMES changed.
+// Before the fix the key hashed names only, and a rewritten analyzer would
+// happily replay diagnostics computed by its previous self.
+func TestCacheKeyedOnAnalyzerFingerprint(t *testing.T) {
+	cacheDir := t.TempDir()
+	dir, err := filepath.Abs(filepath.Join("testdata", "dirtymod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := *lint.Nopanic
+	c1, err := openCache(cacheDir, dir, []*lint.Analyzer{&a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.store(dir, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c1.lookup(); !ok {
+		t.Fatal("freshly stored entry must be warm under the same fingerprint")
+	}
+	bumped := a
+	bumped.Version++
+	c2, err := openCache(cacheDir, dir, []*lint.Analyzer{&bumped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.key == c2.key {
+		t.Fatal("version bump did not change the cache key")
+	}
+	if _, ok := c2.lookup(); ok {
+		t.Fatal("version bump must invalidate the warm entry")
+	}
+}
+
+func TestParseBCELine(t *testing.T) {
+	cases := []struct {
+		line string
+		file string
+		n    int
+		ok   bool
+	}{
+		{"internal/graph/csr.go:93:17: Found IsSliceInBounds", "internal/graph/csr.go", 93, true},
+		{"./csr.go:12:3: Found IsInBounds", "csr.go", 12, true},
+		{"# repro/internal/graph", "", 0, false},
+		{"csr.go:12:3: something else", "", 0, false},
+		{"", "", 0, false},
+	}
+	for _, c := range cases {
+		file, n, ok := parseBCELine(c.line)
+		if ok != c.ok || file != c.file || n != c.n {
+			t.Errorf("parseBCELine(%q) = (%q, %d, %v), want (%q, %d, %v)", c.line, file, n, ok, c.file, c.n, c.ok)
+		}
 	}
 }
 

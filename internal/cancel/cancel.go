@@ -61,6 +61,9 @@ func New(ctx context.Context, stride int) *Canceller {
 		stride = DefaultPollStride
 	}
 	c := pool.Get().(*Canceller)
+	if c == nil { // pool.New always yields a value; keep the invariant local
+		c = new(Canceller)
+	}
 	c.done = done
 	c.stride = uint32(stride)
 	c.n = 0
@@ -77,6 +80,9 @@ func (c *Canceller) Child() *Canceller {
 		return nil
 	}
 	ch := pool.Get().(*Canceller)
+	if ch == nil { // pool.New always yields a value; keep the invariant local
+		ch = new(Canceller)
+	}
 	ch.done = c.done
 	ch.stride = c.stride
 	ch.n = 0

@@ -177,7 +177,7 @@ func (kf *KFlowSolver) run(s, t graph.NodeID, k int, lw shortest.LinWeight, m *o
 					continue
 				}
 				if dist[v] < dt {
-					pot[v] += dist[v]
+					pot[v] += dist[v] //lint:allow weightovf potentials accumulate <=k reduced path sums, each under n*MaxWeight < 2^47
 				} else {
 					pot[v] += dt
 				}
@@ -190,7 +190,7 @@ func (kf *KFlowSolver) run(s, t graph.NodeID, k int, lw shortest.LinWeight, m *o
 				if dist[v] == shortest.Inf {
 					pot[v] = shortest.Inf
 				} else {
-					pot[v] += dist[v]
+					pot[v] += dist[v] //lint:allow weightovf potentials accumulate <=k reduced path sums, each under n*MaxWeight < 2^47
 				}
 			}
 		}

@@ -287,7 +287,7 @@ func minCostKFlow(g *graph.Digraph, s, t graph.NodeID, k int, w shortest.Weight,
 			if dist[v] == shortest.Inf {
 				pot[v] = shortest.Inf
 			} else {
-				pot[v] += dist[v]
+				pot[v] += dist[v] //lint:allow weightovf potentials accumulate <=k reduced path sums, each under n*MaxWeight < 2^47
 			}
 		}
 	}

@@ -89,17 +89,23 @@ func (c *CSR) NumEdges() int { return len(c.outEdge) }
 // OutRow returns the frozen forward row of v: IDs of edges that left v at
 // build time, ascending. Entries whose Reversed bit is set now run INTO v;
 // kernels skip them and pick the reversed entries of InRow up instead.
+//
+//krsp:inbounds
 func (c *CSR) OutRow(v NodeID) []EdgeID {
 	return c.outEdge[c.outStart[v]:c.outStart[v+1]]
 }
 
 // InRow returns the frozen reverse row of v (edges that entered v at build
 // time, ascending by ID).
+//
+//krsp:inbounds
 func (c *CSR) InRow(v NodeID) []EdgeID {
 	return c.inEdge[c.inStart[v]:c.inStart[v+1]]
 }
 
 // Tail returns the current source vertex of edge id.
+//
+//krsp:inbounds
 func (c *CSR) Tail(id EdgeID) NodeID {
 	if c.rev[id] {
 		return c.to[id]
@@ -108,6 +114,8 @@ func (c *CSR) Tail(id EdgeID) NodeID {
 }
 
 // Head returns the current target vertex of edge id.
+//
+//krsp:inbounds
 func (c *CSR) Head(id EdgeID) NodeID {
 	if c.rev[id] {
 		return c.from[id]
@@ -116,13 +124,19 @@ func (c *CSR) Head(id EdgeID) NodeID {
 }
 
 // Cost returns the current cost of edge id (negated while reversed).
+//
+//krsp:inbounds
 func (c *CSR) Cost(id EdgeID) int64 { return c.cost[id] }
 
 // Delay returns the current delay of edge id (negated while reversed).
+//
+//krsp:inbounds
 func (c *CSR) Delay(id EdgeID) int64 { return c.delay[id] }
 
 // Reversed reports whether edge id is currently flipped against its frozen
 // orientation.
+//
+//krsp:inbounds
 func (c *CSR) Reversed(id EdgeID) bool { return c.rev[id] }
 
 // Mixed reports whether any edge is currently reversed. Kernels use it to
@@ -139,6 +153,8 @@ func (c *CSR) Epoch() uint64 { return c.epoch }
 // Digraph.FlipEdge: direction toggles, both weights negate, the ID stays.
 // Rows are untouched (orientation lives in the rev bit), so a flip is O(1)
 // where the Digraph's sorted re-insertion is O(deg).
+//
+//krsp:inbounds
 func (c *CSR) Flip(id EdgeID) {
 	if c.rev[id] {
 		c.flips--
@@ -153,6 +169,8 @@ func (c *CSR) Flip(id EdgeID) {
 
 // SetWeights overwrites the CURRENT cost and delay of edge id in place,
 // mirroring Digraph.SetEdgeWeights on the current orientation.
+//
+//krsp:inbounds
 func (c *CSR) SetWeights(id EdgeID, cost, delay int64) {
 	c.cost[id] = cost
 	c.delay[id] = delay

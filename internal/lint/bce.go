@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// InBoundsExtent is the source span of one //krsp:inbounds function — the
+// unit the krsplint -bce audit matches the compiler's ssa/check_bce reports
+// against. The boundsafe analyzer proves index arithmetic in range at the
+// source level; the audit closes the loop by counting the bounds checks the
+// compiler still emits inside these spans and ratcheting them against a
+// committed baseline.
+type InBoundsExtent struct {
+	Name      string // function name, Type.Method for methods
+	File      string // module-relative, slash-separated
+	StartLine int    // first line of the declaration
+	EndLine   int    // last line of the body
+}
+
+// Key is the stable baseline identity: file plus function name, no line
+// numbers, so unrelated edits that shift a kernel do not churn the ratchet.
+func (e InBoundsExtent) Key() string { return e.File + ":" + e.Name }
+
+// Contains reports whether the module-relative file/line falls in the span.
+func (e InBoundsExtent) Contains(file string, line int) bool {
+	return file == e.File && e.StartLine <= line && line <= e.EndLine
+}
+
+// InBoundsExtents lists every //krsp:inbounds function declared in the
+// requested packages, sorted by (File, StartLine).
+func InBoundsExtents(p *Program) []InBoundsExtent {
+	ci := p.contractIndex()
+	var out []InBoundsExtent
+	for _, pkg := range p.Requested {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || !ci.has(fn, ContractInBounds) {
+					continue
+				}
+				start := p.Fset.Position(fd.Pos())
+				end := p.Fset.Position(fd.End())
+				file := start.Filename
+				if rel, err := filepath.Rel(p.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = filepath.ToSlash(rel)
+				}
+				name := fn.Name()
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					name = recvTypeName(sig.Recv().Type()) + "." + name
+				}
+				out = append(out, InBoundsExtent{
+					Name: name, File: file,
+					StartLine: start.Line, EndLine: end.Line,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out
+}
+
+// recvTypeName names a receiver's base type (pointers stripped).
+func recvTypeName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Boundsafe verifies the //krsp:inbounds contract: every slice/array index
+// and slice expression in an annotated function must be discharged as
+// in-range, so the CSR flat-array kernels cannot panic on index arithmetic
+// and the compiler can eliminate their bounds checks (krsplint -bce audits
+// the latter). Three discharge rules, strongest first:
+//
+//  1. interval — the dataflow engine (DESIGN.md §12) proves 0 ≤ idx < len
+//     from guards, range bindings and len-relative facts;
+//  2. typed — the index expression's static type is graph.NodeID or
+//     graph.EdgeID. This encodes the frozen-CSR axiom: a CSR's packed
+//     arrays are sized n(+1)/m at construction and never re-packed, and
+//     the kernels only materialize IDs drawn from the view itself, so a
+//     typed ID indexes its own view's arrays in range. The axiom is
+//     assumed here, not proven — Instance.Validate and CSR.Validate
+//     enforce it at runtime, and the BCE audit backstops the emitted code;
+//  3. monotone-rows — a slice of the form X[Y[i]:Y[i+1]] (both bounds
+//     indexing the same offsets array at adjacent positions) is the CSR
+//     row pattern: row offsets ascend by construction, so low ≤ high and
+//     the nonnegative-degree invariant holds without interval facts.
+//
+// Anything not discharged is a diagnostic; a genuinely cross-array
+// invariant (workspace slices sized to the bound view) carries
+// //lint:allow boundsafe <reason>. The analyzer also enforces coverage:
+// every *_Into kernel in a solve-path package that takes a *graph.CSR
+// must carry the contract.
+var Boundsafe = &Analyzer{
+	Name:       "boundsafe",
+	Version:    1,
+	Doc:        "prove index arithmetic in //krsp:inbounds kernels cannot go out of bounds",
+	RunProgram: runBoundsafe,
+}
+
+func runBoundsafe(pass *Pass) {
+	prog := pass.Prog
+	ci := prog.contractIndex()
+	cg := prog.buildCallGraph()
+	e := prog.dataflow()
+
+	requested := map[*Package]bool{}
+	for _, pkg := range prog.Requested {
+		requested[pkg] = true
+	}
+
+	for _, fn := range cg.order {
+		site := cg.decls[fn]
+		if site == nil || !requested[site.pkg] {
+			continue
+		}
+		if pathHasAnySegment(site.pkg.Path, hotPackages) && isCSRKernel(fn) && !ci.has(fn, ContractInBounds) {
+			pass.Reportf(site.fd.Name.Pos(),
+				"CSR kernel %s lacks //krsp:inbounds; annotate the contract (boundsafe proves its index arithmetic stays in range)", fn.Name())
+		}
+		if !ci.has(fn, ContractInBounds) {
+			continue
+		}
+		info := site.pkg.Info
+		hooks := &dfHooks{
+			index: func(n *ast.IndexExpr, idx ival, proven bool, env *absEnv) {
+				if proven || typedGraphIndex(info, n.Index) {
+					return
+				}
+				pass.Reportf(n.Lbrack,
+					"cannot prove %s[%s] in bounds under //krsp:inbounds %s: index interval %s, no typed-ID or length fact; guard it or annotate //lint:allow boundsafe <invariant>",
+					types.ExprString(n.X), types.ExprString(n.Index), fn.Name(), idx)
+			},
+			slice: func(n *ast.SliceExpr, proven bool, env *absEnv) {
+				if proven || monotoneRowSlice(info, n) {
+					return
+				}
+				pass.Reportf(n.Lbrack,
+					"cannot prove slice bounds of %s in range under //krsp:inbounds %s; guard them or annotate //lint:allow boundsafe <invariant>",
+					types.ExprString(n.X), fn.Name())
+			},
+		}
+		e.analyze(fn, hooks)
+	}
+}
+
+// isCSRKernel reports whether fn is a workspace kernel over a CSR view: the
+// name carries the Into suffix and a parameter or the receiver is *graph.CSR.
+func isCSRKernel(fn *types.Func) bool {
+	name := fn.Name()
+	if len(name) <= len("Into") || !strings.HasSuffix(name, "Into") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && isCSRPtr(recv.Type()) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCSRPtr(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCSRPtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "CSR" &&
+		named.Obj().Pkg() != nil && pathHasSegment(named.Obj().Pkg().Path(), "graph")
+}
+
+// typedGraphIndex reports the typed-ID discharge: the index expression's
+// static type is graph.NodeID or graph.EdgeID.
+func typedGraphIndex(info *types.Info, idx ast.Expr) bool {
+	tv, ok := info.Types[unparen(idx)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = graphIndexType(tv.Type)
+	return ok
+}
+
+// monotoneRowSlice reports the CSR row-pattern discharge for a slice
+// expression X[Y[i] : Y[i+d]], d ∈ {0, 1}: both bounds index the same
+// offsets array at the same or adjacent positions, so ascending row offsets
+// give 0 ≤ low ≤ high ≤ len(X) by construction.
+func monotoneRowSlice(info *types.Info, n *ast.SliceExpr) bool {
+	if n.Slice3 || n.Low == nil || n.High == nil {
+		return false
+	}
+	lo, ok := unparen(n.Low).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	hi, ok := unparen(n.High).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if types.ExprString(lo.X) != types.ExprString(hi.X) {
+		return false
+	}
+	lBase, lDelta, ok := indexParts(info, lo.Index)
+	if !ok {
+		return false
+	}
+	hBase, hDelta, ok := indexParts(info, hi.Index)
+	if !ok {
+		return false
+	}
+	return lBase == hBase && (hDelta == lDelta || hDelta == lDelta+1)
+}
+
+// indexParts splits an index expression into a rendered base plus a constant
+// offset: v → (v, 0), v+1 → (v, 1), v-2 → (v, -2).
+func indexParts(info *types.Info, e ast.Expr) (base string, delta int64, ok bool) {
+	e = unparen(e)
+	if b, isBin := e.(*ast.BinaryExpr); isBin && (b.Op == token.ADD || b.Op == token.SUB) {
+		if k, isConst := constIndexOffset(info, b.Y); isConst {
+			if b.Op == token.SUB {
+				k = -k
+			}
+			return types.ExprString(b.X), k, true
+		}
+		if k, isConst := constIndexOffset(info, b.X); isConst && b.Op == token.ADD {
+			return types.ExprString(b.Y), k, true
+		}
+		return "", 0, false
+	}
+	return types.ExprString(e), 0, true
+}
+
+func constIndexOffset(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -215,6 +215,9 @@ func runContracts(pass *Pass) {
 				checkTerminates(pass, cg, ci, root, members, reportSite, justified)
 			case ContractDeterministic:
 				checkDeterministic(pass, cg, root, members, reportSite, justified)
+			case ContractInBounds:
+				// Verified by the boundsafe dataflow analyzer, which owns
+				// both the interval proofs and the coverage sweep.
 			}
 		}
 	}

@@ -45,6 +45,10 @@ func TestCSRKernelsCarryNoalloc(t *testing.T) {
 				t.Errorf("%s: lacks //krsp:noalloc", name)
 				continue
 			}
+			if !ci.has(fn, ContractInBounds) {
+				t.Errorf("%s: lacks //krsp:inbounds", name)
+				continue
+			}
 			want[name] = true
 		}
 	}

@@ -1,0 +1,801 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file is the state half of the dataflow engine (DESIGN.md §12): the
+// abstract environment threaded through the CFG of ir.go, the per-program
+// engine with its interprocedural return summaries, and the fixpoint
+// driver. The transfer functions live in dfeval.go; interval.go supplies
+// the numeric lattice.
+
+// nilness is the three-point pointer lattice. The zero value is the top
+// ("maybe nil"), so missing map entries are automatically conservative.
+type nilness int8
+
+const (
+	nilMaybe nilness = iota
+	nilIsNil
+	nilNonNil
+)
+
+func (n nilness) String() string {
+	switch n {
+	case nilIsNil:
+		return "nil"
+	case nilNonNil:
+		return "non-nil"
+	}
+	return "maybe-nil"
+}
+
+// symRef names a trackable storage location symbolically: a variable, or a
+// field path rooted at one (`ws` + ".done" for ws.done). Field-path facts
+// are killed at every call — a callee can mutate them through an alias —
+// while facts on plain locals survive (a callee cannot reassign a local
+// whose address was never taken; address-taken locals are never tracked).
+type symRef struct {
+	root types.Object
+	path string
+}
+
+// lenUB is a symbolic upper bound: the owning reference is ≤ len(sym)+delta
+// (delta = -1 encodes the strict `i < len(s)` that proves s[i] in bounds).
+type lenUB struct {
+	sym   symRef
+	delta int64
+}
+
+// absEnv is the abstract state at one program point.
+type absEnv struct {
+	bot  bool
+	vals map[symRef]ival
+	nils map[symRef]nilness
+	// lens records integer variables currently equal to len(sym)
+	// (`n := len(row)`), so `i < n` refines like `i < len(row)`.
+	lens map[symRef]symRef
+	// ubs records the symbolic upper bounds in force per reference.
+	ubs map[symRef][]lenUB
+}
+
+func newEnv() *absEnv {
+	return &absEnv{
+		vals: map[symRef]ival{},
+		nils: map[symRef]nilness{},
+		lens: map[symRef]symRef{},
+		ubs:  map[symRef][]lenUB{},
+	}
+}
+
+func botEnv() *absEnv { return &absEnv{bot: true} }
+
+func (e *absEnv) clone() *absEnv {
+	if e.bot {
+		return botEnv()
+	}
+	out := newEnv()
+	for k, v := range e.vals {
+		out.vals[k] = v
+	}
+	for k, v := range e.nils {
+		out.nils[k] = v
+	}
+	for k, v := range e.lens {
+		out.lens[k] = v
+	}
+	for k, v := range e.ubs {
+		out.ubs[k] = append([]lenUB(nil), v...)
+	}
+	return out
+}
+
+// join is the lattice least upper bound: facts survive only when both
+// branches agree (a missing entry is "no fact" = top). Interval entries
+// join pointwise; len upper bounds keep the weakest shared delta.
+func (e *absEnv) join(o *absEnv) *absEnv {
+	if e.bot {
+		return o.clone()
+	}
+	if o.bot {
+		return e.clone()
+	}
+	out := newEnv()
+	for k, v := range e.vals {
+		if w, ok := o.vals[k]; ok {
+			j := v.join(w)
+			if !j.isTop() {
+				out.vals[k] = j
+			}
+		}
+	}
+	for k, v := range e.nils {
+		if w, ok := o.nils[k]; ok && v == w && v != nilMaybe {
+			out.nils[k] = v
+		}
+	}
+	for k, v := range e.lens {
+		if w, ok := o.lens[k]; ok && v == w {
+			out.lens[k] = v
+		}
+	}
+	for k, v := range e.ubs {
+		w, ok := o.ubs[k]
+		if !ok {
+			continue
+		}
+		var merged []lenUB
+		for _, a := range v {
+			for _, b := range w {
+				if a.sym == b.sym {
+					merged = append(merged, lenUB{sym: a.sym, delta: max64(a.delta, b.delta)})
+				}
+			}
+		}
+		if len(merged) > 0 {
+			out.ubs[k] = normalizeUBs(merged)
+		}
+	}
+	return out
+}
+
+// widen is join with threshold widening on the intervals; applied at loop
+// heads so changing bounds jump to the next architecture threshold instead
+// of crawling. Symbolic facts use plain join — they only ever shrink, so
+// they terminate on their own.
+func (e *absEnv) widen(next *absEnv) *absEnv {
+	if e.bot {
+		return next.clone()
+	}
+	if next.bot {
+		return e.clone()
+	}
+	out := e.join(next)
+	for k, j := range out.vals {
+		if prev, ok := e.vals[k]; ok {
+			w := prev.widen(j)
+			if w.isTop() {
+				delete(out.vals, k)
+			} else {
+				out.vals[k] = w
+			}
+		}
+	}
+	return out
+}
+
+func (e *absEnv) eq(o *absEnv) bool {
+	if e.bot || o.bot {
+		return e.bot == o.bot
+	}
+	if len(e.vals) != len(o.vals) || len(e.nils) != len(o.nils) ||
+		len(e.lens) != len(o.lens) || len(e.ubs) != len(o.ubs) {
+		return false
+	}
+	for k, v := range e.vals {
+		if w, ok := o.vals[k]; !ok || !v.eq(w) {
+			return false
+		}
+	}
+	for k, v := range e.nils {
+		if w, ok := o.nils[k]; !ok || v != w {
+			return false
+		}
+	}
+	for k, v := range e.lens {
+		if w, ok := o.lens[k]; !ok || v != w {
+			return false
+		}
+	}
+	for k, v := range e.ubs {
+		w, ok := o.ubs[k]
+		if !ok || len(v) != len(w) {
+			return false
+		}
+		for i := range v {
+			if v[i] != w[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// normalizeUBs dedups bounds per symbol (keeping the tightest delta) and
+// sorts for deterministic eq comparison.
+func normalizeUBs(ubs []lenUB) []lenUB {
+	best := map[symRef]int64{}
+	for _, u := range ubs {
+		if d, ok := best[u.sym]; !ok || u.delta < d {
+			best[u.sym] = u.delta
+		}
+	}
+	out := make([]lenUB, 0, len(best))
+	for sym, d := range best {
+		out = append(out, lenUB{sym: sym, delta: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.sym.root != b.sym.root {
+			return a.sym.root.Pos() < b.sym.root.Pos()
+		}
+		if a.sym.path != b.sym.path {
+			return a.sym.path < b.sym.path
+		}
+		return a.delta < b.delta
+	})
+	return out
+}
+
+// setVal records an interval for ref (dropped when top, keeping envs small).
+// Mutators are no-ops on bottom: an unreachable environment stays empty.
+func (e *absEnv) setVal(ref symRef, v ival) {
+	if e.bot {
+		return
+	}
+	if v.isTop() {
+		delete(e.vals, ref)
+	} else {
+		e.vals[ref] = v
+	}
+}
+
+func (e *absEnv) setNil(ref symRef, n nilness) {
+	if e.bot {
+		return
+	}
+	if n == nilMaybe {
+		delete(e.nils, ref)
+	} else {
+		e.nils[ref] = n
+	}
+}
+
+// setLen records ref as an alias of len(sym).
+func (e *absEnv) setLen(ref, sym symRef) {
+	if e.bot {
+		return
+	}
+	e.lens[ref] = sym
+}
+
+// addUB records ref ≤ len(sym)+delta, keeping the tightest delta per sym.
+func (e *absEnv) addUB(ref symRef, sym symRef, delta int64) {
+	if e.bot {
+		return
+	}
+	e.ubs[ref] = normalizeUBs(append(e.ubs[ref], lenUB{sym: sym, delta: delta}))
+}
+
+// ubFor returns the tightest recorded delta of ref against sym.
+func (e *absEnv) ubFor(ref, sym symRef) (int64, bool) {
+	for _, u := range e.ubs[ref] {
+		if u.sym == sym {
+			return u.delta, true
+		}
+	}
+	return 0, false
+}
+
+// killRoot drops every fact about a reassigned variable: facts keyed by a
+// reference rooted at it, length aliases pointing at it, and upper bounds
+// measured against a slice rooted at it (its length changed).
+func (e *absEnv) killRoot(root types.Object) {
+	for k := range e.vals {
+		if k.root == root {
+			delete(e.vals, k)
+		}
+	}
+	for k := range e.nils {
+		if k.root == root {
+			delete(e.nils, k)
+		}
+	}
+	for k, v := range e.lens {
+		if k.root == root || v.root == root {
+			delete(e.lens, k)
+		}
+	}
+	for k, ubs := range e.ubs {
+		if k.root == root {
+			delete(e.ubs, k)
+			continue
+		}
+		kept := ubs[:0]
+		for _, u := range ubs {
+			if u.sym.root != root {
+				kept = append(kept, u)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.ubs, k)
+		} else {
+			e.ubs[k] = kept
+		}
+	}
+}
+
+// killHeap drops every fact that reaches through a field path — the sound
+// response to a call or a store through a pointer, either of which may
+// mutate any field an alias can see. Facts on plain locals survive.
+func (e *absEnv) killHeap() {
+	for k := range e.vals {
+		if k.path != "" {
+			delete(e.vals, k)
+		}
+	}
+	for k := range e.nils {
+		if k.path != "" {
+			delete(e.nils, k)
+		}
+	}
+	for k, v := range e.lens {
+		if k.path != "" || v.path != "" {
+			delete(e.lens, k)
+		}
+	}
+	for k, ubs := range e.ubs {
+		if k.path != "" {
+			delete(e.ubs, k)
+			continue
+		}
+		kept := ubs[:0]
+		for _, u := range ubs {
+			if u.sym.path == "" {
+				kept = append(kept, u)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.ubs, k)
+		} else {
+			e.ubs[k] = kept
+		}
+	}
+}
+
+// absVal is the result of evaluating one expression.
+type absVal struct {
+	iv ival
+	nl nilness
+	// lenOf, when non-nil, marks the value as exactly len(*lenOf) — so an
+	// assignment `n := len(row)` records the alias that later lets `i < n`
+	// prove row[i] in bounds.
+	lenOf *symRef
+}
+
+func typedVal(t types.Type) absVal { return absVal{iv: typeInterval(t)} }
+
+// dfHooks are the analyzer callbacks fired during the post-fixpoint walk.
+// Each site is visited exactly once, under the stabilized environment in
+// force there; env.bot marks unreachable code.
+type dfHooks struct {
+	// binary fires on every +, -, * whose static type is int64, with the
+	// operand and (pre-truncation, saturating) result intervals.
+	binary func(n *ast.BinaryExpr, x, y, r ival, env *absEnv)
+	// assignOp fires on += / *= / -= with int64 left-hand side.
+	assignOp func(n *ast.AssignStmt, x, y, r ival, env *absEnv)
+	// index fires on every index expression over a slice or array, with the
+	// index interval and whether the engine proved 0 ≤ idx < len.
+	index func(n *ast.IndexExpr, idx ival, proven bool, env *absEnv)
+	// slice fires on every slice expression, with whether the engine proved
+	// 0 ≤ low ≤ high ≤ len.
+	slice func(n *ast.SliceExpr, proven bool, env *absEnv)
+	// deref fires on every pointer indirection (field selection through a
+	// pointer, value-receiver method on a pointer, unary *), with the
+	// nilness of the pointer operand.
+	deref func(at ast.Node, base ast.Expr, nl nilness, env *absEnv)
+	// ret fires on every return statement with the evaluated results
+	// (empty for naked returns resolved through named results).
+	ret func(n *ast.ReturnStmt, vals []absVal, env *absEnv)
+}
+
+// dfEngine is the per-Program dataflow engine. Built lazily once, it holds
+// the interprocedural summaries: the return interval of every module
+// function with a single integer result, and whether a single-pointer
+// result is provably non-nil. Summaries are computed in two passes over the
+// call graph — pass one starts from type-derived tops (sound for any
+// recursion), pass two recomputes with pass-one results, so a stale-wider
+// summary is the worst case, never an unsound one.
+type dfEngine struct {
+	prog      *Program
+	cg        *callGraph
+	irs       map[*ast.FuncDecl]*funcIR
+	retIval   map[*types.Func]ival
+	retNonNil map[*types.Func]bool
+}
+
+// dataflow builds (once) and returns the program's dataflow engine.
+func (p *Program) dataflow() *dfEngine {
+	if p.df != nil {
+		return p.df
+	}
+	e := &dfEngine{
+		prog:      p,
+		cg:        p.buildCallGraph(),
+		irs:       map[*ast.FuncDecl]*funcIR{},
+		retIval:   map[*types.Func]ival{},
+		retNonNil: map[*types.Func]bool{},
+	}
+	p.df = e
+	e.buildSummaries()
+	return e
+}
+
+func (e *dfEngine) irFor(fd *ast.FuncDecl) *funcIR {
+	if ir, ok := e.irs[fd]; ok {
+		return ir
+	}
+	ir := buildIR(fd.Body)
+	e.irs[fd] = ir
+	return ir
+}
+
+// summarizable reports the single result worth summarizing: an integer
+// (interval summary) or pointer (nilness summary) type.
+func summarizable(fn *types.Func) (types.Type, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return nil, false
+	}
+	t := sig.Results().At(0).Type()
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return t, u.Info()&types.IsInteger != 0
+	case *types.Pointer:
+		return t, true
+	}
+	return nil, false
+}
+
+func (e *dfEngine) buildSummaries() {
+	for pass := 0; pass < 2; pass++ {
+		for _, fn := range e.cg.order {
+			t, ok := summarizable(fn)
+			if !ok {
+				continue
+			}
+			site := e.cg.decls[fn]
+			ret := ivBot()
+			nonNil := true
+			sawReturn := false
+			hooks := &dfHooks{ret: func(n *ast.ReturnStmt, vals []absVal, env *absEnv) {
+				if env.bot {
+					return
+				}
+				sawReturn = true
+				if len(vals) != 1 {
+					nonNil = false
+					ret = ret.join(typeInterval(t))
+					return
+				}
+				ret = ret.join(vals[0].iv)
+				if vals[0].nl != nilNonNil {
+					nonNil = false
+				}
+			}}
+			e.interpret(site, hooks)
+			if !sawReturn {
+				// Never returns normally (panics or loops); bottom summary
+				// makes call results vacuous, which is exactly right.
+				e.retIval[fn] = ivBot()
+				e.retNonNil[fn] = false
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				e.retNonNil[fn] = nonNil
+			} else {
+				e.retIval[fn] = ret.meet(typeInterval(t))
+			}
+		}
+	}
+}
+
+// summaryIval returns the sound return-interval of a call to fn.
+func (e *dfEngine) summaryIval(fn *types.Func, t types.Type) ival {
+	if iv, ok := e.retIval[fn]; ok {
+		return iv
+	}
+	return typeInterval(t)
+}
+
+// analyze runs the fixpoint over fn's body and then fires hooks in one
+// deterministic walk under the stabilized environments.
+func (e *dfEngine) analyze(fn *types.Func, hooks *dfHooks) {
+	if site := e.cg.decls[fn]; site != nil {
+		e.interpret(site, hooks)
+	}
+}
+
+// interpVisitCap bounds total block visits per function; a function that
+// fails to stabilize under it (none in the module — the cap is ~40× the
+// worst observed) degrades to type-only environments, which is sound.
+const interpVisitCap = 20000
+
+// interpret is the engine core: fixpoint + hook walk for one declaration.
+func (e *dfEngine) interpret(site *declSite, hooks *dfHooks) {
+	fi := &funcInterp{
+		e:         e,
+		site:      site,
+		info:      site.pkg.Info,
+		untracked: untrackedObjects(site.fd.Body, site.pkg.Info),
+	}
+	ir := e.irFor(site.fd)
+	fi.run(ir, site.fd.Type, site.fd.Recv, hooks)
+}
+
+// funcInterp is the interpreter state for one function (or closure) body.
+type funcInterp struct {
+	e    *dfEngine
+	site *declSite
+	info *types.Info
+	// untracked holds objects whose facts would be unsound to keep:
+	// address-taken locals and variables written inside closures.
+	untracked map[types.Object]bool
+	hooks     *dfHooks
+	// results holds the named result objects, so naked returns can report
+	// their current abstract values to the ret hook.
+	results []types.Object
+	// evaled dedups hook firing for condition expressions shared by the
+	// true and false edges of a branch.
+	evaled map[ast.Expr]bool
+}
+
+// run drives the fixpoint for one IR and then the hook walk. ftype/recv
+// seed the entry environment (named results start at their zero values).
+func (fi *funcInterp) run(ir *funcIR, ftype *ast.FuncType, recv *ast.FieldList, hooks *dfHooks) {
+	in := make([]*absEnv, len(ir.blocks))
+	for i := range in {
+		in[i] = botEnv()
+	}
+	entry := newEnv()
+	if ftype.Results != nil {
+		for _, f := range ftype.Results.List {
+			for _, name := range f.Names {
+				if obj := fi.info.Defs[name]; obj != nil {
+					fi.setZero(entry, symRef{root: obj})
+					fi.results = append(fi.results, obj)
+				}
+			}
+		}
+	}
+	in[ir.entry.id] = entry
+
+	if ir.unsupported == "" {
+		work := []*irBlock{ir.entry}
+		queued := map[int]bool{ir.entry.id: true}
+		visits := 0
+		for len(work) > 0 {
+			b := work[0]
+			work = work[1:]
+			queued[b.id] = false
+			visits++
+			if visits > interpVisitCap {
+				ir.unsupported = "fixpoint budget"
+				break
+			}
+			env := in[b.id].clone()
+			for _, s := range b.stmts {
+				fi.transfer(env, s)
+			}
+			for _, edge := range b.succs {
+				out := env.clone()
+				if edge.cond != nil {
+					out = fi.assume(out, edge.cond, !edge.negate)
+				}
+				if edge.rng != nil {
+					fi.bindRange(out, edge.rng)
+				}
+				var next *absEnv
+				if edge.to.loopHead {
+					next = in[edge.to.id].widen(in[edge.to.id].join(out))
+				} else {
+					next = in[edge.to.id].join(out)
+				}
+				if !next.eq(in[edge.to.id]) {
+					in[edge.to.id] = next
+					if !queued[edge.to.id] {
+						queued[edge.to.id] = true
+						work = append(work, edge.to)
+					}
+				}
+			}
+		}
+	}
+	if ir.unsupported != "" {
+		// Degraded mode: every block gets the fact-free environment; all
+		// lookups fall back to static types.
+		for i := range in {
+			in[i] = newEnv()
+		}
+		in[ir.entry.id] = entry
+	}
+
+	// Hook walk: one deterministic pass, hooks firing during evaluation.
+	if hooks == nil {
+		return
+	}
+	fi.hooks = hooks
+	fi.evaled = map[ast.Expr]bool{}
+	defer func() { fi.hooks = nil; fi.evaled = nil }()
+	for _, b := range ir.blocks {
+		env := in[b.id].clone()
+		for _, s := range b.stmts {
+			fi.transfer(env, s)
+		}
+		for _, edge := range b.succs {
+			if edge.cond != nil && !fi.evaled[edge.cond] {
+				fi.evaled[edge.cond] = true
+				fi.eval(env, edge.cond)
+			}
+			if edge.rng != nil && !fi.evaled[edge.rng.X] {
+				fi.evaled[edge.rng.X] = true
+				fi.eval(env, edge.rng.X)
+			}
+		}
+	}
+}
+
+// setZero seeds ref with its type's zero value (named results at entry,
+// `var x T` declarations without initializers).
+func (fi *funcInterp) setZero(env *absEnv, ref symRef) {
+	t := ref.root.Type()
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		env.setVal(ref, ivConst(0))
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		env.setNil(ref, nilIsNil)
+	}
+}
+
+// untrackedObjects collects the objects whose dataflow facts cannot be
+// trusted: locals whose address is taken (a callee or alias may reassign
+// them) and variables assigned inside a function literal (the closure may
+// run between any two statements via a call).
+func untrackedObjects(body *ast.BlockStmt, info *types.Info) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var inLit int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := unparen(n.X).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			inLit++
+			ast.Inspect(n.Body, walk)
+			inLit--
+			return false
+		case *ast.AssignStmt:
+			if inLit > 0 {
+				for _, lhs := range n.Lhs {
+					if id, ok := unparen(lhs).(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if inLit > 0 {
+				if id, ok := unparen(n.X).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+// symRefOf resolves an expression to a trackable reference: an identifier,
+// or an unbroken field-selection path rooted at one. Index expressions,
+// calls and dereferences of non-root position break the chain.
+func (fi *funcInterp) symRefOf(e ast.Expr) (symRef, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := fi.info.ObjectOf(e)
+		if obj == nil || fi.untracked[obj] {
+			return symRef{}, false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return symRef{}, false
+		}
+		return symRef{root: obj}, true
+	case *ast.SelectorExpr:
+		// Only field selections extend a path; method selections and
+		// package-qualified names do not.
+		if sel, ok := fi.info.Selections[e]; !ok || sel.Kind() != types.FieldVal {
+			return symRef{}, false
+		}
+		base, ok := fi.symRefOf(e.X)
+		if !ok {
+			return symRef{}, false
+		}
+		return symRef{root: base.root, path: base.path + "." + e.Sel.Name}, true
+	}
+	return symRef{}, false
+}
+
+// lookup returns the abstract value of a trackable reference, falling back
+// to the static type.
+func (fi *funcInterp) lookup(env *absEnv, ref symRef, t types.Type) absVal {
+	v := typedVal(t)
+	if iv, ok := env.vals[ref]; ok {
+		v.iv = v.iv.meet(iv)
+	}
+	if nl, ok := env.nils[ref]; ok {
+		v.nl = nl
+	}
+	if sym, ok := env.lens[ref]; ok {
+		s := sym
+		v.lenOf = &s
+	}
+	return v
+}
+
+// sinkPtrType reports whether t is a pointer to a named type declared in a
+// package whose path contains one of the given segments.
+func sinkPtrType(t types.Type, segs map[string]bool) (string, bool) {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !pathHasAnySegment(named.Obj().Pkg().Path(), segs) {
+		return "", false
+	}
+	return "*" + named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+}
+
+// graphIndexType reports whether t is one of the graph index types whose
+// values the frozen-CSR invariant keeps in range (NodeID/EdgeID, int32).
+func graphIndexType(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if (name == "NodeID" || name == "EdgeID") && pathHasSegment(named.Obj().Pkg().Path(), "graph") {
+		return name, true
+	}
+	return "", false
+}
+
+// intMaxIval is the widest value len() can produce.
+func lenIval() ival { return ival{lo: 0, hi: math.MaxInt64} }
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// pkgSegTail reports the last segment of a package path, for messages.
+func pkgSegTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

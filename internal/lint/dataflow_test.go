@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+	"testing"
+)
+
+// The dataflow corpus is loaded into its own Program (not the shared golden
+// one): these tests drive the engine directly rather than through Run.
+var (
+	dfOnce sync.Once
+	dfProg *Program
+	dfPkg  *Package
+	dfErr  error
+)
+
+func dataflowProgram(t *testing.T) (*dfEngine, *Package) {
+	t.Helper()
+	dfOnce.Do(func() {
+		prog, err := NewProgram(".")
+		if err != nil {
+			dfErr = err
+			return
+		}
+		pkg, err := prog.LoadDirAs("testdata/dataflow", "repro/internal/golden/dataflow")
+		if err != nil {
+			dfErr = err
+			return
+		}
+		dfProg, dfPkg = prog, pkg
+	})
+	if dfErr != nil {
+		t.Fatal(dfErr)
+	}
+	return dfProg.dataflow(), dfPkg
+}
+
+func analyzeNamed(t *testing.T, name string, hooks *dfHooks) {
+	t.Helper()
+	e, pkg := dataflowProgram(t)
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in dataflow corpus", name)
+	}
+	e.analyze(fn, hooks)
+}
+
+// indexVerdicts returns the bounds-proof verdict per index site, keyed by
+// the textual base (the corpus keeps bases distinct per function).
+func indexVerdicts(t *testing.T, fnName string) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	analyzeNamed(t, fnName, &dfHooks{
+		index: func(n *ast.IndexExpr, idx ival, proven bool, env *absEnv) {
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				out[id.Name] = proven
+			}
+		},
+	})
+	return out
+}
+
+func TestDataflowIndexProofs(t *testing.T) {
+	cases := []struct {
+		fn   string
+		want map[string]bool
+	}{
+		{"LoopIndex", map[string]bool{"s": true}},
+		{"LoopIndexOff", map[string]bool{"s": true}},
+		{"Overrun", map[string]bool{"s": false}},
+		{"LenAlias", map[string]bool{"s": true}},
+		{"RangeIndex", map[string]bool{"s": true, "d": false}},
+		{"GotoDegrade", map[string]bool{"s": false}},
+	}
+	for _, c := range cases {
+		got := indexVerdicts(t, c.fn)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: index sites %v, want %v", c.fn, got, c.want)
+			continue
+		}
+		for base, want := range c.want {
+			if got[base] != want {
+				t.Errorf("%s: %s[...] proven=%v, want %v", c.fn, base, got[base], want)
+			}
+		}
+	}
+}
+
+func TestDataflowSliceProofs(t *testing.T) {
+	cases := map[string]bool{
+		"SliceHead":     true,
+		"SliceWindow":   true,
+		"SliceUnproven": false,
+	}
+	for fn, want := range cases {
+		var got *bool
+		analyzeNamed(t, fn, &dfHooks{
+			slice: func(n *ast.SliceExpr, proven bool, env *absEnv) {
+				p := proven
+				got = &p
+			},
+		})
+		if got == nil {
+			t.Errorf("%s: slice hook never fired", fn)
+		} else if *got != want {
+			t.Errorf("%s: proven=%v, want %v", fn, *got, want)
+		}
+	}
+}
+
+func TestDataflowBinaryRanges(t *testing.T) {
+	binOf := func(fn string) ival {
+		var r ival
+		fired := false
+		analyzeNamed(t, fn, &dfHooks{
+			binary: func(n *ast.BinaryExpr, x, y, res ival, env *absEnv) {
+				r = res
+				fired = true
+			},
+		})
+		if !fired {
+			t.Fatalf("%s: binary hook never fired", fn)
+		}
+		return r
+	}
+	// Guard-refined operands prove the sum within [0, 2^31].
+	if r := binOf("Clamp"); !r.within(0, int64(1)<<31) {
+		t.Errorf("Clamp: a+w = %v, want within [0, 2^31]", r)
+	}
+	// Unconstrained int64 addition must widen to top — never a finite lie.
+	if r := binOf("Unbounded"); !r.isTop() {
+		t.Errorf("Unbounded: a+w = %v, want top", r)
+	}
+	// The interprocedural summary of nine() feeds the addition.
+	if r := binOf("UsesSummary"); !r.within(9, 109) {
+		t.Errorf("UsesSummary: a+nine() = %v, want within [9, 109]", r)
+	}
+}
+
+func TestDataflowNilness(t *testing.T) {
+	derefOf := func(fn string) nilness {
+		var nl nilness
+		fired := false
+		analyzeNamed(t, fn, &dfHooks{
+			deref: func(at ast.Node, base ast.Expr, n nilness, env *absEnv) {
+				nl = n
+				fired = true
+			},
+		})
+		if !fired {
+			t.Fatalf("%s: deref hook never fired", fn)
+		}
+		return nl
+	}
+	if nl := derefOf("NilGuard"); nl != nilNonNil {
+		t.Errorf("NilGuard: deref sees %v, want non-nil", nl)
+	}
+	if nl := derefOf("NilMaybe"); nl != nilMaybe {
+		t.Errorf("NilMaybe: deref sees %v, want maybe-nil", nl)
+	}
+}
+
+func TestDataflowSummaries(t *testing.T) {
+	e, pkg := dataflowProgram(t)
+	fn, ok := pkg.Types.Scope().Lookup("nine").(*types.Func)
+	if !ok {
+		t.Fatal("no nine in dataflow corpus")
+	}
+	iv, ok := e.retIval[fn]
+	if !ok {
+		t.Fatal("nine has no return summary")
+	}
+	if !iv.eq(ivConst(9)) {
+		t.Errorf("summary of nine = %v, want [9,9]", iv)
+	}
+}

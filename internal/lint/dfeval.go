@@ -1,0 +1,1193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// This file holds the transfer functions of the dataflow engine: statement
+// effects, the expression evaluator (which doubles as the hook-firing walk
+// after the fixpoint stabilizes), and branch-condition refinement. All
+// arithmetic is saturating (interval.go): a possibly-wrapping operation
+// widens to ±∞ rather than ever being proven in range.
+
+// transfer applies one straight-line statement to env in place.
+func (fi *funcInterp) transfer(env *absEnv, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		fi.transferAssign(env, s)
+	case *ast.IncDecStmt:
+		v := fi.eval(env, s.X)
+		one := ivConst(1)
+		var r ival
+		if s.Tok == token.INC {
+			r = v.iv.add(one)
+		} else {
+			r = v.iv.sub(one)
+		}
+		if ref, ok := fi.symRefOf(s.X); ok {
+			t := fi.info.Types[s.X].Type
+			if ref.path != "" {
+				env.killHeap()
+			} else {
+				env.killRoot(ref.root)
+			}
+			env.setVal(ref, r.meet(typeInterval(t)))
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			switch {
+			case len(vs.Values) == len(vs.Names):
+				vals := make([]absVal, len(vs.Values))
+				for i, e := range vs.Values {
+					vals[i] = fi.eval(env, e)
+				}
+				if fi.hasCall(vs.Values...) {
+					env.killHeap()
+				}
+				for i, name := range vs.Names {
+					fi.assignIdent(env, name, vals[i])
+				}
+			case len(vs.Values) == 0:
+				for _, name := range vs.Names {
+					if obj := fi.info.Defs[name]; obj != nil && !fi.untracked[obj] {
+						fi.setZero(env, symRef{root: obj})
+					}
+				}
+			default: // tuple initializer
+				for _, e := range vs.Values {
+					fi.eval(env, e)
+				}
+				env.killHeap()
+				for _, name := range vs.Names {
+					if obj := fi.info.Defs[name]; obj != nil {
+						env.killRoot(obj)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		fi.eval(env, s.X)
+		if fi.hasCall(s.X) {
+			env.killHeap()
+		}
+	case *ast.ReturnStmt:
+		var vals []absVal
+		if len(s.Results) > 0 {
+			vals = make([]absVal, len(s.Results))
+			for i, e := range s.Results {
+				vals[i] = fi.eval(env, e)
+			}
+		} else {
+			for _, obj := range fi.results {
+				vals = append(vals, fi.lookup(env, symRef{root: obj}, obj.Type()))
+			}
+		}
+		if fi.hooks != nil && fi.hooks.ret != nil {
+			fi.hooks.ret(s, vals, env)
+		}
+	case *ast.DeferStmt:
+		fi.eval(env, s.Call)
+		env.killHeap()
+	case *ast.GoStmt:
+		fi.eval(env, s.Call)
+		env.killHeap()
+	case *ast.SendStmt:
+		fi.eval(env, s.Chan)
+		fi.eval(env, s.Value)
+		if fi.hasCall(s.Chan, s.Value) {
+			env.killHeap()
+		}
+	}
+}
+
+func (fi *funcInterp) transferAssign(env *absEnv, s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) == len(s.Rhs) {
+			vals := make([]absVal, len(s.Rhs))
+			for i, e := range s.Rhs {
+				vals[i] = fi.eval(env, e)
+			}
+			if fi.hasCall(s.Rhs...) {
+				env.killHeap()
+			}
+			for i, lhs := range s.Lhs {
+				fi.assignTo(env, lhs, vals[i])
+			}
+			return
+		}
+		// Tuple assignment: a call, map lookup, type assertion or receive.
+		for _, e := range s.Rhs {
+			fi.eval(env, e)
+		}
+		env.killHeap()
+		for _, lhs := range s.Lhs {
+			fi.assignTo(env, lhs, absVal{iv: ivTop()})
+		}
+	default:
+		// Op-assign: x op= y desugars to x = x op y.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return
+		}
+		xv := fi.eval(env, s.Lhs[0])
+		yv := fi.eval(env, s.Rhs[0])
+		op, ok := assignOpToken(s.Tok)
+		if !ok {
+			fi.assignTo(env, s.Lhs[0], absVal{iv: ivTop()})
+			return
+		}
+		r := fi.applyOp(op, xv.iv, yv.iv)
+		// No node-level dedup needed: each statement lives in exactly one
+		// block and the hook walk transfers each block once.
+		if fi.hooks != nil && fi.hooks.assignOp != nil &&
+			(op == token.ADD || op == token.SUB || op == token.MUL) &&
+			isInt64(fi.info, s.Lhs[0]) {
+			fi.hooks.assignOp(s, xv.iv, yv.iv, r, env)
+		}
+		if fi.hasCall(s.Rhs...) {
+			env.killHeap()
+		}
+		t := fi.info.Types[s.Lhs[0]].Type
+		fi.assignTo(env, s.Lhs[0], absVal{iv: r.meet(typeInterval(t))})
+	}
+}
+
+func assignOpToken(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	case token.SHR_ASSIGN:
+		return token.SHR, true
+	case token.AND_ASSIGN:
+		return token.AND, true
+	case token.OR_ASSIGN:
+		return token.OR, true
+	case token.XOR_ASSIGN:
+		return token.XOR, true
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT, true
+	}
+	return 0, false
+}
+
+// assignTo stores v into an lvalue. Stores through fields or pointers kill
+// every heap fact first (the store may alias any of them), then record the
+// stored fact; element stores through an index leave the environment alone
+// (elements are never tracked, lengths do not change).
+func (fi *funcInterp) assignTo(env *absEnv, lhs ast.Expr, v absVal) {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		fi.assignIdent(env, l, v)
+	case *ast.SelectorExpr:
+		bv := fi.eval(env, l.X)
+		if isPtr(fi.info.Types[l.X].Type) {
+			fi.fireDeref(l, l.X, bv.nl, env)
+		}
+		ref, ok := fi.symRefOf(l)
+		env.killHeap()
+		if ok {
+			fi.store(env, ref, v, fi.info.Types[l].Type)
+		}
+	case *ast.IndexExpr:
+		fi.eval(env, l)
+	case *ast.StarExpr:
+		bv := fi.eval(env, l.X)
+		fi.fireDeref(l, l.X, bv.nl, env)
+		env.killHeap()
+	}
+}
+
+func (fi *funcInterp) assignIdent(env *absEnv, id *ast.Ident, v absVal) {
+	if id.Name == "_" {
+		return
+	}
+	obj := fi.info.ObjectOf(id)
+	if obj == nil || fi.untracked[obj] {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	env.killRoot(obj)
+	fi.store(env, symRef{root: obj}, v, obj.Type())
+}
+
+func (fi *funcInterp) store(env *absEnv, ref symRef, v absVal, t types.Type) {
+	env.setVal(ref, v.iv.meet(typeInterval(t)))
+	env.setNil(ref, v.nl)
+	if v.lenOf != nil {
+		env.setLen(ref, *v.lenOf)
+	}
+}
+
+// fireOnce gates a hook callback: true exactly once per AST node, and only
+// during the post-fixpoint hook walk. The same node can be evaluated more
+// than once (a condition feeds both its branch edges, and short-circuit
+// refinement re-walks operands), so hook firing dedups by node identity.
+func (fi *funcInterp) fireOnce(n ast.Expr) bool {
+	if fi.hooks == nil || fi.evaled[n] {
+		return false
+	}
+	fi.evaled[n] = true
+	return true
+}
+
+func (fi *funcInterp) fireDeref(at ast.Expr, base ast.Expr, nl nilness, env *absEnv) {
+	if fi.hooks != nil && fi.hooks.deref != nil && fi.fireOnce(at) {
+		fi.hooks.deref(at, base, nl, env)
+	}
+}
+
+// eval computes the abstract value of an expression, firing analyzer hooks
+// at arithmetic, index, slice and dereference sites along the way.
+func (fi *funcInterp) eval(env *absEnv, e ast.Expr) absVal {
+	tv := fi.info.Types[e]
+	if tv.IsNil() {
+		return absVal{iv: ivTop(), nl: nilIsNil}
+	}
+	if tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return absVal{iv: ivConst(v)}
+		}
+		return typedVal(tv.Type)
+	}
+
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return fi.eval(env, e.X)
+
+	case *ast.Ident:
+		if ref, ok := fi.symRefOf(e); ok {
+			return fi.lookup(env, ref, tv.Type)
+		}
+		return typedVal(tv.Type)
+
+	case *ast.SelectorExpr:
+		// Package-qualified names have no selection entry; fields and
+		// methods do. A selection through a pointer base is a dereference.
+		if _, ok := fi.info.Selections[e]; !ok {
+			return typedVal(tv.Type)
+		}
+		bv := fi.eval(env, e.X)
+		if isPtr(fi.info.Types[e.X].Type) {
+			fi.fireDeref(e, e.X, bv.nl, env)
+		}
+		if ref, ok := fi.symRefOf(e); ok {
+			return fi.lookup(env, ref, tv.Type)
+		}
+		return typedVal(tv.Type)
+
+	case *ast.IndexExpr:
+		fi.eval(env, e.X)
+		idx := fi.eval(env, e.Index)
+		if indexable(fi.info.Types[e.X].Type) {
+			if fi.hooks != nil && fi.hooks.index != nil && fi.fireOnce(e) {
+				fi.hooks.index(e, idx.iv, fi.indexProven(env, e.X, e.Index, idx.iv), env)
+			}
+		}
+		return typedVal(tv.Type)
+
+	case *ast.SliceExpr:
+		fi.eval(env, e.X)
+		var low, high absVal
+		if e.Low != nil {
+			low = fi.eval(env, e.Low)
+		}
+		if e.High != nil {
+			high = fi.eval(env, e.High)
+		}
+		if e.Max != nil {
+			fi.eval(env, e.Max)
+		}
+		if fi.hooks != nil && fi.hooks.slice != nil && fi.fireOnce(e) {
+			fi.hooks.slice(e, fi.sliceProven(env, e, low, high), env)
+		}
+		return absVal{iv: ivTop()}
+
+	case *ast.CallExpr:
+		return fi.evalCall(env, e, tv.Type)
+
+	case *ast.BinaryExpr:
+		return fi.evalBinary(env, e, tv.Type)
+
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			v := fi.eval(env, e.X)
+			return absVal{iv: v.iv.neg().meet(typeInterval(tv.Type))}
+		case token.AND:
+			fi.eval(env, e.X)
+			return absVal{iv: ivTop(), nl: nilNonNil}
+		case token.NOT, token.ADD, token.XOR, token.ARROW:
+			fi.eval(env, e.X)
+			return typedVal(tv.Type)
+		}
+		fi.eval(env, e.X)
+		return typedVal(tv.Type)
+
+	case *ast.StarExpr:
+		v := fi.eval(env, e.X)
+		fi.fireDeref(e, e.X, v.nl, env)
+		return typedVal(tv.Type)
+
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				fi.eval(env, kv.Value)
+				continue
+			}
+			fi.eval(env, el)
+		}
+		return absVal{iv: ivTop(), nl: nilNonNil}
+
+	case *ast.FuncLit:
+		// Closures run under their own little fixpoint so hooks inside
+		// worker bodies still see refined ranges; return summaries stay
+		// with the enclosing declaration (ret hook stripped).
+		if fi.hooks != nil && fi.fireOnce(e) {
+			sub := &funcInterp{
+				e:         fi.e,
+				site:      fi.site,
+				info:      fi.info,
+				untracked: mergeUntracked(fi.untracked, untrackedObjects(e.Body, fi.info)),
+			}
+			subHooks := *fi.hooks
+			subHooks.ret = nil
+			sub.run(buildIR(e.Body), e.Type, nil, &subHooks)
+		}
+		return absVal{iv: ivTop(), nl: nilNonNil}
+
+	case *ast.TypeAssertExpr:
+		fi.eval(env, e.X)
+		return typedVal(tv.Type)
+	}
+	return typedVal(tv.Type)
+}
+
+func mergeUntracked(a, b map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (fi *funcInterp) evalCall(env *absEnv, call *ast.CallExpr, t types.Type) absVal {
+	if fv, ok := fi.info.Types[call.Fun]; ok && fv.IsType() {
+		// Conversion: exact when the operand provably fits the target's
+		// range; otherwise the target type's full range (wrapping).
+		v := fi.eval(env, call.Args[0])
+		ti := typeInterval(t)
+		out := absVal{iv: ti, nl: v.nl}
+		if v.iv.bot {
+			out.iv = ivBot()
+		} else if ti.hasLo() && ti.hasHi() && v.iv.within(ti.lo, ti.hi) {
+			out.iv = v.iv
+		}
+		return out
+	}
+
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := fi.info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return fi.evalBuiltin(env, id.Name, call, t)
+		}
+	}
+
+	fi.eval(env, call.Fun)
+	for _, a := range call.Args {
+		fi.eval(env, a)
+	}
+	out := typedVal(t)
+	if callee := calleeFunc(fi.info, call); callee != nil {
+		if _, declared := fi.e.cg.decls[callee]; declared {
+			out.iv = fi.e.summaryIval(callee, t).meet(typeInterval(t))
+			if fi.e.retNonNil[callee] {
+				out.nl = nilNonNil
+			}
+		}
+	}
+	return out
+}
+
+func (fi *funcInterp) evalBuiltin(env *absEnv, name string, call *ast.CallExpr, t types.Type) absVal {
+	for _, a := range call.Args {
+		fi.eval(env, a)
+	}
+	switch name {
+	case "len":
+		out := absVal{iv: lenIval()}
+		if ref, ok := fi.symRefOf(call.Args[0]); ok {
+			out.lenOf = &ref
+		}
+		if at, ok := fi.info.Types[call.Args[0]].Type.Underlying().(*types.Array); ok {
+			out.iv = ivConst(at.Len())
+		}
+		return out
+	case "cap":
+		return absVal{iv: lenIval()}
+	case "min", "max":
+		if len(call.Args) == 0 {
+			return typedVal(t)
+		}
+		acc := fi.eval(env, call.Args[0]).iv
+		for _, a := range call.Args[1:] {
+			v := fi.eval(env, a).iv
+			if name == "min" {
+				acc = ivMin(acc, v)
+			} else {
+				acc = ivMax(acc, v)
+			}
+		}
+		return absVal{iv: acc.meet(typeInterval(t))}
+	case "make", "new", "append":
+		return absVal{iv: ivTop(), nl: nilNonNil}
+	}
+	return typedVal(t)
+}
+
+// ivMin/ivMax are the pointwise interval images of the min/max builtins.
+func ivMin(a, b ival) ival {
+	if a.bot || b.bot {
+		return ivBot()
+	}
+	out := ival{loInf: a.loInf || b.loInf, hiInf: a.hiInf && b.hiInf}
+	if !out.loInf {
+		out.lo = min64(a.lo, b.lo)
+	}
+	if !out.hiInf {
+		switch {
+		case a.hiInf:
+			out.hi = b.hi
+		case b.hiInf:
+			out.hi = a.hi
+		default:
+			out.hi = min64(a.hi, b.hi)
+		}
+	}
+	return out
+}
+
+func ivMax(a, b ival) ival {
+	return ivMin(a.neg(), b.neg()).neg()
+}
+
+func (fi *funcInterp) evalBinary(env *absEnv, e *ast.BinaryExpr, t types.Type) absVal {
+	switch e.Op {
+	case token.LAND:
+		fi.eval(env, e.X)
+		fi.eval(fi.assume(env.clone(), e.X, true), e.Y)
+		return typedVal(t)
+	case token.LOR:
+		fi.eval(env, e.X)
+		fi.eval(fi.assume(env.clone(), e.X, false), e.Y)
+		return typedVal(t)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		fi.eval(env, e.X)
+		fi.eval(env, e.Y)
+		return typedVal(t)
+	}
+	xv := fi.eval(env, e.X)
+	yv := fi.eval(env, e.Y)
+	r := fi.applyOp(e.Op, xv.iv, yv.iv)
+	if fi.hooks != nil && fi.hooks.binary != nil &&
+		(e.Op == token.ADD || e.Op == token.SUB || e.Op == token.MUL) &&
+		isInt64(fi.info, e) && fi.fireOnce(e) {
+		fi.hooks.binary(e, xv.iv, yv.iv, r, env)
+	}
+	return absVal{iv: r.meet(typeInterval(t))}
+}
+
+// applyOp is the interval image of one arithmetic operator. Everything here
+// saturates: an end that may wrap becomes ±∞, never a finite lie.
+func (fi *funcInterp) applyOp(op token.Token, x, y ival) ival {
+	switch op {
+	case token.ADD:
+		return x.add(y)
+	case token.SUB:
+		return x.sub(y)
+	case token.MUL:
+		return x.mul(y)
+	case token.QUO:
+		return ivDiv(x, y)
+	case token.REM:
+		return ivRem(x, y)
+	case token.SHL:
+		return x.shl(y)
+	case token.SHR:
+		return ivShr(x, y)
+	case token.AND:
+		if x.hasLo() && x.lo >= 0 && y.hasLo() && y.lo >= 0 {
+			out := ival{lo: 0, hiInf: x.hiInf && y.hiInf}
+			if !out.hiInf {
+				switch {
+				case x.hiInf:
+					out.hi = y.hi
+				case y.hiInf:
+					out.hi = x.hi
+				default:
+					out.hi = min64(x.hi, y.hi)
+				}
+			}
+			return out
+		}
+	case token.AND_NOT:
+		if x.hasLo() && x.lo >= 0 {
+			return ival{lo: 0, hi: x.hi, hiInf: x.hiInf}
+		}
+	case token.OR, token.XOR:
+		if x.hasLo() && x.lo >= 0 && x.hasHi() && y.hasLo() && y.lo >= 0 && y.hasHi() {
+			// a|b and a^b stay below the next power of two above both.
+			bound := int64(1)
+			for bound <= x.hi || bound <= y.hi {
+				if bound > math.MaxInt64/2 {
+					return ival{lo: 0, hi: math.MaxInt64}
+				}
+				bound <<= 1
+			}
+			return ival{lo: 0, hi: bound - 1}
+		}
+	}
+	if x.bot || y.bot {
+		return ivBot()
+	}
+	return ivTop()
+}
+
+func ivDiv(x, y ival) ival {
+	if x.bot || y.bot {
+		return ivBot()
+	}
+	if y.hasLo() && y.lo >= 1 && x.hasLo() && x.hasHi() {
+		// Positive divisor: quotient is monotone in x, anti-monotone in y.
+		yhi := y.hi
+		if y.hiInf {
+			yhi = math.MaxInt64
+		}
+		c := []int64{x.lo / y.lo, x.hi / y.lo, x.lo / yhi, x.hi / yhi}
+		out := ival{lo: c[0], hi: c[0]}
+		for _, v := range c[1:] {
+			out.lo = min64(out.lo, v)
+			out.hi = max64(out.hi, v)
+		}
+		return out
+	}
+	if x.hasLo() && x.hasHi() && x.lo != math.MinInt64 {
+		// |x/y| ≤ |x| for any divisor of magnitude ≥ 1 (y = 0 panics, so
+		// contributes no value).
+		m := max64(abs64(x.lo), abs64(x.hi))
+		return ivRange(-m, m)
+	}
+	return ivTop()
+}
+
+func ivRem(x, y ival) ival {
+	if x.bot || y.bot {
+		return ivBot()
+	}
+	if y.hasLo() && y.lo >= 1 && y.hasHi() {
+		if x.hasLo() && x.lo >= 0 {
+			return ivRange(0, y.hi-1)
+		}
+		return ivRange(-(y.hi - 1), y.hi-1)
+	}
+	return ivTop()
+}
+
+func ivShr(x, y ival) ival {
+	if x.bot || y.bot {
+		return ivBot()
+	}
+	if x.hasLo() && x.lo >= 0 {
+		if y.hasLo() && y.hasHi() && y.lo == y.hi && y.lo >= 0 && y.lo < 64 {
+			out := ival{lo: x.lo >> uint(y.lo), hiInf: x.hiInf}
+			if !out.hiInf {
+				out.hi = x.hi >> uint(y.lo)
+			}
+			return out
+		}
+		return ival{lo: 0, hi: x.hi, hiInf: x.hiInf}
+	}
+	return ivTop()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// --- bounds proofs ---------------------------------------------------------
+
+// decompose resolves an integer expression to ref+delta where ref is a
+// trackable reference: `i` → (i, 0), `i+2` → (i, 2), `i-1` → (i, -1).
+func (fi *funcInterp) decompose(e ast.Expr) (symRef, int64, bool) {
+	e = unparen(e)
+	if ref, ok := fi.symRefOf(e); ok {
+		return ref, 0, true
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.ADD && b.Op != token.SUB) {
+		return symRef{}, 0, false
+	}
+	if c, ok := fi.constInt(b.Y); ok {
+		if ref, d, ok := fi.decompose(b.X); ok {
+			if b.Op == token.SUB {
+				c = -c
+			}
+			return ref, d + c, true
+		}
+	}
+	if b.Op == token.ADD {
+		if c, ok := fi.constInt(b.X); ok {
+			if ref, d, ok := fi.decompose(b.Y); ok {
+				return ref, d + c, true
+			}
+		}
+	}
+	return symRef{}, 0, false
+}
+
+func (fi *funcInterp) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := fi.info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// lenSymOf resolves an expression that denotes a length: `len(s)` → sym(s),
+// an integer variable recorded equal to a length, or either plus a constant
+// (`len(s)-1`). Returns the slice symbol and the delta.
+func (fi *funcInterp) lenSymOf(env *absEnv, e ast.Expr) (symRef, int64, bool) {
+	e = unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+			if _, isBuiltin := fi.info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				if ref, ok := fi.symRefOf(call.Args[0]); ok {
+					return ref, 0, true
+				}
+			}
+		}
+	}
+	if ref, ok := fi.symRefOf(e); ok {
+		if sym, ok := env.lens[ref]; ok {
+			return sym, 0, true
+		}
+	}
+	if b, ok := e.(*ast.BinaryExpr); ok && (b.Op == token.ADD || b.Op == token.SUB) {
+		if c, ok := fi.constInt(b.Y); ok {
+			if sym, d, ok := fi.lenSymOf(env, b.X); ok {
+				if b.Op == token.SUB {
+					c = -c
+				}
+				return sym, d + c, true
+			}
+		}
+	}
+	return symRef{}, 0, false
+}
+
+// indexProven reports a full bounds proof for base[idxExpr]: 0 ≤ idx and
+// idx < len(base), from the numeric interval plus the symbolic len facts.
+func (fi *funcInterp) indexProven(env *absEnv, base, idxExpr ast.Expr, idx ival) bool {
+	if env.bot || idx.bot {
+		return true // unreachable site
+	}
+	if !idx.hasLo() || idx.lo < 0 {
+		return false
+	}
+	// Arrays prove numerically against the static length.
+	if at, ok := arrayTypeOf(fi.info.Types[base].Type); ok {
+		return idx.hasHi() && idx.hi <= at.Len()-1
+	}
+	baseSym, ok := fi.symRefOf(base)
+	if !ok {
+		return false
+	}
+	// idx = ref + k with ref ≤ len(base) + d proves idx ≤ len(base)+d+k;
+	// in bounds iff d + k ≤ -1.
+	if ref, k, ok := fi.decompose(idxExpr); ok {
+		if d, ok := env.ubFor(ref, baseSym); ok && d+k <= -1 {
+			return true
+		}
+	}
+	// idx itself written as len(base) - j, j ≥ 1.
+	if sym, d, ok := fi.lenSymOf(env, idxExpr); ok && sym == baseSym && d <= -1 {
+		return true
+	}
+	return false
+}
+
+// sliceProven reports a full proof for base[low:high]: 0 ≤ low ≤ high ≤
+// len(base).
+func (fi *funcInterp) sliceProven(env *absEnv, e *ast.SliceExpr, low, high absVal) bool {
+	if env.bot {
+		return true
+	}
+	if e.Max != nil {
+		return false // 3-index caps are beyond the len-fact language
+	}
+	baseSym, symOK := fi.symRefOf(e.X)
+
+	// low ≥ 0.
+	lowZero := e.Low == nil
+	if !lowZero {
+		if low.iv.bot {
+			return true
+		}
+		if !low.iv.hasLo() || low.iv.lo < 0 {
+			return false
+		}
+	}
+	// high ≤ len(base).
+	highOK := e.High == nil
+	if !highOK {
+		if high.iv.bot {
+			return true
+		}
+		if symOK {
+			if sym, d, ok := fi.lenSymOf(env, e.High); ok && sym == baseSym && d <= 0 {
+				highOK = true
+			}
+			if !highOK {
+				if ref, k, ok := fi.decompose(e.High); ok {
+					if d, ok := env.ubFor(ref, baseSym); ok && d+k <= 0 {
+						highOK = true
+					}
+				}
+			}
+		}
+		if at, ok := arrayTypeOf(fi.info.Types[e.X].Type); ok {
+			if high.iv.hasHi() && high.iv.hi <= at.Len() {
+				highOK = true
+			}
+		}
+	}
+	if !highOK {
+		return false
+	}
+	// low ≤ high: trivial when low is 0 or omitted (high ≥ 0 holds for any
+	// well-typed in-range high we just proved symbolically only when its
+	// numeric lower bound says so, so require it), else shared-base deltas
+	// or disjoint numeric ranges.
+	if e.Low == nil {
+		return true
+	}
+	if e.High == nil {
+		// base[low:] needs low ≤ len(base).
+		if ref, k, ok := fi.decompose(e.Low); ok && symOK {
+			if d, ok := env.ubFor(ref, baseSym); ok && d+k <= 0 {
+				return true
+			}
+		}
+		if sym, d, ok := fi.lenSymOf(env, e.Low); ok && symOK && sym == baseSym && d <= 0 {
+			return true
+		}
+		return false
+	}
+	if lr, lk, ok := fi.decompose(e.Low); ok {
+		if hr, hk, ok2 := fi.decompose(e.High); ok2 && lr == hr && lk <= hk {
+			return true
+		}
+	}
+	if low.iv.hasHi() && high.iv.hasLo() && low.iv.hi <= high.iv.lo {
+		return true
+	}
+	return false
+}
+
+func arrayTypeOf(t types.Type) (*types.Array, bool) {
+	if t == nil {
+		return nil, false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return u, true
+	case *types.Pointer:
+		at, ok := u.Elem().Underlying().(*types.Array)
+		return at, ok
+	}
+	return nil, false
+}
+
+// indexable reports whether indexing t is a bounds-checked sequence access
+// (slice, array, pointer-to-array or string — not a map or type parameter).
+func indexable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func isPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// --- branch refinement -----------------------------------------------------
+
+// assume refines env under `cond == truth`, returning the refined (possibly
+// bottom) environment. env is owned by the caller and mutated in place.
+func (fi *funcInterp) assume(env *absEnv, cond ast.Expr, truth bool) *absEnv {
+	if env.bot {
+		return env
+	}
+	cond = unparen(cond)
+	if tv, ok := fi.info.Types[cond]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+		if constant.BoolVal(tv.Value) != truth {
+			return botEnv()
+		}
+		return env
+	}
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return fi.assume(env, c.X, !truth)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if truth {
+				env = fi.assume(env, c.X, true)
+				return fi.assume(env, c.Y, true)
+			}
+			return env
+		case token.LOR:
+			if !truth {
+				env = fi.assume(env, c.X, false)
+				return fi.assume(env, c.Y, false)
+			}
+			return env
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			op := c.Op
+			if !truth {
+				op = negateCmp(op)
+			}
+			return fi.assumeCmp(env, c.X, op, c.Y)
+		}
+	}
+	return env
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return op
+}
+
+func swapCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// assumeCmp refines env under `x op y`.
+func (fi *funcInterp) assumeCmp(env *absEnv, x ast.Expr, op token.Token, y ast.Expr) *absEnv {
+	// Nil comparisons refine the pointer side.
+	if tv, ok := fi.info.Types[y]; ok && tv.IsNil() {
+		return fi.assumeNil(env, x, op)
+	}
+	if tv, ok := fi.info.Types[x]; ok && tv.IsNil() {
+		return fi.assumeNil(env, y, op)
+	}
+
+	xv := fi.eval(env, x)
+	yv := fi.eval(env, y)
+	env = fi.refineNumeric(env, x, op, yv.iv)
+	if env.bot {
+		return env
+	}
+	env = fi.refineNumeric(env, y, swapCmp(op), xv.iv)
+	if env.bot {
+		return env
+	}
+	fi.refineSymbolic(env, x, op, y)
+	fi.refineSymbolic(env, y, swapCmp(op), x)
+	return env
+}
+
+func (fi *funcInterp) assumeNil(env *absEnv, p ast.Expr, op token.Token) *absEnv {
+	ref, ok := fi.symRefOf(p)
+	if !ok {
+		return env
+	}
+	cur := env.nils[ref]
+	switch op {
+	case token.EQL:
+		if cur == nilNonNil {
+			return botEnv()
+		}
+		env.setNil(ref, nilIsNil)
+	case token.NEQ:
+		if cur == nilIsNil {
+			return botEnv()
+		}
+		env.setNil(ref, nilNonNil)
+	}
+	return env
+}
+
+// refineNumeric tightens x's interval under `x op [other]`.
+func (fi *funcInterp) refineNumeric(env *absEnv, x ast.Expr, op token.Token, other ival) *absEnv {
+	ref, ok := fi.symRefOf(x)
+	if !ok || other.bot {
+		return env
+	}
+	t := fi.info.Types[x].Type
+	if t == nil {
+		return env
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return env
+	}
+	cur := fi.lookup(env, ref, t).iv
+	var bound ival
+	switch op {
+	case token.LSS:
+		bound = ival{loInf: true, hi: other.hi - 1, hiInf: other.hiInf}
+		if !other.hiInf && other.hi == math.MinInt64 {
+			return botEnv()
+		}
+	case token.LEQ:
+		bound = ival{loInf: true, hi: other.hi, hiInf: other.hiInf}
+	case token.GTR:
+		bound = ival{lo: other.lo + 1, loInf: other.loInf, hiInf: true}
+		if !other.loInf && other.lo == math.MaxInt64 {
+			return botEnv()
+		}
+	case token.GEQ:
+		bound = ival{lo: other.lo, loInf: other.loInf, hiInf: true}
+	case token.EQL:
+		bound = other
+	case token.NEQ:
+		// Only boundary exclusion is expressible in an interval.
+		next := cur
+		if next.hasLo() && next.hasHi() && other.hasLo() && other.hasHi() && other.lo == other.hi {
+			if next.lo == other.lo {
+				next = ivRange(next.lo+1, next.hi)
+			} else if next.hi == other.hi {
+				next = ivRange(next.lo, next.hi-1)
+			}
+		}
+		if next.bot {
+			return botEnv()
+		}
+		env.setVal(ref, next)
+		return env
+	default:
+		return env
+	}
+	next := cur.meet(bound)
+	if next.bot {
+		return botEnv()
+	}
+	env.setVal(ref, next)
+	return env
+}
+
+// refineSymbolic records len-relative upper bounds from `x op y` where y
+// denotes a length (or carries length bounds of its own, which propagate
+// transitively: x < y ≤ len(s)+d gives x ≤ len(s)+d-1).
+func (fi *funcInterp) refineSymbolic(env *absEnv, x ast.Expr, op token.Token, y ast.Expr) {
+	if op != token.LSS && op != token.LEQ && op != token.EQL {
+		return
+	}
+	ref, k, ok := fi.decompose(x)
+	if !ok {
+		return
+	}
+	strict := int64(0)
+	if op == token.LSS {
+		strict = -1
+	}
+	if sym, d, ok := fi.lenSymOf(env, y); ok {
+		// x + k op len(sym) + d  ⇒  x ≤ len(sym) + d - k (+ strict)
+		env.addUB(ref, sym, d-k+strict)
+	}
+	// Transitive propagation: x < y with y ≤ len(s)+d gives x ≤ len(s)+d-1.
+	if yref, ok := fi.symRefOf(y); ok {
+		for _, u := range append([]lenUB(nil), env.ubs[yref]...) {
+			env.addUB(ref, u.sym, u.delta-k+strict)
+		}
+	}
+}
+
+// bindRange binds a range statement's key/value variables on the edge into
+// the loop body: slice/string keys get [0, +∞) plus the symbolic strict
+// upper bound against the operand, arrays get exact bounds, `range n` keys
+// get [0, n-1].
+func (fi *funcInterp) bindRange(env *absEnv, rng *ast.RangeStmt) {
+	if env.bot {
+		return
+	}
+	xt := fi.info.Types[rng.X].Type
+	if xt == nil {
+		return
+	}
+	keyObj := fi.rangeVarObj(rng.Key)
+	valObj := fi.rangeVarObj(rng.Value)
+	setKey := func(v absVal) {
+		if keyObj == nil {
+			return
+		}
+		env.killRoot(keyObj)
+		fi.store(env, symRef{root: keyObj}, v, keyObj.Type())
+	}
+	setElem := func(v absVal) {
+		if valObj == nil {
+			return
+		}
+		env.killRoot(valObj)
+		fi.store(env, symRef{root: valObj}, v, valObj.Type())
+	}
+	keyWithLenUB := func() {
+		setKey(absVal{iv: ival{lo: 0, hiInf: true}})
+		if keyObj != nil {
+			if sym, ok := fi.symRefOf(rng.X); ok {
+				env.addUB(symRef{root: keyObj}, sym, -1)
+			}
+		}
+	}
+	switch u := xt.Underlying().(type) {
+	case *types.Slice:
+		keyWithLenUB()
+		setElem(typedVal(u.Elem()))
+	case *types.Array:
+		setKey(absVal{iv: ivRange(0, u.Len()-1)})
+		setElem(typedVal(u.Elem()))
+	case *types.Pointer:
+		if at, ok := u.Elem().Underlying().(*types.Array); ok {
+			setKey(absVal{iv: ivRange(0, at.Len()-1)})
+			setElem(typedVal(at.Elem()))
+		}
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsString != 0:
+			keyWithLenUB()
+			setElem(typedVal(types.Typ[types.Rune]))
+		case u.Info()&types.IsInteger != 0:
+			n := fi.eval(env, rng.X).iv
+			k := ival{lo: 0, hiInf: true}
+			if n.hasHi() && n.hi > 0 {
+				k = ivRange(0, n.hi-1)
+			}
+			setKey(absVal{iv: k})
+		}
+	case *types.Map:
+		setKey(typedVal(u.Key()))
+		setElem(typedVal(u.Elem()))
+	case *types.Chan:
+		setKey(typedVal(u.Elem()))
+	}
+}
+
+// rangeVarObj resolves a range key/value position to its variable object.
+func (fi *funcInterp) rangeVarObj(e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := fi.info.Defs[id]
+	if obj == nil {
+		obj = fi.info.Uses[id]
+	}
+	if obj == nil || fi.untracked[obj] {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// hasCall reports whether any of the expressions contains a genuine call —
+// not a conversion, not a builtin — whose callee might mutate heap state.
+func (fi *funcInterp) hasCall(exprs ...ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := fi.info.Types[call.Fun]; ok && tv.IsType() {
+				return true
+			}
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+				if _, b := fi.info.ObjectOf(id).(*types.Builtin); b {
+					return true
+				}
+			}
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

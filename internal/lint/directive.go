@@ -12,6 +12,7 @@ import (
 //	//krsp:noalloc                        contract: steady-state zero-alloc
 //	//krsp:terminates(<reason>)           contract: bounded / cancellable
 //	//krsp:deterministic                  contract: run-independent output
+//	//krsp:inbounds                       contract: proven index arithmetic
 //
 // Both grammars are strict: a directive that almost parses is a diagnostic,
 // never a silent no-op (a typo'd contract would otherwise quietly stop
@@ -40,6 +41,12 @@ const (
 	// no wall clock or global randomness and performs no order-sensitive
 	// work under map iteration.
 	ContractDeterministic
+	// ContractInBounds asserts every slice/array index and slice expression
+	// in the function body is proven in range by the boundsafe dataflow
+	// analyzer (CSR row-offset monotonicity, typed NodeID/EdgeID indices, or
+	// interval facts); unproven sites are diagnostics, and `krsplint -bce`
+	// additionally requires the compiler to eliminate the bounds checks.
+	ContractInBounds
 )
 
 func (c Contract) String() string {
@@ -50,6 +57,8 @@ func (c Contract) String() string {
 		return "terminates"
 	case ContractDeterministic:
 		return "deterministic"
+	case ContractInBounds:
+		return "inbounds"
 	}
 	return fmt.Sprintf("contract-%d", int(c))
 }
@@ -101,15 +110,19 @@ func parseContract(text string) (c Contract, reason string, ok bool, err error) 
 			return 0, "", true, fmt.Errorf("malformed //krsp:terminates: the reason inside the parentheses must be non-empty")
 		}
 		return ContractTerminates, reason, true, nil
+	case rest == "inbounds":
+		return ContractInBounds, "", true, nil
 	case rest == "noalloc()" || strings.HasPrefix(rest, "noalloc("):
 		return 0, "", true, fmt.Errorf("malformed //krsp:noalloc: the contract takes no argument")
 	case rest == "deterministic()" || strings.HasPrefix(rest, "deterministic("):
 		return 0, "", true, fmt.Errorf("malformed //krsp:deterministic: the contract takes no argument")
+	case rest == "inbounds()" || strings.HasPrefix(rest, "inbounds("):
+		return 0, "", true, fmt.Errorf("malformed //krsp:inbounds: the contract takes no argument")
 	default:
 		verb := rest
 		if i := strings.IndexAny(verb, "( \t"); i >= 0 {
 			verb = verb[:i]
 		}
-		return 0, "", true, fmt.Errorf("unknown //krsp: contract %q (want noalloc, terminates(<reason>) or deterministic)", verb)
+		return 0, "", true, fmt.Errorf("unknown //krsp: contract %q (want noalloc, terminates(<reason>), deterministic or inbounds)", verb)
 	}
 }

@@ -39,6 +39,8 @@ func TestParseContract(t *testing.T) {
 	}{
 		{"//krsp:noalloc", ContractNoAlloc, "", true, false},
 		{"//krsp:deterministic", ContractDeterministic, "", true, false},
+		{"//krsp:inbounds", ContractInBounds, "", true, false},
+		{"//krsp:inbounds(arg)", 0, "", true, true},
 		{"//krsp:terminates(the walk closes in n steps)", ContractTerminates, "the walk closes in n steps", true, false},
 		{"//krsp:terminates", 0, "", true, true},
 		{"//krsp:terminates()", 0, "", true, true},
@@ -109,7 +111,7 @@ func FuzzDirectiveParser(f *testing.F) {
 		}
 		if cok && cerr == nil {
 			switch kind {
-			case ContractNoAlloc, ContractDeterministic:
+			case ContractNoAlloc, ContractDeterministic, ContractInBounds:
 				if creason != "" {
 					t.Fatalf("parseContract(%q): %v carries unexpected reason %q", text, kind, creason)
 				}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"math"
+)
+
+// This file is the numeric half of the dataflow layer (DESIGN.md §12): a
+// classic interval lattice over int64 with explicit infinities, saturating
+// transfer functions, and threshold widening tuned to the solver's weight
+// architecture. The abstract interpreter in dataflow.go drives it over the
+// per-function CFG built in ir.go; weightovf and boundsafe consume the
+// resulting ranges as proof obligations.
+
+// ival is one element of the interval lattice: the set of int64 values in
+// [lo, hi], with loInf/hiInf marking an unbounded end (the numeric bound is
+// ignored on that side). The bottom element (empty set — unreachable code
+// or contradictory refinement) is represented by bot.
+type ival struct {
+	lo, hi       int64
+	loInf, hiInf bool
+	bot          bool
+}
+
+func ivBot() ival          { return ival{bot: true} }
+func ivTop() ival          { return ival{loInf: true, hiInf: true} }
+func ivConst(v int64) ival { return ival{lo: v, hi: v} }
+
+// ivRange is the interval [lo, hi]; lo > hi yields bottom.
+func ivRange(lo, hi int64) ival {
+	if lo > hi {
+		return ivBot()
+	}
+	return ival{lo: lo, hi: hi}
+}
+
+func (a ival) isTop() bool { return !a.bot && a.loInf && a.hiInf }
+
+// hasLo/hasHi report a finite bound on the respective side.
+func (a ival) hasLo() bool { return !a.bot && !a.loInf }
+func (a ival) hasHi() bool { return !a.bot && !a.hiInf }
+
+func (a ival) String() string {
+	switch {
+	case a.bot:
+		return "⊥"
+	case a.loInf && a.hiInf:
+		return "[-∞,+∞]"
+	case a.loInf:
+		return fmt.Sprintf("[-∞,%d]", a.hi)
+	case a.hiInf:
+		return fmt.Sprintf("[%d,+∞]", a.lo)
+	}
+	return fmt.Sprintf("[%d,%d]", a.lo, a.hi)
+}
+
+// join is the lattice least upper bound (set union, widened to an interval).
+func (a ival) join(b ival) ival {
+	if a.bot {
+		return b
+	}
+	if b.bot {
+		return a
+	}
+	out := ival{}
+	if a.loInf || b.loInf {
+		out.loInf = true
+	} else {
+		out.lo = min64(a.lo, b.lo)
+	}
+	if a.hiInf || b.hiInf {
+		out.hiInf = true
+	} else {
+		out.hi = max64(a.hi, b.hi)
+	}
+	return out
+}
+
+// meet is the lattice greatest lower bound (set intersection).
+func (a ival) meet(b ival) ival {
+	if a.bot || b.bot {
+		return ivBot()
+	}
+	out := ival{loInf: a.loInf && b.loInf, hiInf: a.hiInf && b.hiInf}
+	switch {
+	case a.loInf:
+		out.lo = b.lo
+	case b.loInf:
+		out.lo = a.lo
+	default:
+		out.lo = max64(a.lo, b.lo)
+	}
+	switch {
+	case a.hiInf:
+		out.hi = b.hi
+	case b.hiInf:
+		out.hi = a.hi
+	default:
+		out.hi = min64(a.hi, b.hi)
+	}
+	if !out.loInf && !out.hiInf && out.lo > out.hi {
+		return ivBot()
+	}
+	if out.loInf && !out.hiInf {
+		out.lo = 0
+	}
+	if out.hiInf && !out.loInf {
+		out.hi = 0
+	}
+	return out
+}
+
+// widenThresholds are the jump targets for threshold widening, chosen so
+// the bounds the solver's proofs care about survive a widen instead of
+// blowing straight to ±∞: 0 and ±1 (loop counters and parities), MaxWeight
+// = 2^30 (Instance.Validate's edge-weight cap), 2^31 (int32 index range,
+// the CSR row-offset width), 2^59 (weightovf's historical guard constant),
+// 2^61 (the Σ over m weights bound), 2^62 (the masking sentinel) and the
+// int64 extremes.
+var widenThresholds = []int64{
+	math.MinInt64, -(int64(1) << 62), -(int64(1) << 61), -(int64(1) << 59),
+	-(int64(1) << 31), -(int64(1) << 30), -1, 0, 1,
+	int64(1) << 30, int64(1) << 31, int64(1) << 59, int64(1) << 61,
+	int64(1) << 62, math.MaxInt64,
+}
+
+// widen extrapolates a changing bound to the next threshold: if next grew
+// past prev on a side, that side jumps outward to the nearest enclosing
+// threshold (±∞ past the extremes). Bounds that held stay exact, so a
+// nonnegative loop counter keeps lo = 0 while hi widens.
+func (a ival) widen(next ival) ival {
+	if a.bot {
+		return next
+	}
+	if next.bot {
+		return a
+	}
+	out := next
+	if !a.loInf && !next.loInf && next.lo < a.lo {
+		out.loInf = true
+		for i := len(widenThresholds) - 1; i >= 0; i-- {
+			if widenThresholds[i] <= next.lo {
+				out.lo, out.loInf = widenThresholds[i], false
+				break
+			}
+		}
+	} else if a.loInf {
+		out.loInf = true
+	}
+	if !a.hiInf && !next.hiInf && next.hi > a.hi {
+		out.hiInf = true
+		for _, t := range widenThresholds {
+			if t >= next.hi {
+				out.hi, out.hiInf = t, false
+				break
+			}
+		}
+	} else if a.hiInf {
+		out.hiInf = true
+	}
+	return out
+}
+
+// eq reports lattice equality.
+func (a ival) eq(b ival) bool {
+	if a.bot || b.bot {
+		return a.bot == b.bot
+	}
+	if a.loInf != b.loInf || a.hiInf != b.hiInf {
+		return false
+	}
+	if !a.loInf && a.lo != b.lo {
+		return false
+	}
+	if !a.hiInf && a.hi != b.hi {
+		return false
+	}
+	return true
+}
+
+// within reports that every value of a lies in [lo, hi] — the proof check.
+// Bottom (unreachable) is vacuously within any bounds.
+func (a ival) within(lo, hi int64) bool {
+	if a.bot {
+		return true
+	}
+	return !a.loInf && !a.hiInf && a.lo >= lo && a.hi <= hi
+}
+
+// addSat / mulSat saturate on int64 overflow, reporting whether the exact
+// result fit. Saturation direction follows the sign of the true result.
+func addSat(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return math.MaxInt64, false
+		}
+		return math.MinInt64, false
+	}
+	return s, true
+}
+
+func mulSat(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if a == math.MinInt64 || b == math.MinInt64 || p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64, false
+		}
+		return math.MinInt64, false
+	}
+	return p, true
+}
+
+// add is interval addition; a saturated (overflowing) end becomes ±∞, so a
+// possibly-wrapping sum can never be proven in range.
+func (a ival) add(b ival) ival {
+	if a.bot || b.bot {
+		return ivBot()
+	}
+	out := ival{loInf: a.loInf || b.loInf, hiInf: a.hiInf || b.hiInf}
+	if !out.loInf {
+		v, ok := addSat(a.lo, b.lo)
+		out.lo, out.loInf = v, !ok
+	}
+	if !out.hiInf {
+		v, ok := addSat(a.hi, b.hi)
+		out.hi, out.hiInf = v, !ok
+	}
+	return out
+}
+
+// neg is interval negation (-MinInt64 overflows to an unbounded top end).
+func (a ival) neg() ival {
+	if a.bot {
+		return a
+	}
+	out := ival{loInf: a.hiInf, hiInf: a.loInf}
+	if !out.loInf {
+		out.lo = -a.hi
+	}
+	if !out.hiInf {
+		if a.lo == math.MinInt64 {
+			out.hiInf = true
+		} else {
+			out.hi = -a.lo
+		}
+	}
+	return out
+}
+
+// sub is a + (-b).
+func (a ival) sub(b ival) ival { return a.add(b.neg()) }
+
+// mul is interval multiplication over the four corner products, with any
+// unbounded or saturating corner widening the result end to ±∞.
+func (a ival) mul(b ival) ival {
+	if a.bot || b.bot {
+		return ivBot()
+	}
+	if a.isTop() || b.isTop() {
+		return ivTop()
+	}
+	// An unbounded end behaves like an overflowing corner: the result is
+	// unbounded on both sides unless the other operand is exactly zero.
+	if a.loInf || a.hiInf || b.loInf || b.hiInf {
+		if a.eq(ivConst(0)) || b.eq(ivConst(0)) {
+			return ivConst(0)
+		}
+		return ivTop()
+	}
+	corners := [4][2]int64{{a.lo, b.lo}, {a.lo, b.hi}, {a.hi, b.lo}, {a.hi, b.hi}}
+	out := ival{lo: math.MaxInt64, hi: math.MinInt64}
+	for _, c := range corners {
+		v, ok := mulSat(c[0], c[1])
+		if !ok {
+			if v > 0 {
+				out.hiInf = true
+			} else {
+				out.loInf = true
+			}
+			continue
+		}
+		out.lo = min64(out.lo, v)
+		out.hi = max64(out.hi, v)
+	}
+	if out.loInf && !out.hiInf && out.hi == math.MinInt64 {
+		out.hi = math.MaxInt64 // all corners underflowed
+		out.hiInf = true
+	}
+	if out.hiInf && !out.loInf && out.lo == math.MaxInt64 {
+		out.loInf = true
+	}
+	return out
+}
+
+// shl is a << k for a constant shift k (used for the 1<<k idiom); variable
+// shifts return top.
+func (a ival) shl(k ival) ival {
+	if a.bot || k.bot {
+		return ivBot()
+	}
+	if !k.hasLo() || !k.hasHi() || k.lo != k.hi || k.lo < 0 || k.lo > 62 {
+		return ivTop()
+	}
+	return a.mul(ivConst(int64(1) << uint(k.lo)))
+}
+
+// typeInterval returns the value range implied by a static type: exact for
+// the fixed-width integer kinds, conservatively 64-bit for int/uint(ptr),
+// and top for everything non-integer. This is the engine's base fact: an
+// int32 expression is in [-2^31, 2^31-1] with no analysis at all, which is
+// what makes NodeID/EdgeID (int32) arithmetic cheap to bound.
+func typeInterval(t types.Type) ival {
+	if t == nil {
+		return ivTop()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ivTop()
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return ivRange(math.MinInt8, math.MaxInt8)
+	case types.Int16:
+		return ivRange(math.MinInt16, math.MaxInt16)
+	case types.Int32, types.UntypedRune:
+		return ivRange(math.MinInt32, math.MaxInt32)
+	case types.Int64, types.Int:
+		return ivRange(math.MinInt64, math.MaxInt64)
+	case types.Uint8:
+		return ivRange(0, math.MaxUint8)
+	case types.Uint16:
+		return ivRange(0, math.MaxUint16)
+	case types.Uint32:
+		return ivRange(0, math.MaxUint32)
+	case types.Uint64, types.Uint, types.Uintptr:
+		// The upper half of uint64 is outside int64; only the lower bound
+		// survives in this lattice.
+		return ival{lo: 0, hiInf: true}
+	}
+	return ivTop()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

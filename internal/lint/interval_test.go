@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalLattice(t *testing.T) {
+	a := ivRange(0, 10)
+	b := ivRange(5, 20)
+	if j := a.join(b); !j.eq(ivRange(0, 20)) {
+		t.Errorf("join = %v", j)
+	}
+	if m := a.meet(b); !m.eq(ivRange(5, 10)) {
+		t.Errorf("meet = %v", m)
+	}
+	if m := ivRange(0, 3).meet(ivRange(5, 9)); !m.bot {
+		t.Errorf("disjoint meet = %v, want ⊥", m)
+	}
+	if j := ivBot().join(a); !j.eq(a) {
+		t.Errorf("⊥ join = %v", j)
+	}
+	if !ivBot().within(0, 0) {
+		t.Error("⊥ must be vacuously within any range")
+	}
+	if ivTop().within(math.MinInt64, math.MaxInt64) {
+		t.Error("top must not be within: an unbounded end is never a proof")
+	}
+	if !ivRange(2, 5).within(0, 10) || ivRange(2, 50).within(0, 10) {
+		t.Error("within misjudges finite ranges")
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	// A growing upper bound jumps to the next architecture threshold; the
+	// stable lower bound stays exact.
+	w := ivRange(0, 1).widen(ivRange(0, 2))
+	if !w.eq(ivRange(0, int64(1)<<30)) {
+		t.Errorf("widen(hi 1→2) = %v, want [0,2^30]", w)
+	}
+	w = ivRange(0, int64(1)<<30).widen(ivRange(0, int64(1)<<30+1))
+	if !w.eq(ivRange(0, int64(1)<<31)) {
+		t.Errorf("widen past 2^30 = %v, want [0,2^31]", w)
+	}
+	// Unchanged bounds must not widen at all.
+	w = ivRange(3, 7).widen(ivRange(3, 7))
+	if !w.eq(ivRange(3, 7)) {
+		t.Errorf("widen(stable) = %v", w)
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	if s := ivRange(1, 2).add(ivRange(10, 20)); !s.eq(ivRange(11, 22)) {
+		t.Errorf("add = %v", s)
+	}
+	// Saturation: an end that may wrap becomes unbounded, never a wrapped lie.
+	s := ivConst(math.MaxInt64).add(ivConst(1))
+	if s.hasHi() {
+		t.Errorf("overflowing add kept a finite hi: %v", s)
+	}
+	if p := ivRange(-3, 4).mul(ivRange(-2, 5)); !p.eq(ivRange(-15, 20)) {
+		t.Errorf("mul = %v", p)
+	}
+	p := ivConst(int64(1) << 40).mul(ivConst(int64(1) << 40))
+	if p.hasHi() {
+		t.Errorf("overflowing mul kept a finite hi: %v", p)
+	}
+	if n := ivRange(-5, 3).neg(); !n.eq(ivRange(-3, 5)) {
+		t.Errorf("neg = %v", n)
+	}
+	if n := ivConst(math.MinInt64).neg(); n.hasHi() {
+		t.Errorf("neg(MinInt64) kept a finite hi: %v", n)
+	}
+	if s := ivConst(1).shl(ivConst(30)); !s.eq(ivConst(1 << 30)) {
+		t.Errorf("shl = %v", s)
+	}
+	if d := ivDiv(ivRange(-10, 100), ivRange(2, 5)); !d.eq(ivRange(-5, 50)) {
+		t.Errorf("div = %v", d)
+	}
+	if r := ivRem(ivRange(0, 1000), ivConst(7)); !r.eq(ivRange(0, 6)) {
+		t.Errorf("rem = %v", r)
+	}
+	if m := ivMin(ivRange(0, 10), ivRange(5, 7)); !m.eq(ivRange(0, 7)) {
+		t.Errorf("min = %v", m)
+	}
+	if m := ivMax(ivRange(0, 10), ivRange(5, 7)); !m.eq(ivRange(5, 10)) {
+		t.Errorf("max = %v", m)
+	}
+}

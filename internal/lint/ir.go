@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the SSA-lite IR under the dataflow engine (DESIGN.md §12):
+// a per-function control-flow graph whose blocks hold straight-line
+// statements and whose edges carry the branch condition that must hold
+// along them. The abstract interpreter (dataflow.go) runs a worklist
+// fixpoint over this graph, refining variable ranges on condition edges —
+// which is what turns `if i < len(row)` into a proof that `row[i]` is in
+// bounds on the true edge.
+//
+// Def-use information is implicit in the environment the interpreter
+// threads block to block (an assignment is the def; every later eval of
+// the object is a use killed by the next def). The builder handles the
+// structured-control subset the solver uses — if/for/range/switch/select,
+// labeled and unlabeled break/continue, fallthrough, early return, and
+// terminating panic calls. A function using goto (one cold validator in
+// the module) falls back to flow-insensitive typing: the builder reports
+// unsupported and the engine answers every query from static types only.
+
+// irEdge is one CFG edge. When cond is non-nil, the edge is taken only if
+// cond evaluates to !negate; the interpreter refines the environment under
+// that assumption.
+type irEdge struct {
+	to     *irBlock
+	cond   ast.Expr
+	negate bool
+	// rng, when non-nil, marks the body-entry edge of a range loop: the
+	// interpreter binds the key/value variables from the range operand.
+	rng *ast.RangeStmt
+}
+
+// irBlock is a maximal straight-line run of statements. Loop heads are the
+// widening points of the fixpoint.
+type irBlock struct {
+	id       int
+	stmts    []ast.Stmt
+	succs    []irEdge
+	loopHead bool
+}
+
+// funcIR is the CFG of one function body.
+type funcIR struct {
+	entry  *irBlock
+	blocks []*irBlock
+	// unsupported names the construct that made the builder bail ("" when
+	// the CFG is complete). The engine then degrades to type-only facts.
+	unsupported string
+}
+
+// irTargets is the (break, continue) destination pair of one enclosing
+// loop, switch or select. cont is nil for non-loops.
+type irTargets struct {
+	brk, cont *irBlock
+	label     string
+}
+
+// irBuilder carries the under-construction graph plus the break/continue
+// target stack and a pending label to attach to the next loop or switch.
+type irBuilder struct {
+	ir           *funcIR
+	targets      []*irTargets
+	pendingLabel string
+}
+
+// buildIR builds the CFG of one function or closure body.
+func buildIR(body *ast.BlockStmt) *funcIR {
+	ir := &funcIR{}
+	b := &irBuilder{ir: ir}
+	ir.entry = b.newBlock()
+	b.stmtList(body.List, ir.entry)
+	return ir
+}
+
+func (b *irBuilder) newBlock() *irBlock {
+	blk := &irBlock{id: len(b.ir.blocks)}
+	b.ir.blocks = append(b.ir.blocks, blk)
+	return blk
+}
+
+func (b *irBuilder) edge(from, to *irBlock) {
+	if from != nil && to != nil {
+		from.succs = append(from.succs, irEdge{to: to})
+	}
+}
+
+func (b *irBuilder) condEdges(from *irBlock, cond ast.Expr, onTrue, onFalse *irBlock) {
+	if from == nil {
+		return
+	}
+	if onTrue != nil {
+		from.succs = append(from.succs, irEdge{to: onTrue, cond: cond})
+	}
+	if onFalse != nil {
+		from.succs = append(from.succs, irEdge{to: onFalse, cond: cond, negate: true})
+	}
+}
+
+// takeLabel consumes the label of an enclosing *ast.LabeledStmt, if any.
+func (b *irBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *irBuilder) push(t *irTargets) { b.targets = append(b.targets, t) }
+func (b *irBuilder) pop()              { b.targets = b.targets[:len(b.targets)-1] }
+
+// breakTarget resolves the destination of a break: the innermost frame, or
+// the labeled one.
+func (b *irBuilder) breakTarget(label *ast.Ident) *irBlock {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label == nil || t.label == label.Name {
+			return t.brk
+		}
+	}
+	return nil
+}
+
+// continueTarget resolves the destination of a continue: the innermost
+// loop frame (skipping switches and selects), or the labeled loop.
+func (b *irBuilder) continueTarget(label *ast.Ident) *irBlock {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if t.cont == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t.cont
+		}
+	}
+	return nil
+}
+
+// stmtList threads stmts through cur and returns the live exit block (nil
+// when control cannot fall off the end).
+func (b *irBuilder) stmtList(stmts []ast.Stmt, cur *irBlock) *irBlock {
+	for _, s := range stmts {
+		if b.ir.unsupported != "" {
+			return nil
+		}
+		if cur == nil {
+			// Dead code after a return/break: build it anyway so its sites
+			// still get (unreachable ⇒ bottom) environments.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *irBuilder) stmt(s ast.Stmt, cur *irBlock) *irBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		thenB := b.newBlock()
+		join := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.condEdges(cur, s.Cond, thenB, elseB)
+			b.edge(b.stmtList(s.Body.List, thenB), join)
+			b.edge(b.stmt(s.Else, elseB), join)
+		} else {
+			b.condEdges(cur, s.Cond, thenB, join)
+			b.edge(b.stmtList(s.Body.List, thenB), join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := b.newBlock()
+		head.loopHead = true
+		body := b.newBlock()
+		exit := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.stmts = append(post.stmts, s.Post)
+			b.edge(post, head)
+		}
+		b.edge(cur, head)
+		if s.Cond != nil {
+			b.condEdges(head, s.Cond, body, exit)
+		} else {
+			b.edge(head, body)
+		}
+		b.push(&irTargets{brk: exit, cont: post, label: label})
+		b.edge(b.stmtList(s.Body.List, body), post)
+		b.pop()
+		return exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		head.loopHead = true
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(cur, head)
+		head.succs = append(head.succs,
+			irEdge{to: body, rng: s},
+			irEdge{to: exit})
+		b.push(&irTargets{brk: exit, cont: head, label: label})
+		b.edge(b.stmtList(s.Body.List, body), head)
+		b.pop()
+		return exit
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s, cur)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		exit := b.newBlock()
+		b.push(&irTargets{brk: exit, label: label})
+		for _, c := range s.Body.List {
+			body := b.newBlock()
+			b.edge(cur, body)
+			b.edge(b.stmtList(c.(*ast.CaseClause).Body, body), exit)
+		}
+		b.edge(cur, exit)
+		b.pop()
+		return exit
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		exit := b.newBlock()
+		b.push(&irTargets{brk: exit, label: label})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			body := b.newBlock()
+			if cc.Comm != nil {
+				body.stmts = append(body.stmts, cc.Comm)
+			}
+			b.edge(cur, body)
+			b.edge(b.stmtList(cc.Body, body), exit)
+		}
+		if len(s.Body.List) == 0 {
+			b.edge(cur, exit)
+		}
+		b.pop()
+		return exit
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+		}
+		// A label on a plain statement only matters as a goto target, and
+		// goto itself makes the builder bail.
+		return b.stmt(s.Stmt, cur)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(s.Label); t != nil {
+				b.edge(cur, t)
+				return nil
+			}
+		case token.CONTINUE:
+			if t := b.continueTarget(s.Label); t != nil {
+				b.edge(cur, t)
+				return nil
+			}
+		case token.FALLTHROUGH:
+			// Wired by switchStmt at the case level.
+			return cur
+		}
+		b.ir.unsupported = s.Tok.String()
+		return nil
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		return nil
+
+	case *ast.ExprStmt:
+		cur.stmts = append(cur.stmts, s)
+		if isTerminalCall(s.X) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, inc/dec, defer, go, send — straight-
+		// line statements the transfer function interprets (or skips).
+		cur.stmts = append(cur.stmts, s)
+		return cur
+	}
+}
+
+// switchStmt builds an expression switch. A condition-less switch whose
+// non-default clauses each carry one expression is an if/else ladder and
+// refines like one; everything else joins conservatively (every case body
+// reachable from the head). Fallthrough wires case i's exit to case i+1's
+// body either way.
+func (b *irBuilder) switchStmt(s *ast.SwitchStmt, cur *irBlock) *irBlock {
+	label := b.takeLabel()
+	if s.Init != nil {
+		cur.stmts = append(cur.stmts, s.Init)
+	}
+	if s.Tag != nil {
+		cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.Tag})
+	}
+	exit := b.newBlock()
+	b.push(&irTargets{brk: exit, label: label})
+	defer b.pop()
+
+	clauses := make([]*ast.CaseClause, len(s.Body.List))
+	for i, c := range s.Body.List {
+		clauses[i] = c.(*ast.CaseClause)
+	}
+	bodies := make([]*irBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+
+	ladder := s.Tag == nil
+	defaultIdx := -1
+	for i, cc := range clauses {
+		if cc.List == nil {
+			defaultIdx = i
+		} else if len(cc.List) != 1 {
+			ladder = false
+		}
+	}
+
+	if ladder {
+		sel := cur
+		for i, cc := range clauses {
+			if cc.List == nil {
+				continue
+			}
+			next := b.newBlock()
+			b.condEdges(sel, cc.List[0], bodies[i], next)
+			sel = next
+		}
+		if defaultIdx >= 0 {
+			b.edge(sel, bodies[defaultIdx])
+		} else {
+			b.edge(sel, exit)
+		}
+	} else {
+		for i, cc := range clauses {
+			// Record tag-switch case expressions as uses so hooks still
+			// fire on arithmetic inside them (no refinement attempted).
+			for _, e := range cc.List {
+				cur.stmts = append(cur.stmts, &ast.ExprStmt{X: e})
+			}
+			b.edge(cur, bodies[i])
+		}
+		if defaultIdx < 0 {
+			b.edge(cur, exit)
+		}
+	}
+
+	for i, cc := range clauses {
+		end := b.stmtList(cc.Body, bodies[i])
+		if end != nil && endsInFallthrough(cc.Body) && i+1 < len(bodies) {
+			b.edge(end, bodies[i+1])
+		} else {
+			b.edge(end, exit)
+		}
+	}
+	return exit
+}
+
+// endsInFallthrough reports whether a case body's last statement is
+// fallthrough.
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isTerminalCall reports whether e is a call that never returns: the panic
+// builtin (refining `if x < 0 { panic(...) }` to x ≥ 0 on the fall-through
+// path) or the conventional never-returning stdlib exits.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fun.Sel.Name == "Exit") ||
+				(pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"))
+		}
+	}
+	return false
+}

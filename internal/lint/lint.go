@@ -4,13 +4,19 @@
 // determinism for any worker count, zero-alloc *_Into kernels on the solve
 // path, and overflow-safe int64 weight arithmetic within the 2^62 sentinel
 // range. On top of them a whole-module interprocedural engine loads every
-// package into one shared type universe, builds a static call graph, and
-// runs four cross-layer analyzers: contracts (checked //krsp:noalloc,
-// //krsp:terminates(<reason>) and //krsp:deterministic annotations,
-// verified against each function's transitive callees), metricscat (the
-// obs metric catalogue: registered, recorded, well-formed unique family
-// names), faultseam (every fault point consulted at a seam and armed by a
-// test), and suppressdrift (stale //lint:allow directives are errors).
+// package into one shared type universe, builds a static call graph and an
+// SSA-lite interval dataflow layer (DESIGN.md §12), and runs six
+// cross-layer analyzers: boundsafe (the checked //krsp:inbounds contract —
+// index arithmetic in annotated CSR kernels proven in range), nilflow (no
+// possibly-nil *obs.Registry / *cancel.Canceller dereference on any solve
+// path), contracts (checked //krsp:noalloc, //krsp:terminates(<reason>)
+// and //krsp:deterministic annotations, verified against each function's
+// transitive callees), metricscat (the obs metric catalogue: registered,
+// recorded, well-formed unique family names), faultseam (every fault point
+// consulted at a seam and armed by a test), and suppressdrift (stale
+// //lint:allow directives are errors). The weightovf per-package analyzer
+// also rides the dataflow layer: its verdicts are interval proofs rather
+// than syntactic guesses.
 //
 // The framework is built on the standard library only (go/ast, go/parser,
 // go/types with GOROOT source importing), so it runs offline. Analyzers
@@ -43,7 +49,11 @@ import (
 // package through Pass.Prog.
 type Analyzer struct {
 	Name string
-	Doc  string
+	// Version participates in the cache fingerprint (Fingerprint): bump it
+	// whenever the analyzer's verdicts change for unchanged sources, so warm
+	// krsplint caches invalidate instead of replaying stale results.
+	Version int
+	Doc     string
 	// AppliesTo reports whether the analyzer runs on the given import path.
 	// nil means every requested package. Ignored for RunProgram analyzers.
 	AppliesTo func(pkgPath string) bool

@@ -19,6 +19,8 @@ var goldenMounts = map[string]string{
 	"wallclock":    "repro/internal/golden/clock",
 	"wallclockobs": "repro/internal/obs/golden",
 	"weightovf":    "repro/internal/rsp/golden",
+	"boundsafe":    "repro/internal/shortest/boundsgolden",
+	"nilflow":      "repro/internal/obs/nilgolden",
 	"directive":    "repro/internal/golden/directive",
 	"contracts":    "repro/internal/auxgraph/golden",
 	"metricscat":   "repro/internal/obs/metricsgolden",
@@ -144,10 +146,61 @@ func TestWallclockGolden(t *testing.T) {
 	})
 }
 
+// TestWeightovfGolden pins the precision corpus: proven.go (range-proven
+// sums and products, silent), overflow.go (certain overflow) and
+// unprovable.go (unbounded accumulation, reported unless allowed).
 func TestWeightovfGolden(t *testing.T) {
 	expectDiags(t, runOne(t, Weightovf), []string{
-		"weightovf/bad.go:9:9",   // unguarded += on weight
-		"weightovf/bad.go:16:15", // unguarded * on weights
+		"weightovf/overflow.go:9:14",    // cost+cost with cost proven ≥ 2^62
+		"weightovf/unprovable.go:8:9",   // unbounded += accumulation
+		"weightovf/unprovable.go:15:15", // unconstrained * on weights
+	})
+}
+
+// TestWeightovfDifferential pins the rewrite against the legacy syntactic
+// pass: every site v1 flagged as unguarded must receive a dataflow verdict —
+// the engine may refine (prove or sharpen) but never silently drop a site.
+func TestWeightovfDifferential(t *testing.T) {
+	prog := goldenProgram(t)
+	for _, pkg := range prog.Requested {
+		if !Weightovf.AppliesTo(pkg.Path) {
+			continue
+		}
+		verdicts := map[string]bool{}
+		for _, s := range weightovfSites(prog, pkg) {
+			verdicts[prog.Fset.Position(s.pos).String()] = true
+		}
+		for _, f := range pkg.Files {
+			for _, pos := range legacyWeightovfFlagged(pkg.Info, f) {
+				p := prog.Fset.Position(pos).String()
+				if !verdicts[p] {
+					t.Errorf("%s: flagged by the legacy pass but has no dataflow verdict", p)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundsafeGolden pins the //krsp:inbounds corpus: ok.go exercises all
+// three discharge rules (interval, typed graph ID, monotone rows) over the
+// real CSR type and must stay silent; bad.go pins the index, coverage and
+// slice diagnostics.
+func TestBoundsafeGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Boundsafe), []string{
+		"boundsafe/bad.go:16:6",  // dst[raw[i]]: unconstrained index value
+		"boundsafe/bad.go:24:6",  // UncoveredScanInto lacks //krsp:inbounds
+		"boundsafe/bad.go:37:12", // dst[lo:hi]: unconstrained slice bounds
+	})
+}
+
+// TestNilflowGolden pins the nil-sink audit against the real obs and cancel
+// types: method calls and guarded field derefs stay silent, unguarded field
+// reads, star copies and wrong-pointer guards are reported.
+func TestNilflowGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Nilflow), []string{
+		"nilflow/bad.go:13:10", // &r.Server off an unguarded registry
+		"nilflow/bad.go:18:9",  // *cn copy of a possibly-nil canceller
+		"nilflow/bad.go:26:10", // guard on a, deref of b
 	})
 }
 

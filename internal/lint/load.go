@@ -44,6 +44,7 @@ type Program struct {
 
 	callGraph   *callGraph     // lazily built, shared by hotalloc/ctxpoll/contracts
 	contractIdx *contractIndex // lazily built //krsp: annotation index
+	df          *dfEngine      // lazily built dataflow engine (weightovf/boundsafe/nilflow)
 }
 
 // NewProgram prepares a loader rooted at the module containing dir.

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nilSinkSegs are the packages that declare nil-sink handle types, and
+// nilSinkTypes the exact contract set (obs.go: "The nil sink is a no-op.
+// Every handle type (*Registry, *Counter, *Gauge, *Histogram, the typed
+// metric groups) tolerates a nil receiver"), plus *cancel.Canceller. Other
+// pointer types from these packages — the unexported registry internals,
+// the test-only ManualClock — make no nil-receiver promise and are not
+// audited here.
+var (
+	nilSinkSegs  = map[string]bool{"obs": true, "cancel": true}
+	nilSinkTypes = map[string]bool{
+		"*obs.Registry": true, "*obs.Counter": true, "*obs.Gauge": true,
+		"*obs.Histogram": true, "*obs.ServerMetrics": true,
+		"*obs.SolverMetrics": true, "*obs.FlowMetrics": true,
+		"*obs.BicameralMetrics": true, "*obs.ShortestMetrics": true,
+		"*cancel.Canceller": true,
+	}
+)
+
+// Nilflow verifies the nil-sink contract end-to-end with the dataflow
+// engine's nilness lattice: a method CALL on a possibly-nil sink pointer is
+// the contract working as designed and stays silent, but a DEREFERENCE —
+// a field read, a *p copy — bypasses the method-level guards and panics the
+// solve path on the first nil registry or canceller. Every dereference of a
+// sink pointer must therefore happen where the engine proves the pointer
+// non-nil (after an `x == nil` early return, on the guarded side of a
+// branch, or from a provably non-nil producer); anything weaker is a
+// diagnostic, suppressible with //lint:allow nilflow <reason> for
+// invariants the engine cannot see.
+var Nilflow = &Analyzer{
+	Name:       "nilflow",
+	Version:    1,
+	Doc:        "prove *obs.Registry / *cancel.Canceller dereferences nil-safe on every solve path",
+	RunProgram: runNilflow,
+}
+
+func runNilflow(pass *Pass) {
+	prog := pass.Prog
+	e := prog.dataflow()
+	for _, pkg := range prog.Requested {
+		info := pkg.Info
+		hooks := &dfHooks{
+			deref: func(at ast.Node, base ast.Expr, nl nilness, env *absEnv) {
+				if nl == nilNonNil {
+					return
+				}
+				tv, ok := info.Types[base]
+				if !ok || tv.Type == nil {
+					return
+				}
+				label, isSink := sinkPtrType(tv.Type, nilSinkSegs)
+				if !isSink || !nilSinkTypes[label] {
+					return
+				}
+				// Method values are the contract's sanctioned shape: every
+				// sink method guards its own nil receiver.
+				if sel, isSel := at.(*ast.SelectorExpr); isSel {
+					if selection, found := info.Selections[sel]; found && selection.Kind() == types.MethodVal {
+						return
+					}
+				}
+				pass.Reportf(at.Pos(),
+					"%s dereference of %s %s: the nil-sink contract only covers method calls; guard with a nil check or annotate //lint:allow nilflow <reason>",
+					nl, label, types.ExprString(base))
+			},
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !mentionsSinkPtr(info, fd) {
+					continue
+				}
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					e.analyze(fn, hooks)
+				}
+			}
+		}
+	}
+}
+
+// mentionsSinkPtr is the cheap pre-filter: only functions whose body or
+// signature touches a sink pointer type pay for an interpreter run.
+func mentionsSinkPtr(info *types.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if label, isSink := sinkPtrType(tv.Type, nilSinkSegs); isSink && nilSinkTypes[label] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,15 +1,42 @@
 package lint
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // All returns the full krsplint analyzer suite in report order: the six
-// per-package invariant checks, the whole-module contract checker, and the
-// three cross-layer consistency analyzers.
+// per-package invariant checks, the whole-module dataflow and contract
+// checkers, and the three cross-layer consistency analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Ctxpoll, Detmap, Nopanic, Hotalloc, Wallclock, Weightovf,
-		Contracts, Metricscat, Faultseam, Suppressdrift,
+		Boundsafe, Nilflow, Contracts, Metricscat, Faultseam, Suppressdrift,
 	}
+}
+
+// engineSchema is the version of the shared analysis machinery — loader,
+// call graph, IR, interval dataflow, directive grammar. Bump it whenever a
+// change outside any single analyzer can alter verdicts for unchanged
+// sources (a sharper widening, a new discharge rule), so warm krsplint
+// caches invalidate instead of replaying stale reports.
+const engineSchema = 2 // 2: SSA-lite IR + interval dataflow engine
+
+// Fingerprint digests the engine schema plus each requested analyzer's
+// name and Version into a short hex string. cmd/krsplint mixes it into the
+// result-cache key: a cache entry is only replayed when both the sources
+// AND the analysis semantics that produced it are unchanged.
+func Fingerprint(analyzers []*Analyzer) string {
+	parts := make([]string, 0, len(analyzers)+1)
+	parts = append(parts, fmt.Sprintf("engine:%d", engineSchema))
+	for _, a := range analyzers {
+		parts = append(parts, fmt.Sprintf("%s:%d", a.Name, a.Version))
+	}
+	sort.Strings(parts[1:])
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+	return fmt.Sprintf("%x", sum[:8])
 }
 
 // UnknownAnalyzerError reports a name that matches no registered analyzer.

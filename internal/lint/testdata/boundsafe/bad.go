@@ -1,0 +1,38 @@
+// The violating half of the boundsafe corpus: each function pins exactly
+// one diagnostic shape — an undischargeable index, a missing contract on a
+// CSR kernel, and an undischargeable slice expression.
+package boundsgolden
+
+import "repro/internal/graph"
+
+// ScatterInto indexes dst with values read from raw — no guard, no typed
+// ID, so the index diagnostic fires (raw[i] itself is interval-proven by
+// the loop condition).
+//
+//krsp:noalloc
+//krsp:inbounds
+func ScatterInto(dst []int64, raw []int) {
+	for i := 0; i < len(raw); i++ {
+		dst[raw[i]] = 1
+	}
+}
+
+// UncoveredScanInto is a CSR kernel without //krsp:inbounds — the coverage
+// diagnostic fires on the declaration.
+//
+//krsp:noalloc
+func UncoveredScanInto(dst []graph.NodeID, c *graph.CSR) {
+	m := c.NumEdges()
+	for i := 0; i < m; i++ {
+		id := graph.EdgeID(i)
+		dst[id] = c.Tail(id)
+	}
+}
+
+// WindowInto reslices with unconstrained bounds — the slice diagnostic.
+//
+//krsp:noalloc
+//krsp:inbounds
+func WindowInto(dst []int64, lo, hi int) []int64 {
+	return dst[lo:hi]
+}

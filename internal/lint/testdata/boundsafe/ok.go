@@ -1,0 +1,54 @@
+// Package boundsgolden is mounted at repro/internal/shortest/boundsgolden
+// by the analyzer self-tests: a solve-path package importing the real CSR
+// type, so the boundsafe coverage sweep and all three discharge rules run
+// exactly as they do over the production kernels. Every site in this file
+// must be discharged and stay silent.
+package boundsgolden
+
+import "repro/internal/graph"
+
+// HeadsInto records each edge's current head. Every index is a typed
+// graph.EdgeID — the frozen-CSR axiom discharge.
+//
+//krsp:noalloc
+//krsp:inbounds
+func HeadsInto(dst []graph.NodeID, c *graph.CSR) {
+	m := c.NumEdges()
+	for i := 0; i < m; i++ {
+		id := graph.EdgeID(i)
+		dst[id] = c.Head(id)
+	}
+}
+
+// RowMaxInto folds each frozen row of vals through the CSR row pattern
+// offs[v]:offs[v+1] — the monotone-rows discharge on the slice, typed
+// NodeIDs on the offset and destination indexes, and an interval proof on
+// the inner scan.
+//
+//krsp:noalloc
+//krsp:inbounds
+func RowMaxInto(dst []int64, vals []int64, offs []int32, c *graph.CSR) {
+	n := c.NumNodes()
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		row := vals[offs[v]:offs[v+1]]
+		best := int64(0)
+		for i := 0; i < len(row); i++ {
+			if row[i] > best {
+				best = row[i]
+			}
+		}
+		dst[v] = best
+	}
+}
+
+// ClampInto writes through an explicitly range-checked index — the pure
+// interval discharge, no typed IDs involved.
+//
+//krsp:noalloc
+//krsp:inbounds
+func ClampInto(dst []int64, i int) {
+	if i < 0 || i >= len(dst) {
+		return
+	}
+	dst[i] = 1
+}

@@ -1,0 +1,127 @@
+// Package dataflow is the golden corpus for the abstract interpreter: each
+// function is analyzed directly by dataflow_test.go, which pins the hook
+// verdicts (index proofs, binary ranges, pointer nilness) per line.
+package dataflow
+
+const maxW = 1 << 30
+
+// LoopIndex's access is proven by the loop condition: 0 ≤ i < len(s).
+func LoopIndex(s []int64) int64 {
+	var sum int64
+	for i := 0; i < len(s); i++ {
+		sum += s[i] // PROVEN
+	}
+	return sum
+}
+
+// LoopIndexOff walks one past the bound; the proof must fail.
+func LoopIndexOff(s []int64) int64 {
+	var sum int64
+	for i := 0; i+1 < len(s); i++ {
+		sum += s[i+1] // PROVEN (i+1 ≤ len(s)-1 from the shifted condition)
+	}
+	return sum
+}
+
+// Overrun reads s[i+1] under the plain condition; not provable.
+func Overrun(s []int64) int64 {
+	var sum int64
+	for i := 0; i < len(s); i++ {
+		sum += s[i+1] // NOT PROVEN
+	}
+	return sum
+}
+
+// LenAlias bounds the loop against n := len(s); the alias fact carries the
+// proof.
+func LenAlias(s []int64) int64 {
+	n := len(s)
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += s[i] // PROVEN
+	}
+	return sum
+}
+
+// RangeIndex: the range key proves s[i]; nothing relates i to len(d).
+func RangeIndex(s, d []int64) {
+	for i := range s {
+		d[i] = s[i] // d[i] NOT PROVEN, s[i] PROVEN
+	}
+}
+
+// Clamp: both operands are range-checked, so the sum is provably within
+// [0, 2^31].
+func Clamp(a, w int64) int64 {
+	if w < 0 || w > maxW {
+		return 0
+	}
+	if a < 0 || a > maxW {
+		return 0
+	}
+	return a + w // in [0, 2^31]
+}
+
+// Unbounded adds two arbitrary int64s; the result interval must be top.
+func Unbounded(a, w int64) int64 {
+	return a + w // top
+}
+
+func nine() int64 { return 9 }
+
+// UsesSummary relies on the interprocedural return summary of nine.
+func UsesSummary(a int64) int64 {
+	if a < 0 || a > 100 {
+		return 0
+	}
+	return a + nine() // in [9, 109]
+}
+
+type box struct{ v int64 }
+
+// NilGuard dereferences only after the nil check.
+func NilGuard(b *box) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.v // NON-NIL
+}
+
+// NilMaybe dereferences an unchecked pointer.
+func NilMaybe(b *box) int64 {
+	return b.v // MAYBE-NIL
+}
+
+// GotoDegrade uses goto, which the IR builder does not model; the engine
+// must degrade to type-only facts and fail the proof rather than lie.
+func GotoDegrade(s []int64) int64 {
+	i := 0
+loop:
+	if i >= len(s) {
+		return 0
+	}
+	_ = s[i] // NOT PROVEN (degraded)
+	i++
+	goto loop
+}
+
+// SliceHead takes a guarded prefix; the upper bound fact carries the proof.
+func SliceHead(s []int64, hi int) []int64 {
+	if hi < 0 || hi > len(s) {
+		return nil
+	}
+	return s[:hi] // PROVEN
+}
+
+// SliceWindow slices [i, i+1) under the loop bound; both ends decompose to
+// the same base variable, so low ≤ high is structural.
+func SliceWindow(s []int64) {
+	for i := 0; i < len(s); i++ {
+		_ = s[i : i+1] // PROVEN
+	}
+}
+
+// SliceUnproven has no relation between the offsets and the slice.
+func SliceUnproven(s []int64, lo, hi int) []int64 {
+	return s[lo:hi] // NOT PROVEN
+}

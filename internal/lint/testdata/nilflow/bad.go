@@ -1,0 +1,27 @@
+// The violating half of the nilflow corpus: dereferences that bypass the
+// method-level nil guards of the sink contract.
+package nilgolden
+
+import (
+	"repro/internal/cancel"
+	"repro/internal/obs"
+)
+
+// UnguardedServer reads a metric-group field off a possibly-nil registry —
+// the field-dereference diagnostic.
+func UnguardedServer(r *obs.Registry) *obs.ServerMetrics {
+	return &r.Server
+}
+
+// CopyCanceller copies a possibly-nil canceller through a star dereference.
+func CopyCanceller(cn *cancel.Canceller) cancel.Canceller {
+	return *cn
+}
+
+// LostGuard guards the wrong pointer: a is checked, b is dereferenced.
+func LostGuard(a, b *obs.Registry) *obs.ServerMetrics {
+	if a == nil {
+		return nil
+	}
+	return &b.Server
+}

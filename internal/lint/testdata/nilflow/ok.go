@@ -1,0 +1,37 @@
+// Package nilgolden is mounted at repro/internal/obs/nilgolden by the
+// analyzer self-tests: it imports the real obs and cancel packages, so the
+// nilflow sink set and the engine's nilness lattice run against the actual
+// contract types. Every site in this file must stay silent.
+package nilgolden
+
+import (
+	"repro/internal/cancel"
+	"repro/internal/obs"
+)
+
+// SpanNow reads the clock through a method call on a possibly-nil registry
+// — the contract's sanctioned shape, exempt from the deref audit.
+func SpanNow(r *obs.Registry) int64 {
+	return r.Now()
+}
+
+// GuardedServer takes the server metric group behind an explicit guard: the
+// engine proves r non-nil at the field dereference.
+func GuardedServer(r *obs.Registry) *obs.ServerMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Server
+}
+
+// PollAll counts cancellation hits through nil-safe canceller methods,
+// silent on a possibly-nil receiver.
+func PollAll(cn *cancel.Canceller, n int) int {
+	hits := 0
+	for i := 0; i < n; i++ {
+		if cn.Poll() {
+			hits++
+		}
+	}
+	return hits
+}

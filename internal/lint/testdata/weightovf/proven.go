@@ -1,0 +1,44 @@
+// Package golden is mounted at repro/internal/rsp/golden by the analyzer
+// self-tests: a solver package, so the weightovf rules apply. This file is
+// the range-proven third of the precision corpus — every site here must be
+// proven safe by the dataflow engine and stay silent.
+package golden
+
+const maxWeight = 1 << 30 // mirrors graph.MaxWeight, Instance.Validate's cap
+
+// BoundedCost range-checks both operands against the MaxWeight cap; the
+// engine proves the sum within [0, 2^31].
+func BoundedCost(cost, add int64) int64 {
+	if cost < 0 || cost > maxWeight || add < 0 || add > maxWeight {
+		return 0
+	}
+	return cost + add
+}
+
+// ScaledLayer multiplies two capped weights: 2^30 · 2^30 = 2^60 < 2^62.
+func ScaledLayer(cost, delay int64) int64 {
+	if cost < 0 || cost > maxWeight || delay < 0 || delay > maxWeight {
+		return 0
+	}
+	return cost * delay
+}
+
+// Tick's small-constant increment is exempt by construction.
+func Tick(cost int64) int64 {
+	return cost + 1
+}
+
+func capWeight(w int64) int64 {
+	if w < 0 {
+		return 0
+	}
+	if w > maxWeight {
+		return maxWeight
+	}
+	return w
+}
+
+// SummedCaps adds through the interprocedural summary of capWeight.
+func SummedCaps(cost, delay int64) int64 {
+	return capWeight(cost) + capWeight(delay)
+}

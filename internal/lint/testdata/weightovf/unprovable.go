@@ -1,0 +1,25 @@
+package golden
+
+// PathCost accumulates an int64 weight with no visible bound: the loop
+// widens the total to +∞, so the engine reports it unprovable.
+func PathCost(costs []int64) int64 {
+	var total int64
+	for _, cost := range costs {
+		total += cost
+	}
+	return total
+}
+
+// ScaleDelay multiplies two unconstrained weight quantities.
+func ScaleDelay(delay, factor int64) int64 {
+	return delay * factor
+}
+
+// TotalDelay documents its real bound with a suppression.
+func TotalDelay(delays []int64) int64 {
+	var total int64
+	for _, delay := range delays {
+		total += delay //lint:allow weightovf golden: inputs capped far below 2^62
+	}
+	return total
+}

@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"math"
 	"strings"
 )
 
@@ -13,15 +14,20 @@ import (
 // factor both rely on every relaxation staying strictly below 2^62; an
 // unguarded `+` or `*` on cost/delay/weight/dist quantities can silently
 // wrap and invalidate the paper's exact integral scaling (Lemma 3,
-// Theorem 4). An addition or multiplication whose static type is int64 and
-// whose operands mention a weight-like name is flagged unless the enclosing
-// function visibly guards the range: it references a sentinel bound (Inf,
-// MaxWeight, MaxInt64, excludedW) or compares against a constant ≥ 2^59.
-// Sites whose bound lives elsewhere document it via
+// Theorem 4).
+//
+// Verdicts come from the interval dataflow engine (DESIGN.md §12), anchored
+// by graph.MaxWeight = 2^30 wherever Instance.Validate's cap is visible as a
+// constant comparison: a site whose saturating result interval stays finite
+// is proven safe and stays silent; a site whose operands provably exceed the
+// int64 range is reported as a certain overflow; everything else —
+// accumulation loops whose bound lives outside the function, unconstrained
+// parameters — is reported as unprovable and documents its real bound via
 // //lint:allow weightovf <reason>.
 var Weightovf = &Analyzer{
-	Name: "weightovf",
-	Doc:  "flag unguarded +/* on int64 weight quantities in solver packages",
+	Name:    "weightovf",
+	Version: 2, // v2: dataflow-proven verdicts replaced the syntactic guard heuristic
+	Doc:     "prove int64 weight arithmetic in solver packages stays in range",
 	AppliesTo: func(path string) bool {
 		return pathHasAnySegment(path, map[string]bool{
 			"core": true, "bicameral": true, "residual": true, "graph": true,
@@ -33,88 +39,216 @@ var Weightovf = &Analyzer{
 
 var weightNameParts = []string{"cost", "delay", "weight", "dist"}
 
-// guardIdents mark a function as overflow-aware when referenced anywhere in
-// its body.
-var guardIdents = map[string]bool{
-	"Inf": true, "MaxInt64": true, "MaxWeight": true, "excludedW": true,
+// ovfVerdict classifies one weight-arithmetic site.
+type ovfVerdict int8
+
+const (
+	ovfProven     ovfVerdict = iota // result interval finite: cannot wrap
+	ovfOverflow                     // every concrete evaluation wraps
+	ovfUnprovable                   // the engine cannot bound the result
+)
+
+// ovfSite is one +/* (or +=/*=) whose static type is int64 and whose
+// operands mention a weight-like quantity.
+type ovfSite struct {
+	pos     token.Pos
+	op      token.Token
+	x, y, r ival
+	verdict ovfVerdict
 }
 
 func runWeightovf(pass *Pass) {
-	info := pass.Pkg.Info
-	for _, f := range pass.Pkg.Files {
-		// Guarded functions: computed lazily per declaration.
-		guarded := map[*ast.FuncDecl]bool{}
-		isGuarded := func(fd *ast.FuncDecl) bool {
-			if fd == nil {
-				return false
+	for _, site := range weightovfSites(pass.Prog, pass.Pkg) {
+		switch site.verdict {
+		case ovfOverflow:
+			pass.Reportf(site.pos, "int64 weight %s provably overflows: operands in %s and %s; rescale or clamp before combining", site.op, site.x, site.y)
+		case ovfUnprovable:
+			pass.Reportf(site.pos, "cannot prove %s on int64 weight values stays in range (operands %s, %s); bound them against MaxWeight/excludedW or annotate //lint:allow weightovf <reason>", site.op, site.x, site.y)
+		}
+	}
+}
+
+// weightovfSites computes the dataflow verdict for every weight-arithmetic
+// site in the package. Sites the engine's hook walk misses (a body the IR
+// builder rejected mid-way) are swept up syntactically as unprovable, so the
+// verdict set always covers the syntactic candidate set — the differential
+// test pins that containment against the legacy pass.
+func weightovfSites(prog *Program, pkg *Package) []*ovfSite {
+	e := prog.dataflow()
+	info := pkg.Info
+	sites := map[token.Pos]*ovfSite{}
+	hooks := &dfHooks{
+		binary: func(n *ast.BinaryExpr, x, y, r ival, env *absEnv) {
+			if n.Op != token.ADD && n.Op != token.MUL {
+				return
 			}
-			if g, ok := guarded[fd]; ok {
-				return g
+			if !ovfCandidate(info, n.X, n.Y) {
+				return
 			}
-			g := false
-			ast.Inspect(fd, func(n ast.Node) bool {
-				if g {
-					return false
-				}
-				switch n := n.(type) {
-				case *ast.Ident:
-					if guardIdents[n.Name] {
-						g = true
-					}
-				case ast.Expr:
-					if tv, ok := info.Types[n]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
-						if v, ok := constant.Int64Val(tv.Value); ok && v >= 1<<59 {
-							g = true
-						}
-					}
-				}
-				return true
-			})
-			guarded[fd] = g
+			sites[n.OpPos] = &ovfSite{pos: n.OpPos, op: n.Op, x: x, y: y, r: r,
+				verdict: classifyOvf(n.Op, x, y, r)}
+		},
+		assignOp: func(n *ast.AssignStmt, x, y, r ival, env *absEnv) {
+			if n.Tok != token.ADD_ASSIGN && n.Tok != token.MUL_ASSIGN {
+				return
+			}
+			if !ovfCandidate(info, n.Lhs[0], n.Rhs[0]) {
+				return
+			}
+			op := token.ADD
+			if n.Tok == token.MUL_ASSIGN {
+				op = token.MUL
+			}
+			sites[n.TokPos] = &ovfSite{pos: n.TokPos, op: n.Tok, x: x, y: y, r: r,
+				verdict: classifyOvf(op, x, y, r)}
+		},
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				e.analyze(fn, hooks)
+			}
+		}
+		// Coverage sweep: any candidate the hook walk did not reach is
+		// unprovable by definition.
+		for _, c := range syntacticOvfCandidates(info, f) {
+			if _, ok := sites[c.pos]; !ok {
+				sites[c.pos] = &ovfSite{pos: c.pos, op: c.op,
+					x: ivTop(), y: ivTop(), r: ivTop(), verdict: ovfUnprovable}
+			}
+		}
+	}
+	out := make([]*ovfSite, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, s)
+	}
+	return out
+}
+
+// classifyOvf turns the saturating result interval into a verdict: finite
+// means no evaluation can wrap; a saturated corner on the *near* side means
+// every evaluation wraps; anything else is unprovable.
+func classifyOvf(op token.Token, x, y, r ival) ovfVerdict {
+	if r.bot || (r.hasLo() && r.hasHi()) {
+		return ovfProven
+	}
+	switch op {
+	case token.ADD:
+		if x.hasLo() && y.hasLo() {
+			if v, ok := addSat(x.lo, y.lo); !ok && v == math.MaxInt64 {
+				return ovfOverflow
+			}
+		}
+		if x.hasHi() && y.hasHi() {
+			if v, ok := addSat(x.hi, y.hi); !ok && v == math.MinInt64 {
+				return ovfOverflow
+			}
+		}
+	case token.MUL:
+		if x.hasLo() && y.hasLo() && x.lo > 0 && y.lo > 0 {
+			if _, ok := mulSat(x.lo, y.lo); !ok {
+				return ovfOverflow
+			}
+		}
+	}
+	return ovfUnprovable
+}
+
+// ovfCandidate applies the site trigger shared with the legacy pass: int64
+// static type, a weight-like operand, and no small-constant operand (x + 1
+// bookkeeping cannot reach 2^62 alone).
+func ovfCandidate(info *types.Info, x, y ast.Expr) bool {
+	if !isInt64(info, x) {
+		return false
+	}
+	if smallConst(info, x) || smallConst(info, y) {
+		return false
+	}
+	return weightLike(info, x) || weightLike(info, y)
+}
+
+// --- legacy syntactic pass -------------------------------------------------
+//
+// The pre-dataflow detector, kept as the reference for the differential test
+// (weightovf_test.go): every site it would have flagged as unguarded must
+// receive a dataflow verdict, so the rewrite can only refine, never drop.
+
+type ovfCandidateSite struct {
+	pos token.Pos
+	op  token.Token
+}
+
+// syntacticOvfCandidates lists every site matching the trigger, with no
+// guard exemption.
+func syntacticOvfCandidates(info *types.Info, f *ast.File) []ovfCandidateSite {
+	var out []ovfCandidateSite
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.ADD || n.Op == token.MUL) && ovfCandidate(info, n.X, n.Y) {
+				out = append(out, ovfCandidateSite{pos: n.OpPos, op: n.Op})
+			}
+		case *ast.AssignStmt:
+			if (n.Tok == token.ADD_ASSIGN || n.Tok == token.MUL_ASSIGN) && len(n.Lhs) == 1 &&
+				ovfCandidate(info, n.Lhs[0], n.Rhs[0]) {
+				out = append(out, ovfCandidateSite{pos: n.TokPos, op: n.Tok})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// legacyGuardIdents marked a function overflow-aware when referenced
+// anywhere in its body.
+var legacyGuardIdents = map[string]bool{
+	"Inf": true, "MaxInt64": true, "MaxWeight": true, "excludedW": true,
+}
+
+// legacyWeightovfFlagged reproduces the v1 analyzer: candidate sites in
+// functions with no visible guard reference.
+func legacyWeightovfFlagged(info *types.Info, f *ast.File) []token.Pos {
+	guarded := map[*ast.FuncDecl]bool{}
+	isGuarded := func(fd *ast.FuncDecl) bool {
+		if fd == nil {
+			return false
+		}
+		if g, ok := guarded[fd]; ok {
 			return g
 		}
-
-		ast.Inspect(f, func(n ast.Node) bool {
-			var op token.Token
-			var pos token.Pos
-			var operands []ast.Expr
-			var resultExpr ast.Expr
+		g := false
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if g {
+				return false
+			}
 			switch n := n.(type) {
-			case *ast.BinaryExpr:
-				if n.Op != token.ADD && n.Op != token.MUL {
-					return true
+			case *ast.Ident:
+				if legacyGuardIdents[n.Name] {
+					g = true
 				}
-				op, pos, operands, resultExpr = n.Op, n.OpPos, []ast.Expr{n.X, n.Y}, n.X
-			case *ast.AssignStmt:
-				if n.Tok != token.ADD_ASSIGN && n.Tok != token.MUL_ASSIGN || len(n.Lhs) != 1 {
-					return true
-				}
-				op, pos, operands, resultExpr = n.Tok, n.TokPos, []ast.Expr{n.Lhs[0], n.Rhs[0]}, n.Lhs[0]
-			default:
-				return true
-			}
-			if !isInt64(info, resultExpr) {
-				return true
-			}
-			weighty := false
-			for _, o := range operands {
-				if smallConst(info, o) {
-					return true // x + 1 style bookkeeping cannot reach 2^62 alone
-				}
-				if weightLike(info, o) {
-					weighty = true
+			case ast.Expr:
+				if tv, ok := info.Types[n]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if v, ok := constant.Int64Val(tv.Value); ok && v >= 1<<59 {
+						g = true
+					}
 				}
 			}
-			if !weighty {
-				return true
-			}
-			if isGuarded(enclosingFuncDecl(f, pos)) {
-				return true
-			}
-			pass.Reportf(pos, "unguarded %s on int64 weight values; bound operands against the 2^62 sentinel range (or annotate //lint:allow weightovf <reason>)", op)
 			return true
 		})
+		guarded[fd] = g
+		return g
 	}
+	var out []token.Pos
+	for _, c := range syntacticOvfCandidates(info, f) {
+		if !isGuarded(enclosingFuncDecl(f, c.pos)) {
+			out = append(out, c.pos)
+		}
+	}
+	return out
 }
 
 func isInt64(info *types.Info, e ast.Expr) bool {

@@ -23,6 +23,63 @@ type ServerMetrics struct {
 	PanicsRecovered *Counter
 }
 
+// RecordPanic folds one recovered handler panic (answered as a 500) into
+// the group. Nil-safe like every handle, so the HTTP layer records
+// unconditionally even when the daemon runs without a registry.
+func (m *ServerMetrics) RecordPanic() {
+	if m == nil {
+		return
+	}
+	m.PanicsRecovered.Inc()
+	m.RequestErrors.Inc()
+}
+
+// RecordShed counts one request rejected 429 by admission control.
+func (m *ServerMetrics) RecordShed() {
+	if m == nil {
+		return
+	}
+	m.Shed.Inc()
+}
+
+// RecordError counts one request answered with a 4xx/5xx status.
+func (m *ServerMetrics) RecordError() {
+	if m == nil {
+		return
+	}
+	m.RequestErrors.Inc()
+}
+
+// ObserveRequest records one end-to-end request latency (nanoseconds).
+func (m *ServerMetrics) ObserveRequest(ns int64) {
+	if m == nil {
+		return
+	}
+	m.RequestDuration.Observe(ns)
+}
+
+// RecordAccepted counts one accepted request on the named endpoint counter
+// (feasible selects FeasibleRequests, otherwise SolveRequests).
+func (m *ServerMetrics) RecordAccepted(feasible bool) {
+	if m == nil {
+		return
+	}
+	if feasible {
+		m.FeasibleRequests.Inc()
+	} else {
+		m.SolveRequests.Inc()
+	}
+}
+
+// AddInflight tracks request concurrency; call with +1 on entry and -1 on
+// exit.
+func (m *ServerMetrics) AddInflight(d int64) {
+	if m == nil {
+		return
+	}
+	m.Inflight.Add(d)
+}
+
 // SolverMetrics instruments core.Solve / core.SolveScaled outcomes. The
 // per-solve counters are recorded post-hoc from the returned core.Stats so
 // the cancellation loop itself gains no record calls.
@@ -158,6 +215,9 @@ func (r *Registry) ShortestMetrics() *ShortestMetrics {
 // family are registered consecutively so exposition emits HELP/TYPE
 // headers exactly once per family.
 func (r *Registry) registerCatalogue() {
+	if r == nil {
+		return
+	}
 	// cmd/krspd HTTP surface.
 	r.Server.SolveRequests = r.Counter("krspd_solve_requests_total",
 		"POST /solve requests accepted for solving.")

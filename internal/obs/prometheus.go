@@ -45,7 +45,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindHistogram:
 			cum := int64(0)
 			for i, b := range e.h.bounds {
-				cum += e.h.counts[i].Load()
+				cum += e.h.counts[i].Load() //lint:allow nilflow registration invariant: kindHistogram entries always carry h
 				buf = appendSample(buf, e.family, "_bucket", e.labels, formatBound(b, e.scale))
 				buf = strconv.AppendInt(buf, cum, 10)
 				buf = append(buf, '\n')

@@ -61,7 +61,7 @@ func bfCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree) (Tree, graph.Cycl
 			if t.Dist[e.From] == Inf {
 				continue
 			}
-			if nd := t.Dist[e.From] + w(e); nd < t.Dist[e.To] {
+			if nd := t.Dist[e.From] + w(e); nd < t.Dist[e.To] { //lint:allow weightovf finite Dist is a <=n-1 edge path sum, |nd| < n*MaxWeight < 2^47
 				t.Dist[e.To] = nd
 				t.Parent[e.To] = e.ID
 				changed = true

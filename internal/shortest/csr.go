@@ -50,14 +50,15 @@ func defaultBudgetCSR(c *graph.CSR) int {
 //
 //krsp:noalloc
 //krsp:terminates(each vertex finalizes once and the heap holds ≤ m entries)
+//krsp:inbounds
 func DijkstraCSRInto(ws *Workspace, c *graph.CSR, s graph.NodeID, lw LinWeight) Tree {
 	n := c.NumNodes()
 	t := ws.tree(n)
-	done := ws.done[:n]
+	done := ws.done[:n] //lint:allow boundsafe ws.tree(n) grows ws.done to n alongside the tree arrays
 	for v := range t.Dist {
 		t.Dist[v] = Inf
-		t.Parent[v] = -1
-		done[v] = false
+		t.Parent[v] = -1 //lint:allow boundsafe ws.tree(n) sizes Dist and Parent to the same length
+		done[v] = false  //lint:allow boundsafe ws.tree(n) grows ws.done to n alongside the tree arrays
 	}
 	t.Dist[s] = 0
 	h := ws.heap
@@ -139,12 +140,13 @@ func DijkstraCSRInto(ws *Workspace, c *graph.CSR, s graph.NodeID, lw LinWeight) 
 // verdict contract (including the conservative "no cycle" on cancellation).
 //
 //krsp:noalloc
+//krsp:inbounds
 func SPFAAllCSRInto(ws *Workspace, c *graph.CSR, lw LinWeight, alive []bool) (Tree, graph.Cycle, bool) {
 	n := c.NumNodes()
 	t := ws.tree(n)
 	for v := range t.Dist {
 		t.Dist[v] = 0
-		t.Parent[v] = -1
+		t.Parent[v] = -1 //lint:allow boundsafe ws.tree(n) sizes Dist and Parent to the same length
 	}
 	tree, cyc, ok, done := spfaCSRCore(ws, c, lw, alive, t, defaultBudgetCSR(c))
 	if done {
@@ -159,14 +161,16 @@ func SPFAAllCSRInto(ws *Workspace, c *graph.CSR, lw LinWeight, alive []bool) (Tr
 // spfaCSRCore is spfaCore over a CSR view (all-sources seeding only, which
 // is the solve-path shape). Relaxation order, budget accounting, pathLen
 // verification and cycle extraction all mirror spfaCore exactly.
+//
+//krsp:inbounds
 func spfaCSRCore(ws *Workspace, c *graph.CSR, lw LinWeight, alive []bool, t Tree, budget int) (Tree, graph.Cycle, bool, bool) {
 	n := c.NumNodes()
 	inQueue, pathLen, queue := ws.resetFlags(n)
-	defer func() { ws.queue = queue[:0] }()
+	defer func() { ws.queue = queue[:0] }() //lint:allow boundsafe [:0] never exceeds capacity; reslicing hands the grown buffer back to the workspace
 	relaxations := 0
 	for v := 0; v < n; v++ {
 		queue = append(queue, graph.NodeID(v)) //lint:allow contracts amortized: appends reuse the persisted workspace queue buffer
-		inQueue[v] = true
+		inQueue[v] = true                      //lint:allow boundsafe ws.resetFlags(n) sizes inQueue to n, the loop bound
 	}
 	head := 0
 	for head < len(queue) {
@@ -241,12 +245,13 @@ func spfaCSRCore(ws *Workspace, c *graph.CSR, lw LinWeight, alive []bool, t Tree
 // ascending in current orientation — identical to bfCore's EdgesView scan.
 //
 //krsp:noalloc
+//krsp:inbounds
 func BellmanFordAllCSRInto(ws *Workspace, c *graph.CSR, lw LinWeight, alive []bool) (Tree, graph.Cycle, bool) {
 	n := c.NumNodes()
 	t := ws.tree(n)
 	for v := range t.Dist {
 		t.Dist[v] = 0
-		t.Parent[v] = -1
+		t.Parent[v] = -1 //lint:allow boundsafe ws.tree(n) sizes Dist and Parent to the same length
 	}
 	m := c.NumEdges()
 	var lastRelaxed graph.NodeID = -1
@@ -265,7 +270,7 @@ func BellmanFordAllCSRInto(ws *Workspace, c *graph.CSR, lw LinWeight, alive []bo
 			if alive != nil && !alive[id] {
 				w = maskedW
 			}
-			if nd := t.Dist[from] + w; nd < t.Dist[c.Head(id)] {
+			if nd := t.Dist[from] + w; nd < t.Dist[c.Head(id)] { //lint:allow weightovf finite Dist is a <=n-1 edge path sum and |du| < 2^61 under masking, so nd cannot wrap
 				to := c.Head(id)
 				t.Dist[to] = nd
 				t.Parent[to] = id

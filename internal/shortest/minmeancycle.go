@@ -41,7 +41,7 @@ func MinMeanCycle(g *graph.Digraph, w Weight) (cycle graph.Cycle, num, den int64
 			if dp[k-1][e.From] == Inf {
 				continue
 			}
-			if nd := dp[k-1][e.From] + w(e); nd < dp[k][e.To] {
+			if nd := dp[k-1][e.From] + w(e); nd < dp[k][e.To] { //lint:allow weightovf dp[k-1] is a k-1 edge walk sum, |nd| < n*MaxWeight < 2^47
 				dp[k][e.To] = nd
 				pred[k][e.To] = e.ID
 			}

@@ -159,7 +159,7 @@ func DijkstraPotentialsInto(ws *Workspace, g *graph.Digraph, s graph.NodeID, w W
 	if pot != nil {
 		for v := range t.Dist {
 			if t.Dist[v] != Inf {
-				t.Dist[v] += pot[v] - pot[s]
+				t.Dist[v] += pot[v] - pot[s] //lint:allow weightovf de-reduction: Dist and potentials are path sums under n*MaxWeight < 2^47
 			}
 		}
 	}
@@ -215,7 +215,7 @@ func DAGShortest(g *graph.Digraph, s graph.NodeID, w Weight) (Tree, bool) {
 		}
 		for _, id := range g.Out(u) {
 			e := g.Edge(id)
-			if nd := t.Dist[u] + w(e); nd < t.Dist[e.To] {
+			if nd := t.Dist[u] + w(e); nd < t.Dist[e.To] { //lint:allow weightovf finite Dist is a DAG path sum, |nd| < n*MaxWeight < 2^47
 				t.Dist[e.To] = nd
 				t.Parent[e.To] = id
 			}

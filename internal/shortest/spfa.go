@@ -140,7 +140,7 @@ func spfaCore(ws *Workspace, g *graph.Digraph, w Weight, t Tree, s graph.NodeID,
 		}
 		for _, id := range g.Out(u) {
 			e := g.Edge(id)
-			if nd := du + w(e); nd < t.Dist[e.To] {
+			if nd := du + w(e); nd < t.Dist[e.To] { //lint:allow weightovf finite Dist is a <n edge path sum, |nd| < n*MaxWeight < 2^47
 				budget--
 				relaxations++
 				if budget < 0 {
