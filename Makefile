@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard clean
+.PHONY: check vet fmt-check lint bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard trace-smoke clean
 
 # The full CI gate: static checks (vet, gofmt, krsplint, the BCE ratchet),
 # build, race-enabled tests, a short fuzz smoke over the robustness harness,
 # a one-shot benchmark smoke run (catches benchmarks that panic or regress
-# to failure), the N=5k large-tier smoke, and the allocation guard on the
-# flagship benches.
-check: vet fmt-check lint bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard
+# to failure), the N=5k large-tier smoke, the allocation guard on the
+# flagship benches, and the flight-recorder round trip.
+check: vet fmt-check lint bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,7 +64,7 @@ bench-large:
 # Regenerate the hot-path benchmark snapshot. Reports are numbered; the
 # newest BENCH_*.json is the baseline the guard compares against.
 bench:
-	$(GO) run ./cmd/krspbench -out BENCH_2.json
+	$(GO) run ./cmd/krspbench -out BENCH_3.json
 
 # Newest snapshot on disk (lexicographic; fine for single-digit revisions).
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
@@ -76,6 +76,21 @@ BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 # allocs/op regression.
 bench-guard:
 	$(GO) run ./cmd/krspbench -run SolveN60K3,SolveCtxN60K3,Phase1ClassicN5k,Phase1ScaledN5k -baseline $(BENCH_BASELINE)
+
+# Flight-recorder round trip (DESIGN.md §13): generate an instance, solve
+# it with the recorder armed (krsp -flight), and render the dump with
+# krsptrace as both the human report and the Chrome trace_event export.
+# Fails when any stage cannot parse the previous one's output.
+trace-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/krspgen -n 40 -k 3 -slack 1.15 > $$tmp/ins.krsp && \
+	$(GO) run ./cmd/krsp -quiet -flight $$tmp/flight.jsonl $$tmp/ins.krsp > /dev/null && \
+	$(GO) run ./cmd/krsptrace $$tmp/flight.jsonl > $$tmp/report.txt && \
+	$(GO) run ./cmd/krsptrace -chrome $$tmp/chrome.json $$tmp/flight.jsonl && \
+	grep -q "phase timeline" $$tmp/report.txt && \
+	grep -q "duality-gap convergence" $$tmp/report.txt && \
+	echo "trace-smoke: solve -> dump -> krsptrace round trip ok ($$(wc -l < $$tmp/flight.jsonl | tr -d ' ') trace lines)"; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 clean:
 	$(GO) clean ./...

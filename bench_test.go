@@ -15,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/residual"
 	"repro/internal/rsp"
 	"repro/internal/shortest"
@@ -94,6 +95,22 @@ func BenchmarkSolveN60K3Metrics(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Solve(ins, core.Options{Metrics: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveN60K3Recorder is the flight-recorded twin of SolveN60K3:
+// same workload with a live recorder attached. Comparing the two -benchmem
+// lines shows the full cost of event recording; the nil-recorder default
+// (SolveN60K3 itself) is what the bench-guard pins, since Record is
+// zero-alloc by //krsp:noalloc contract either way.
+func BenchmarkSolveN60K3Recorder(b *testing.B) {
+	ins := benchInstance(b, 60, 3, 1.3)
+	r := rec.New(new(obs.ManualClock), rec.DefaultCapacity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(ins, core.Options{Recorder: r}); err != nil {
 			b.Fatal(err)
 		}
 	}

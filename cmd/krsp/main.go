@@ -17,7 +17,12 @@
 //	-stats    print the full solve statistics on one stats: line
 //	-trace    write one JSON object per cancellation (core.IterationRecord)
 //	          to this file, one per line (JSONL), closed by a summary line
-//	          {"summary":true,"degraded":...}; implies trace collection
+//	          {"summary":true,"schema":...,"trace":...,"degraded":...};
+//	          implies trace collection
+//	-flight   run the solve with a flight recorder attached and write the
+//	          event dump as JSONL to this file (render with krsptrace)
+//	-trace-id use this 32-hex W3C trace ID for -trace/-flight output
+//	          instead of minting one (correlate with krspd dumps)
 //	-timeout  deadline for -algo solve/scaled/phase1; past it the best
 //	          feasible intermediate is printed and krsp exits 2
 //
@@ -29,6 +34,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +47,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
 )
 
 func main() {
@@ -66,6 +75,8 @@ func run(args []string, out io.Writer) (bool, error) {
 	quiet := fs.Bool("quiet", false, "print only the summary line")
 	statsFlag := fs.Bool("stats", false, "print full solve statistics")
 	tracePath := fs.String("trace", "", "write the cancellation trace as JSONL to this file")
+	flightPath := fs.String("flight", "", "write the flight-recorder event dump as JSONL to this file")
+	traceID := fs.String("trace-id", "", "32-hex W3C trace ID for -trace/-flight output (minted if empty)")
 	timeout := fs.Duration("timeout", 0,
 		"deadline for -algo solve/scaled/phase1; best feasible intermediate past it"+
 			" (0 = none, negative = already expired)")
@@ -103,7 +114,19 @@ func run(args []string, out io.Writer) (bool, error) {
 		return false, err
 	}
 
+	if *traceID != "" && !validTraceID(*traceID) {
+		return false, fmt.Errorf("bad -trace-id %q: want 32 lowercase hex digits, not all zero", *traceID)
+	}
+	if *traceID == "" {
+		*traceID = mintTraceID()
+	}
 	opts := core.Options{CollectTrace: *tracePath != ""}
+	var flight *rec.Recorder
+	if *flightPath != "" {
+		// The CLI is a cmd/ edge like krspd: the real clock may enter here.
+		flight = rec.New(obs.RealClock{}, rec.DefaultCapacity)
+		opts.Recorder = flight
+	}
 	switch *engine {
 	case "comb":
 	case "lp":
@@ -178,8 +201,8 @@ func run(args []string, out io.Writer) (bool, error) {
 		return false, fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
-	if (*statsFlag || *tracePath != "") && solveStats == nil {
-		return false, fmt.Errorf("-stats and -trace require -algo solve, scaled, or phase1")
+	if (*statsFlag || *tracePath != "" || *flightPath != "") && solveStats == nil {
+		return false, fmt.Errorf("-stats, -trace, and -flight require -algo solve, scaled, or phase1")
 	}
 
 	fmt.Fprintf(out, "%s: k=%d cost=%d delay=%d bound=%d", label, ins.K, cost, dly, ins.Bound)
@@ -222,9 +245,22 @@ func run(args []string, out io.Writer) (bool, error) {
 		}
 		// Trailer line: whole-solve outcome, distinguished by "summary".
 		if err := enc.Encode(traceSummary{
-			Summary: true, Degraded: degraded,
+			Summary: true, Schema: rec.Schema, Trace: *traceID, Degraded: degraded,
 			Cost: cost, Delay: dly, Iterations: solveStats.Iterations,
 		}); err != nil {
+			f.Close()
+			return degraded, err
+		}
+		if err := f.Close(); err != nil {
+			return degraded, err
+		}
+	}
+	if *flightPath != "" {
+		f, err := os.Create(*flightPath)
+		if err != nil {
+			return degraded, err
+		}
+		if err := flight.WriteJSONL(f, *traceID); err != nil {
 			f.Close()
 			return degraded, err
 		}
@@ -246,11 +282,46 @@ func run(args []string, out io.Writer) (bool, error) {
 }
 
 // traceSummary is the final -trace JSONL line: the whole-solve outcome
-// following the per-iteration records.
+// following the per-iteration records. Schema versions the line layout
+// (shared with the flight-recorder dump format, rec.Schema); Trace carries
+// the W3C trace ID so CLI traces correlate with krspd/krsptrace dumps.
 type traceSummary struct {
-	Summary    bool  `json:"summary"`
-	Degraded   bool  `json:"degraded"`
-	Cost       int64 `json:"cost"`
-	Delay      int64 `json:"delay"`
-	Iterations int   `json:"iterations"`
+	Summary    bool   `json:"summary"`
+	Schema     int    `json:"schema"`
+	Trace      string `json:"trace,omitempty"`
+	Degraded   bool   `json:"degraded"`
+	Cost       int64  `json:"cost"`
+	Delay      int64  `json:"delay"`
+	Iterations int    `json:"iterations"`
+}
+
+// validTraceID accepts a W3C trace ID: 32 lowercase hex digits, not all
+// zero.
+func validTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	nonzero := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// mintTraceID draws a fresh 128-bit trace ID; like the real clock,
+// randomness enters only at the cmd/ edge.
+func mintTraceID() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		for i := range b {
+			b[i] = 0xfe
+		}
+	}
+	return hex.EncodeToString(b)
 }

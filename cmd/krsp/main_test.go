@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs/rec"
 )
 
 func writeInstanceFile(t *testing.T) string {
@@ -252,5 +253,70 @@ func TestRunInfeasibleInstance(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run([]string{path}, &out); err == nil {
 		t.Fatal("infeasible instance accepted")
+	}
+}
+
+// TestRunFlightDump: -flight writes a parseable flight-recorder dump whose
+// stream brackets the solve, and -trace-id pins the header's trace ID.
+func TestRunFlightDump(t *testing.T) {
+	path := writeInstanceFile(t)
+	dump := filepath.Join(t.TempDir(), "flight.jsonl")
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	var out bytes.Buffer
+	if _, err := run([]string{"-quiet", "-flight", dump, "-trace-id", id, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, evs, err := rec.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Trace != id || hdr.Schema != rec.Schema {
+		t.Fatalf("flight header = %+v, want trace %s schema %d", hdr, id, rec.Schema)
+	}
+	if len(evs) == 0 || evs[0].Kind != rec.KindSolveStart || evs[len(evs)-1].Kind != rec.KindSolveEnd {
+		t.Fatalf("flight stream malformed: %d events", len(evs))
+	}
+}
+
+// TestRunFlightFlagValidation: bad trace IDs and baseline algos are
+// rejected up front.
+func TestRunFlightFlagValidation(t *testing.T) {
+	path := writeInstanceFile(t)
+	dump := filepath.Join(t.TempDir(), "flight.jsonl")
+	var out bytes.Buffer
+	if _, err := run([]string{"-flight", dump, "-trace-id", "XYZ", path}, &out); err == nil {
+		t.Fatal("bad -trace-id accepted")
+	}
+	if _, err := run([]string{"-algo", "minsum", "-flight", dump, path}, &out); err == nil {
+		t.Fatal("-flight with a baseline algo accepted")
+	}
+}
+
+// TestTraceSummarySchema: the -trace trailer line carries the schema
+// version and the trace ID.
+func TestTraceSummarySchema(t *testing.T) {
+	path := writeInstanceFile(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	var out bytes.Buffer
+	if _, err := run([]string{"-quiet", "-trace", trace, "-trace-id", id, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var sum traceSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Summary || sum.Schema != rec.Schema || sum.Trace != id {
+		t.Fatalf("summary = %+v, want schema %d trace %s", sum, rec.Schema, id)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/residual"
 	"repro/internal/shortest"
 )
@@ -343,6 +344,19 @@ func suite() []bench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Solve(ins, core.Options{Metrics: reg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SolveN60K3Recorder", func(b *testing.B) {
+			// Flight-recorded twin: a live ring recorder is threaded through
+			// every kernel. Not in the guarded baseline; tracked so the cost
+			// of event recording stays visible next to the Metrics twin.
+			ins := benchInstance(60, 3, 1.3)
+			r := rec.New(obs.RealClock{}, rec.DefaultCapacity)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(ins, core.Options{Recorder: r}); err != nil {
 					b.Fatal(err)
 				}
 			}

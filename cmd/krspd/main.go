@@ -4,7 +4,7 @@
 // compute).
 //
 //	krspd -addr :8080 [-pprof] [-max-body 8388608] [-max-inflight N]
-//	      [-deadline 0] [-max-deadline 60s]
+//	      [-deadline 0] [-max-deadline 60s] [-trace-dir DIR] [-trace-sample N]
 //
 // Endpoints:
 //
@@ -12,14 +12,24 @@
 //	                    query: algo=solve|scaled|phase1 (default solve),
 //	                           eps=<float> (scaled only)
 //	                    header: X-Krsp-Deadline-Ms overrides -deadline,
-//	                            capped by -max-deadline
+//	                            capped by -max-deadline;
+//	                            traceparent joins a W3C trace (one is
+//	                            minted otherwise; the response echoes it)
 //	                    → JSON {requestId, cost, delay, bound, lowerBound,
-//	                            exact, paths, degraded, deadlineMs, stats}
+//	                            exact, paths, degraded, deadlineMs,
+//	                            traceId, stats}
 //	POST /feasible      body: instance → JSON {maxDisjoint, minDelay, ok}
 //	GET  /healthz       → 200 "ok"
 //	GET  /metrics       → Prometheus text exposition (DESIGN.md §9)
 //	GET  /debug/vars    → expvar-compatible JSON (std vars + "krsp")
+//	GET  /debug/trace/last → JSONL flight-recorder dump of the last solve
 //	GET  /debug/pprof/  → net/http/pprof, only with -pprof
+//
+// Every solve runs with a flight recorder attached (DESIGN.md §13). The
+// dump of the last solve is always available at /debug/trace/last; with
+// -trace-dir set, degraded / 503 / panicking solves additionally write
+// black-box JSONL dumps named <traceID>.jsonl there (plus every Nth
+// ordinary solve with -trace-sample N). Render dumps with cmd/krsptrace.
 //
 // The server reads bodies through MaxBytesReader (413 beyond -max-body),
 // sheds load with 429 past -max-inflight concurrent solves, enforces
@@ -53,6 +63,10 @@ func main() {
 		"default per-solve deadline; degraded-but-feasible answers past it (0 disables)")
 	maxDeadline := flag.Duration("max-deadline", 60*time.Second,
 		"cap on the X-Krsp-Deadline-Ms header deadline (0 = uncapped)")
+	traceDir := flag.String("trace-dir", "",
+		"directory for flight-recorder JSONL dumps: black boxes (degraded/503/panic) plus sampled solves (empty disables)")
+	traceSample := flag.Int("trace-sample", 0,
+		"with -trace-dir, also dump every Nth ordinary solve trace (0 = black boxes only)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -64,6 +78,8 @@ func main() {
 		maxInflight:     *maxInflight,
 		defaultDeadline: *deadline,
 		maxDeadline:     *maxDeadline,
+		traceDir:        *traceDir,
+		traceSample:     *traceSample,
 	})
 
 	hs := &http.Server{
@@ -82,7 +98,8 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	logger.Info("krspd listening", "addr", *addr, "pprof", *pprofFlag,
 		"maxBody", *maxBody, "maxInflight", *maxInflight,
-		"deadline", *deadline, "maxDeadline", *maxDeadline)
+		"deadline", *deadline, "maxDeadline", *maxDeadline,
+		"traceDir", *traceDir, "traceSample", *traceSample)
 
 	select {
 	case err := <-errc:

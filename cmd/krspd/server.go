@@ -39,6 +39,13 @@ type config struct {
 	// lever behind the recover middleware and degraded-path tests. Never
 	// set in production.
 	faults *fault.Registry
+	// traceDir, when non-empty, receives JSONL flight-recorder dumps
+	// (<traceID>.jsonl): every black-boxed solve (degraded, 503, panic)
+	// plus every traceSample-th ordinary one.
+	traceDir string
+	// traceSample dumps every Nth ordinary solve trace to traceDir; 0
+	// writes black-box dumps only.
+	traceSample int
 }
 
 // server carries the daemon's shared state: the metrics registry (also
@@ -55,6 +62,9 @@ type server struct {
 	cfg   config
 	sem   chan struct{}
 	reqID atomic.Int64
+	// tracer owns the per-request flight recorders, trace dumps, and the
+	// /debug/trace/last buffer (trace.go).
+	tracer *tracer
 }
 
 // newServer wires the handler state. Tests pass a ManualClock-backed
@@ -64,6 +74,7 @@ func newServer(reg *obs.Registry, logger *slog.Logger, cfg config) *server {
 	if cfg.maxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInflight)
 	}
+	s.tracer = newTracer(registryClock{reg}, cfg.traceDir, cfg.traceSample)
 	return s
 }
 
@@ -138,6 +149,7 @@ func (s *server) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
 	if s.cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -163,8 +175,12 @@ type solveResponse struct {
 	Degraded bool `json:"degraded"`
 	// DeadlineMs echoes the effective deadline applied to the solve
 	// (header, default, and cap resolved); 0 means none.
-	DeadlineMs int64      `json:"deadlineMs"`
-	Stats      core.Stats `json:"stats"`
+	DeadlineMs int64 `json:"deadlineMs"`
+	// TraceID identifies this solve's flight-recorder trace: the trace-id
+	// from the request's traceparent header when one was sent, else minted
+	// here. The response traceparent header carries the same ID.
+	TraceID string     `json:"traceId"`
+	Stats   core.Stats `json:"stats"`
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -177,11 +193,20 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if algo == "" {
 		algo = "solve"
 	}
+	// Trace identity: adopt the caller's W3C trace ID when the traceparent
+	// header parses, else mint one. Either way the response carries a
+	// traceparent with our own span ID so downstream hops keep correlating.
+	traceID, hadParent := parseTraceparent(r.Header.Get(traceparentHeader))
+	if !hadParent {
+		traceID = newTraceID()
+	}
+	w.Header().Set(traceparentHeader, "00-"+traceID+"-"+newSpanID()+"-01")
+	var dumpPath string
 	defer func() {
 		dur := s.reg.Now() - start
 		s.sm.ObserveRequest(dur)
-		s.log.Info("solve", "id", id, "algo", algo, "n", n, "m", m, "k", k,
-			"outcome", outcome, "status", status, "durMs", float64(dur)/1e6)
+		s.log.Info("solve", "id", id, "trace", traceID, "algo", algo, "n", n, "m", m, "k", k,
+			"outcome", outcome, "status", status, "durMs", float64(dur)/1e6, "dump", dumpPath)
 	}()
 	fail := func(msg string, code int) {
 		status, outcome = code, msg
@@ -220,7 +245,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancelCtx = context.WithTimeout(ctx, deadline)
 		defer cancelCtx()
 	}
-	opt := core.Options{Metrics: s.reg, Faults: s.cfg.faults}
+	// Arm a pooled flight recorder for the solve. finishTrace snapshots it
+	// (always into the /debug/trace/last buffer, to disk when black-boxed or
+	// sampled) and recycles it; the deferred call is the panic path — it
+	// preserves the black box before recoverWrap converts the panic to 500.
+	flight := s.tracer.acquire()
+	finished := false
+	finishTrace := func(blackBox bool) {
+		finished = true
+		dumpPath = s.tracer.finish(flight, traceID, blackBox)
+	}
+	defer func() {
+		if !finished {
+			finishTrace(true)
+		}
+	}()
+	opt := core.Options{Metrics: s.reg, Faults: s.cfg.faults, Recorder: flight}
 	var res core.Result
 	var err error
 	switch algo {
@@ -234,12 +274,14 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if q := r.URL.Query().Get("eps"); q != "" {
 			eps, err = strconv.ParseFloat(q, 64)
 			if err != nil || eps <= 0 {
+				finishTrace(false)
 				fail("bad eps", http.StatusBadRequest)
 				return
 			}
 		}
 		res, err = core.SolveScaledCtx(ctx, ins, eps, eps, opt)
 	default:
+		finishTrace(false)
 		fail("unknown algo "+algo, http.StatusBadRequest)
 		return
 	}
@@ -253,9 +295,14 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// client can retry with a bigger budget.
 			code = http.StatusServiceUnavailable
 		}
+		// 5xx solves black-box their trace; client errors (422) do not.
+		finishTrace(code >= http.StatusInternalServerError)
 		fail(err.Error(), code)
 		return
 	}
+	// A degraded solve black-boxes its trace even though it returned 200 —
+	// the whole point of the recorder is explaining what the deadline cut.
+	finishTrace(res.Stats.Degraded)
 	resp := solveResponse{
 		RequestID: id,
 		Cost:      res.Cost, Delay: res.Delay, Bound: ins.Bound,
@@ -263,6 +310,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Violated:   res.Delay > ins.Bound,
 		Degraded:   res.Stats.Degraded,
 		DeadlineMs: deadline.Milliseconds(),
+		TraceID:    traceID,
 		Stats:      res.Stats,
 	}
 	for _, p := range res.Solution.Paths {
@@ -317,6 +365,20 @@ func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 		"minDelay":    feas.MinDelay,
 		"ok":          feas.OK,
 	})
+}
+
+// handleTraceLast serves the most recent solve's flight-recorder dump as
+// JSONL — the zero-setup debugging path: reproduce the bad solve, then GET
+// this endpoint and pipe it into krsptrace.
+func (s *server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
+	dump, traceID := s.tracer.lastTrace()
+	if len(dump) == 0 {
+		http.Error(w, "no solve traced yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Krsp-Trace-Id", traceID)
+	w.Write(dump)
 }
 
 // readInstance parses a size-capped request body, mapping an over-limit

@@ -1,0 +1,162 @@
+package main
+
+// Per-request flight-recorder tracing for krspd: W3C traceparent parsing
+// and propagation, a recorder pool feeding core.Options.Recorder, sampled
+// JSONL dumps under -trace-dir, automatic black-box dumps whenever a solve
+// degrades, 503s, or panics, and the in-memory last-trace buffer behind
+// GET /debug/trace/last. cmd/krsptrace renders the dumps.
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
+)
+
+// traceparentHeader is the W3C Trace Context header carrying the trace ID
+// (https://www.w3.org/TR/trace-context/): 00-<32 hex>-<16 hex>-<2 hex>.
+const traceparentHeader = "traceparent"
+
+// parseTraceparent extracts the trace ID from a version-00 traceparent
+// value, rejecting malformed input and the all-zero (invalid) trace ID.
+func parseTraceparent(h string) (traceID string, ok bool) {
+	// 2 (version) + 1 + 32 (trace-id) + 1 + 16 (parent-id) + 1 + 2 (flags)
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	tid := h[3:35]
+	allZero := true
+	for i := 0; i < len(h); i++ {
+		if i == 2 || i == 35 || i == 52 {
+			continue
+		}
+		c := h[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", false
+		}
+	}
+	for i := 0; i < len(tid); i++ {
+		if tid[i] != '0' {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return "", false
+	}
+	// The parent span ID must be nonzero too.
+	allZero = true
+	for i := 36; i < 52; i++ {
+		if h[i] != '0' {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return "", false
+	}
+	return tid, true
+}
+
+// randomHex returns n bytes of crypto randomness as 2n lowercase hex
+// digits. ID generation lives only at this cmd/ edge, like the real clock.
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is a platform catastrophe; an all-zero ID
+		// would be invalid per the spec, so fall back to a fixed nonzero
+		// marker that is at least well-formed.
+		for i := range b {
+			b[i] = 0xfe
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// newTraceID mints a 128-bit W3C trace ID.
+func newTraceID() string { return randomHex(16) }
+
+// newSpanID mints a 64-bit W3C span ID.
+func newSpanID() string { return randomHex(8) }
+
+// registryClock adapts the server's metric registry into the obs.Clock the
+// recorder wants, so traces and phase spans share one time source.
+type registryClock struct{ reg *obs.Registry }
+
+func (c registryClock) Now() int64 { return c.reg.Now() }
+
+// tracer owns krspd's per-request recorders: a pool (rings are ~200 KiB;
+// reallocating one per request would dwarf the solve's own allocations),
+// the sampling counter, the dump directory, and the last-trace buffer.
+type tracer struct {
+	dir     string
+	sample  int
+	clock   obs.Clock
+	pool    sync.Pool
+	counter atomic.Int64
+
+	mu     sync.Mutex
+	last   []byte // JSONL dump of the most recent finished solve trace
+	lastID string
+}
+
+// newTracer wires the recorder pool. dir == "" disables on-disk dumps
+// (the last-trace buffer still works); sample N dumps every Nth solve
+// trace in addition to the black-box triggers, 0 dumps black boxes only.
+func newTracer(clock obs.Clock, dir string, sample int) *tracer {
+	t := &tracer{dir: dir, sample: sample, clock: clock}
+	t.pool.New = func() any { return rec.New(clock, rec.DefaultCapacity) }
+	return t
+}
+
+// acquire returns a reset recorder from the pool.
+func (t *tracer) acquire() *rec.Recorder {
+	r := t.pool.Get().(*rec.Recorder)
+	r.Reset()
+	return r
+}
+
+// finish encodes the request's trace, stores it as the last trace, dumps
+// it to disk when sampled or black-boxed, and returns the recorder to the
+// pool. It reports the dump path ("" when not written to disk).
+func (t *tracer) finish(r *rec.Recorder, traceID string, blackBox bool) string {
+	defer t.pool.Put(r)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, traceID); err != nil {
+		return ""
+	}
+	dump := buf.Bytes()
+	t.mu.Lock()
+	t.last = dump
+	t.lastID = traceID
+	t.mu.Unlock()
+
+	if t.dir == "" {
+		return ""
+	}
+	sampled := false
+	if t.sample > 0 {
+		sampled = t.counter.Add(1)%int64(t.sample) == 0
+	}
+	if !blackBox && !sampled {
+		return ""
+	}
+	path := filepath.Join(t.dir, traceID+".jsonl")
+	if err := os.WriteFile(path, dump, 0o644); err != nil {
+		return ""
+	}
+	return path
+}
+
+// lastTrace returns the most recent finished trace dump and its ID.
+func (t *tracer) lastTrace() (dump []byte, traceID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last, t.lastID
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs/rec"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{valid, true},
+		{"", false},
+		{valid[:54], false},             // truncated
+		{valid + "0", false},            // too long
+		{"01" + valid[2:], false},       // unknown version
+		{strings.ToUpper(valid), false}, // uppercase hex is invalid
+		{strings.Replace(valid, "-", "_", 1), false},
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", false}, // zero trace ID
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false}, // zero span ID
+		{"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", false}, // non-hex
+	}
+	for _, tc := range cases {
+		id, ok := parseTraceparent(tc.in)
+		if ok != tc.ok {
+			t.Errorf("parseTraceparent(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+		}
+		if tc.ok && id != tc.in[3:35] {
+			t.Errorf("parseTraceparent(%q) id = %q", tc.in, id)
+		}
+	}
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolveTraceparentPropagation: a caller-supplied traceparent is adopted
+// (same trace ID in the response header, body, and trace dump) while a
+// fresh span ID replaces the caller's; without the header krspd mints a
+// well-formed trace ID of its own.
+func TestSolveTraceparentPropagation(t *testing.T) {
+	srv, _ := testServer(t, 1<<20, false)
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/solve", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(traceparentHeader, parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	echo := resp.Header.Get(traceparentHeader)
+	wantTrace := parent[3:35]
+	gotTrace, ok := parseTraceparent(echo)
+	if !ok || gotTrace != wantTrace {
+		t.Fatalf("response traceparent %q does not carry trace ID %s", echo, wantTrace)
+	}
+	if echo[36:52] == parent[36:52] {
+		t.Fatalf("response reused the caller's span ID: %q", echo)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != wantTrace {
+		t.Fatalf("response traceId = %q, want %q", out.TraceID, wantTrace)
+	}
+
+	// No header → a minted, well-formed 128-bit ID.
+	resp2, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	minted, ok := parseTraceparent(resp2.Header.Get(traceparentHeader))
+	if !ok || len(minted) != 32 || !isHex(minted) {
+		t.Fatalf("minted traceparent %q invalid", resp2.Header.Get(traceparentHeader))
+	}
+	if minted == wantTrace {
+		t.Fatal("minted trace ID collided with the caller's")
+	}
+}
+
+// TestDegradedSolveBlackBoxDump is the acceptance path: a degraded solve
+// must leave a black-box JSONL dump in -trace-dir, named after the trace
+// ID, that parses and carries the degradation decision.
+func TestDegradedSolveBlackBoxDump(t *testing.T) {
+	dir := t.TempDir()
+	faults := fault.New(2)
+	faults.Arm(fault.PointCancel, 1.0)
+	srv, _ := testServerCfg(t, config{
+		maxBody:     1 << 20,
+		maxDeadline: 50 * time.Millisecond,
+		faults:      faults,
+		traceDir:    dir,
+	})
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/solve", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(deadlineMsHeader, "100000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !out.Degraded {
+		t.Fatalf("status %d degraded=%v, want a 200 degraded solve", resp.StatusCode, out.Degraded)
+	}
+	path := filepath.Join(dir, out.TraceID+".jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("black-box dump missing: %v", err)
+	}
+	hdr, evs, err := rec.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if hdr.Trace != out.TraceID || hdr.Schema != rec.Schema {
+		t.Fatalf("dump header = %+v, want trace %s schema %d", hdr, out.TraceID, rec.Schema)
+	}
+	var degraded, faultHits int
+	for _, ev := range evs {
+		switch ev.Kind {
+		case rec.KindDegraded:
+			degraded++
+		case rec.KindFaultHit:
+			faultHits++
+		}
+	}
+	if degraded != 1 || faultHits == 0 {
+		t.Fatalf("dump has %d degraded / %d fault-hit events, want 1 / ≥1", degraded, faultHits)
+	}
+}
+
+// TestPanicSolveBlackBoxDump: a panicking solve still leaves its black box
+// behind before recoverWrap turns the panic into a 500.
+func TestPanicSolveBlackBoxDump(t *testing.T) {
+	dir := t.TempDir()
+	faults := fault.New(3)
+	faults.ArmPanic(fault.PointCycleSearch, 1.0)
+	srv, _ := testServerCfg(t, config{maxBody: 1 << 20, faults: faults, traceDir: dir})
+	resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("panic dump files = %v (err %v), want exactly one", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, evs, err := rec.ReadJSONL(bytes.NewReader(data)); err != nil || len(evs) == 0 {
+		t.Fatalf("panic dump unreadable: %d events, err %v", len(evs), err)
+	}
+}
+
+// TestTraceSampling: with -trace-sample 2 and no black-box triggers, every
+// second ordinary solve is dumped.
+func TestTraceSampling(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := testServerCfg(t, config{maxBody: 1 << 20, traceDir: dir, traceSample: 2})
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("sampled dumps = %d, want 2 of 4 solves", len(files))
+	}
+}
+
+// TestTraceLastEndpoint: 404 before any solve, then the last solve's dump
+// with its trace ID in a header.
+func TestTraceLastEndpoint(t *testing.T) {
+	srv, _ := testServer(t, 1<<20, false)
+	resp, err := http.Get(srv.URL + "/debug/trace/last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-solve status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/solve", "text/plain", instanceBody(t, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/debug/trace/last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Krsp-Trace-Id"); got != out.TraceID {
+		t.Fatalf("last trace ID = %q, want %q", got, out.TraceID)
+	}
+	hdr, evs, err := rec.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Trace != out.TraceID {
+		t.Fatalf("dump header trace = %q, want %q", hdr.Trace, out.TraceID)
+	}
+	if len(evs) == 0 || evs[0].Kind != rec.KindSolveStart || evs[len(evs)-1].Kind != rec.KindSolveEnd {
+		t.Fatalf("last trace stream malformed: %d events", len(evs))
+	}
+}

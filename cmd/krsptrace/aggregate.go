@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs/rec"
+)
+
+// traceSummaryRow condenses one dump for the aggregate table.
+type traceSummaryRow struct {
+	name       string
+	trace      string
+	events     int
+	dropped    uint64
+	iters      int64 // cancel-step count
+	lambda     int64 // lambda-iter count
+	gapFirst   int64
+	gapLast    int64
+	gapSeen    bool
+	outcome    string
+	parseError error
+}
+
+func summarize(name string, in io.Reader) traceSummaryRow {
+	row := traceSummaryRow{name: name, outcome: "?"}
+	hdr, evs, err := readDump(in)
+	if err != nil {
+		row.parseError = err
+		return row
+	}
+	row.trace = hdr.Trace
+	row.events = len(evs)
+	row.dropped = hdr.Dropped
+	for _, ev := range evs {
+		switch ev.Kind {
+		case rec.KindCancelStep:
+			row.iters++
+		case rec.KindLambdaIter:
+			row.lambda++
+		case rec.KindDualityGap:
+			if !row.gapSeen {
+				row.gapFirst = ev.Args[3]
+				row.gapSeen = true
+			}
+			row.gapLast = ev.Args[3]
+		case rec.KindSolveEnd:
+			row.outcome = flagNames(ev.Args[3])
+		}
+	}
+	return row
+}
+
+// aggregate prints one summary row per *.jsonl dump in dir plus totals —
+// the triage view over a krspd -trace-dir directory.
+func aggregate(w io.Writer, dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no *.jsonl dumps in %s", dir)
+	}
+	sort.Strings(files)
+	fmt.Fprintf(w, "%-32s  %7s  %7s  %6s  %7s  %12s  %s\n",
+		"trace", "events", "dropped", "iters", "λ-iters", "gap", "outcome")
+	var totalEvents, totalDegraded, badFiles int
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		row := summarize(filepath.Base(path), f)
+		f.Close()
+		if row.parseError != nil {
+			fmt.Fprintf(w, "%-32s  unreadable: %v\n", row.name, row.parseError)
+			badFiles++
+			continue
+		}
+		trace := row.trace
+		if trace == "" {
+			trace = row.name
+		}
+		gap := "-"
+		if row.gapSeen {
+			gap = fmt.Sprintf("%d→%d", row.gapFirst, row.gapLast)
+		}
+		fmt.Fprintf(w, "%-32s  %7d  %7d  %6d  %7d  %12s  %s\n",
+			trace, row.events, row.dropped, row.iters, row.lambda, gap, row.outcome)
+		totalEvents += row.events
+		if row.outcome != "ok" && row.outcome != "exact" {
+			totalDegraded++
+		}
+	}
+	fmt.Fprintf(w, "totals: %d traces, %d with non-clean outcomes, %d events",
+		len(files)-badFiles, totalDegraded, totalEvents)
+	if badFiles > 0 {
+		fmt.Fprintf(w, ", %d unreadable", badFiles)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

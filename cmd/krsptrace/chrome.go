@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
+)
+
+// writeChrome emits the dump as Chrome trace_event JSON (the "JSON Object
+// Format"): phase pairs become B/E duration events, everything else an
+// instant event carrying its named arguments. Perfetto and about:tracing
+// load the result directly. Timestamps are microseconds per the format;
+// recorder timestamps are treated as nanoseconds (what the daemons'
+// RealClock records), so ts = T/1000.
+//
+// The JSON is written by hand rather than via encoding/json: field order
+// and number formatting stay byte-stable, which is what the golden test
+// pins.
+func writeChrome(w io.Writer, hdr rec.Header, evs []rec.Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n")
+	fmt.Fprintf(bw, " \"otherData\":{\"schema\":%d,\"trace\":%q,\"dropped\":%d},\n", hdr.Schema, hdr.Trace, hdr.Dropped)
+	fmt.Fprintf(bw, " \"traceEvents\":[")
+	var t0 int64
+	if len(evs) > 0 {
+		t0 = evs[0].T
+	}
+	for i, ev := range evs {
+		if i > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprint(bw, "\n  ")
+		ts := float64(ev.T-t0) / 1e3
+		switch ev.Kind {
+		case rec.KindPhaseStart, rec.KindPhaseEnd:
+			ph := "B"
+			if ev.Kind == rec.KindPhaseEnd {
+				ph = "E"
+			}
+			fmt.Fprintf(bw, `{"name":%q,"cat":"phase","ph":%q,"ts":%.3f,"pid":1,"tid":1}`,
+				obs.Phase(ev.Args[0]).String(), ph, ts)
+		default:
+			fmt.Fprintf(bw, `{"name":%q,"cat":"event","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":1,"args":{`,
+				ev.Kind.String(), ts)
+			info := ev.Kind.Info()
+			first := true
+			for slot, name := range info.Args {
+				if name == "" {
+					continue
+				}
+				if !first {
+					fmt.Fprint(bw, ",")
+				}
+				first = false
+				fmt.Fprintf(bw, "%q:%d", name, ev.Args[slot])
+			}
+			fmt.Fprint(bw, "}}")
+		}
+	}
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}

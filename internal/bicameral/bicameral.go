@@ -24,6 +24,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/residual"
 )
 
@@ -158,6 +159,11 @@ type Options struct {
 	// by speculative parallel work may vary with Workers — the
 	// bit-identical promise covers the returned Candidate and Stats only.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, receives one search-done flight-recorder
+	// event per Find (found flag, budgets tried, candidates inspected,
+	// final budget) and a fault-hit event when the cycle-search fault point
+	// trips. Nil (the default) records nothing and costs nothing.
+	Recorder *rec.Recorder
 	// Cancel, when non-nil, is polled throughout the search; once stopped,
 	// Find returns found=false as fast as it can. A cancelled found=false is
 	// NOT a completeness certificate — callers must check Cancel.Stopped()
@@ -231,6 +237,7 @@ func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 	// escalation, relaxed cap, phase-1 flow) — never into an infeasible
 	// output.
 	if err := o.Faults.Check(fault.PointCycleSearch); err != nil {
+		o.Recorder.Record(rec.KindFaultHit, int64(fault.PointCycleSearch), 0, 0, 0)
 		return cand, st, false
 	}
 	switch o.Engine {
@@ -250,6 +257,11 @@ func Find(rg *residual.Graph, p Params, o Options) (Candidate, Stats, bool) {
 			bm.NotFound.Inc()
 		}
 	}
+	var foundArg int64
+	if found {
+		foundArg = 1
+	}
+	o.Recorder.Record(rec.KindSearchDone, foundArg, int64(st.BudgetsTried), int64(st.Candidates), st.LastBudget)
 	return cand, st, found
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 )
 
 // ErrNoKPaths reports that fewer than k edge-disjoint s→t paths exist.
@@ -164,6 +165,16 @@ type Options struct {
 	// parallel work may vary with Workers; the determinism promise covers
 	// Result and Stats only.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, is the flight recorder receiving the solve's
+	// structured event stream: phase transitions, λ-iterations with their
+	// duality gap, augmentation rounds, cancellation steps, C_ref
+	// escalations, degradation decisions, and armed fault-point hits
+	// (DESIGN.md §13 documents the schema; cmd/krsptrace renders dumps).
+	// Where Metrics aggregates across solves, the Recorder captures the
+	// trajectory of THIS solve. Nil (the default) is a free no-op sink —
+	// `make bench-guard` enforces that SolveN60K3 allocates nothing extra
+	// with Recorder unset. Recorded events never influence results.
+	Recorder *rec.Recorder
 	// PollEvery is the cancellation poll stride for SolveCtx/SolveScaledCtx:
 	// kernels check the context's done channel once per PollEvery loop
 	// iterations (default cancel.DefaultPollStride). Smaller values tighten

@@ -9,6 +9,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/shortest"
 )
 
@@ -72,16 +73,18 @@ func (p Phase1Result) ChooseByPotential(g *graph.Digraph, bound int64) flow.Unit
 // and returns the two integral minimizers at λ* that straddle the bound.
 // Either flow (chosen by potential) satisfies delay/D + cost/C_LP ≤ 2.
 func Phase1(ins graph.Instance) (Phase1Result, error) {
-	return phase1(ins, nil, nil)
+	return phase1(ins, nil, nil, nil)
 }
 
 // phase1 is Phase1 with a flow-layer metric sink threaded through its
-// min-cost-flow calls (nil records nothing) and an optional canceller.
+// min-cost-flow calls (nil records nothing), an optional canceller, and an
+// optional flight recorder receiving one lambda-iter + duality-gap event
+// pair per multiplier update (nil records nothing).
 // Cancellation before BOTH endpoint flows exist yields ErrNoProgress (there
 // is no feasible k-flow to degrade to); once they do, cancellation merely
 // ends the Lagrangian refinement early with Degraded set — the endpoints
 // and the best dual value seen remain valid.
-func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase1Result, error) {
+func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller, r *rec.Recorder) (Phase1Result, error) {
 	if err := ins.Validate(); err != nil {
 		return Phase1Result{}, err
 	}
@@ -93,6 +96,7 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase
 	// result sets. The solver's augmentation order is bit-identical to the
 	// Digraph path, so this port changes no output anywhere downstream.
 	kf := flow.NewKFlowSolver(graph.NewCSR(g))
+	kf.SetRecorder(r)
 	fc, err := kf.MinCostKFlow(s, t, k, shortest.LinCost, fm, c)
 	if err != nil {
 		if errors.Is(err, cancel.ErrCancelled) {
@@ -153,6 +157,15 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase
 		if lval.Cmp(best) > 0 {
 			best = lval
 		}
+		r.Record(rec.KindLambdaIter, int64(st.LambdaIterations), p, q, wf)
+		if r != nil {
+			// Convergence snapshot: gap between the feasible endpoint's cost
+			// and the best dual bound, floored to the recorder's int64 args.
+			// Computed only when recording — the floor allocates big.Ints.
+			lc := lo.Cost(g)
+			dualFloor := ratFloorInt64(best)
+			r.Record(rec.KindDualityGap, int64(st.LambdaIterations), lc, dualFloor, lc-dualFloor)
+		}
 		if wf == hi.Weight(g, w) || wf == lo.Weight(g, w) {
 			break // λ* reached: f ties an endpoint
 		}
@@ -174,4 +187,10 @@ func phase1(ins graph.Instance, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase
 	}
 	res.Stats = st
 	return res, nil
+}
+
+// ratFloorInt64 is ⌊x⌋ for a nonnegative rational (big.Int.Div floors for
+// the always-positive Rat denominator) — the dual bound as recorder args.
+func ratFloorInt64(x *big.Rat) int64 {
+	return new(big.Int).Div(x.Num(), x.Denom()).Int64()
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/shortest"
 )
 
@@ -23,13 +24,13 @@ const DefaultPhase1Eps = 0.125
 func phase1Kernel(ins graph.Instance, opt Options, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase1Result, error) {
 	switch opt.Phase1Kernel {
 	case "", "classic":
-		return phase1(ins, fm, c)
+		return phase1(ins, fm, c, opt.Recorder)
 	case "scaled":
 		eps := opt.Phase1Eps
 		if eps == 0 {
 			eps = DefaultPhase1Eps
 		}
-		return phase1Scaled(ins, eps, fm, c)
+		return phase1Scaled(ins, eps, fm, c, opt.Recorder)
 	default:
 		return Phase1Result{}, fmt.Errorf("krsp: unknown phase-1 kernel %q (want classic or scaled)", opt.Phase1Kernel)
 	}
@@ -49,10 +50,10 @@ func Phase1Scaled(ins graph.Instance, eps float64) (Phase1Result, error) {
 	if eps <= 0 {
 		return Phase1Result{}, fmt.Errorf("krsp: phase-1 eps must be positive (got %g)", eps)
 	}
-	return phase1Scaled(ins, eps, nil, nil)
+	return phase1Scaled(ins, eps, nil, nil, nil)
 }
 
-func phase1Scaled(ins graph.Instance, eps float64, fm *obs.FlowMetrics, c *cancel.Canceller) (Phase1Result, error) {
+func phase1Scaled(ins graph.Instance, eps float64, fm *obs.FlowMetrics, c *cancel.Canceller, r *rec.Recorder) (Phase1Result, error) {
 	if eps <= 0 {
 		return Phase1Result{}, fmt.Errorf("krsp: phase-1 eps must be positive (got %g)", eps)
 	}
@@ -65,6 +66,7 @@ func phase1Scaled(ins graph.Instance, eps float64, fm *obs.FlowMetrics, c *cance
 	epsRat := new(big.Rat).SetFloat64(eps)
 
 	kf := flow.NewKFlowSolver(graph.NewCSR(g))
+	kf.SetRecorder(r)
 	// Endpoint flows use the full (non-target-stopped) rounds: their delay
 	// values gate the Exact shortcut and the infeasibility verdict, and
 	// target-stopping could tie-break onto a different optimal flow.
@@ -137,6 +139,15 @@ func phase1Scaled(ins graph.Instance, eps float64, fm *obs.FlowMetrics, c *cance
 		lval := new(big.Rat).SetFrac64(wf-p*bound, q)
 		if lval.Cmp(best) > 0 {
 			best = lval
+		}
+		r.Record(rec.KindLambdaIter, int64(st.LambdaIterations), p, q, wf)
+		if r != nil {
+			// Same convergence snapshot as the classic kernel — this gap is
+			// the very quantity the ε exit above tests, so the recorded
+			// trajectory shows exactly why (and when) the search stopped.
+			lc := lo.Cost(g)
+			dualFloor := ratFloorInt64(best)
+			r.Record(rec.KindDualityGap, int64(st.LambdaIterations), lc, dualFloor, lc-dualFloor)
 		}
 		if wf == hi.Weight(g, w) || wf == lo.Weight(g, w) {
 			break // λ* reached: f ties an endpoint

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 )
 
 // SolveScaled is Theorem 4: for fixed ε₁, ε₂ > 0 it rounds edge delays to
@@ -46,16 +47,20 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options, c *cancel.
 		return Result{}, err
 	}
 	m := opt.Metrics
+	r := opt.Recorder
+	r.Record(rec.KindSolveStart, int64(ins.G.NumNodes()), int64(ins.G.NumEdges()), int64(ins.K), ins.Bound)
 	// Phase 1 on the ORIGINAL instance supplies Ĉ and settles feasibility
 	// questions exactly (scaling must not change feasibility verdicts).
 	ps := m.StartSpan(obs.PhasePhase1)
+	r.Record(rec.KindPhaseStart, int64(obs.PhasePhase1), 0, 0, 0)
 	p1, err := phase1Kernel(ins, opt, m.FlowMetrics(), c)
 	ps.End()
+	r.Record(rec.KindPhaseEnd, int64(obs.PhasePhase1), 0, 0, 0)
 	if err != nil {
 		return Result{}, err
 	}
 	if p1.Exact {
-		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m)
+		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m, r)
 	}
 	g := ins.G
 	nPrime := int64(ins.K) * int64(g.NumNodes())
@@ -78,6 +83,7 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options, c *cancel.
 	// solve; the inner run goes through the internal solve so it is not
 	// double-counted as a second krsp_solves_total.
 	ss := m.StartSpan(obs.PhaseScale)
+	r.Record(rec.KindPhaseStart, int64(obs.PhaseScale), 0, 0, 0)
 	sg := graph.New(g.NumNodes())
 	for _, e := range g.EdgesView() {
 		sg.AddEdge(e.From, e.To, e.Cost/thetaC, e.Delay/thetaD)
@@ -89,13 +95,14 @@ func solveScaled(ins graph.Instance, eps1, eps2 float64, opt Options, c *cancel.
 	}
 	sres, err := solve(scaled, opt, c)
 	ss.End()
+	r.Record(rec.KindPhaseEnd, int64(obs.PhaseScale), 0, 0, 0)
 	if err != nil {
 		if errors.Is(err, ErrNoProgress) {
 			// The deadline hit inside the scaled re-solve before it rebuilt
 			// its endpoint flows — but the OUTER phase 1 already holds a
 			// feasible flow in original weights: degrade to it.
 			return finish(ins, p1.Lo.Edges, p1,
-				Stats{Phase1: p1.Stats, Degraded: true}, false, m)
+				Stats{Phase1: p1.Stats, Degraded: true}, false, m, r)
 		}
 		// Rounding delays down can never make a feasible instance
 		// infeasible, so errors here are structural and propagate.

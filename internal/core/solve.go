@@ -10,6 +10,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/residual"
 )
 
@@ -76,6 +77,7 @@ func recordOutcome(m *obs.Registry, res Result, err error) {
 	}
 	sm.LambdaIterations.Observe(int64(st.Phase1.LambdaIterations))
 	sm.CancellationsPerSolve.Observe(int64(st.Iterations))
+	sm.CycleCancelIters.Observe(int64(st.Iterations + st.CRefEscalations))
 	if st.Degraded {
 		sm.Degraded.Inc()
 	}
@@ -87,20 +89,26 @@ func recordOutcome(m *obs.Registry, res Result, err error) {
 // cancellation).
 func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error) {
 	m := opt.Metrics
+	r := opt.Recorder
+	if ins.G != nil {
+		r.Record(rec.KindSolveStart, int64(ins.G.NumNodes()), int64(ins.G.NumEdges()), int64(ins.K), ins.Bound)
+	}
 	ps := m.StartSpan(obs.PhasePhase1)
+	r.Record(rec.KindPhaseStart, int64(obs.PhasePhase1), 0, 0, 0)
 	p1, err := phase1Kernel(ins, opt, m.FlowMetrics(), c)
 	ps.End()
+	r.Record(rec.KindPhaseEnd, int64(obs.PhasePhase1), 0, 0, 0)
 	if err != nil {
 		return Result{}, err
 	}
 	g := ins.G
 	if p1.Exact {
-		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m)
+		return finish(ins, p1.Lo.Edges, p1, Stats{Phase1: p1.Stats}, true, m, r)
 	}
 	stats := Stats{Phase1: p1.Stats, Degraded: p1.Degraded}
 	if opt.Phase1Only {
 		chosen := p1.ChooseByPotential(g, ins.Bound)
-		return finish(ins, chosen.Edges, p1, stats, false, m)
+		return finish(ins, chosen.Edges, p1, stats, false, m, r)
 	}
 
 	// Algorithm 1 proper: start from the bound-violating Lagrangian
@@ -131,15 +139,19 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 	// bit-identical to rebuilding against the new solution but costs
 	// O(cycle length) instead of O(m) per iteration.
 	rg := residual.Build(g, cur)
+	rg.SetRecorder(r)
 	cs := m.StartSpan(obs.PhaseCancel)
+	r.Record(rec.KindPhaseStart, int64(obs.PhaseCancel), 0, 0, 0)
 	// degrade returns the anytime answer: the solutions this loop walks
 	// through are delay-INfeasible until it exits, so the feasible phase-1
 	// endpoint Lo is the best certified intermediate at every iteration. It
 	// keeps the LowerBound certificate; only the cost factor is forfeited.
 	degrade := func() (Result, error) {
 		stats.Degraded = true
+		r.Record(rec.KindDegraded, int64(obs.PhaseCancel), 0, 0, 0)
 		cs.End()
-		return finish(ins, p1.Lo.Edges, p1, stats, false, m)
+		r.Record(rec.KindPhaseEnd, int64(obs.PhaseCancel), 0, 0, 0)
+		return finish(ins, p1.Lo.Edges, p1, stats, false, m, r)
 	}
 	for curDelay > ins.Bound && stats.Iterations < maxIter {
 		// Injected cancellation trips the real canceller so the whole
@@ -147,6 +159,7 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 		// simulated. A nil canceller ignores the trip: there is no
 		// cancellation machinery to exercise.
 		if opt.Faults.Check(fault.PointCancel) != nil {
+			r.Record(rec.KindFaultHit, int64(fault.PointCancel), 0, 0, 0)
 			c.Trip()
 		}
 		if c.Check() {
@@ -168,6 +181,7 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 			Adversarial: opt.Adversarial,
 			Workers:     opt.Workers,
 			Metrics:     m,
+			Recorder:    r,
 			Cancel:      c,
 			Faults:      opt.Faults,
 		})
@@ -183,10 +197,12 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 			// underestimates C_OPT. Escalate toward the known upper bound.
 			if cRef < loCost {
 				stats.CRefEscalations++
+				old := cRef
 				cRef *= 2
 				if cRef > loCost {
 					cRef = loCost
 				}
+				r.Record(rec.KindCRefEscalate, old, cRef, 0, 0)
 				continue
 			}
 			// Cap already at the feasible cost; last resort is the
@@ -194,10 +210,13 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 			if bst.Fallback != nil && !opt.NoRelaxedCap {
 				stats.RelaxedCap = true
 				cand = *bst.Fallback
+				r.Record(rec.KindRelaxedCap, cand.Cost, cand.Delay, 0, 0)
 			} else {
 				stats.FellBackToPhase1 = true
+				r.Record(rec.KindFallback, rec.FallbackSearchExhausted, 0, 0, 0)
 				cs.End()
-				return finish(ins, p1.Lo.Edges, p1, stats, false, m)
+				r.Record(rec.KindPhaseEnd, int64(obs.PhaseCancel), 0, 0, 0)
+				return finish(ins, p1.Lo.Edges, p1, stats, false, m, r)
 			}
 		}
 		next, err := rg.ApplyAll(cand.Cycles)
@@ -210,11 +229,16 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 		// heals by rebuilding from the new solution, which is what Update is
 		// bit-identical to.
 		if ferr := opt.Faults.Check(fault.PointResidualUpdate); ferr != nil {
+			r.Record(rec.KindFaultHit, int64(fault.PointResidualUpdate), 0, 0, 0)
 			rg = residual.Build(g, next)
+			rg.SetRecorder(r)
 			stats.ResidualRebuilds++
+			r.Record(rec.KindResidualRebuild, int64(stats.Iterations), 0, 0, 0)
 		} else if err := rg.Update(cand.Cycles); err != nil {
 			rg = residual.Build(g, next)
+			rg.SetRecorder(r)
 			stats.ResidualRebuilds++
+			r.Record(rec.KindResidualRebuild, int64(stats.Iterations), 0, 0, 0)
 		}
 		if opt.CollectTrace {
 			stats.Trace = append(stats.Trace, IterationRecord{
@@ -226,6 +250,13 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 		cur = next
 		curCost += cand.Cost   //lint:allow weightovf solution aggregate over MaxWeight-capped edges; ≤ m·MaxWeight
 		curDelay += cand.Delay //lint:allow weightovf solution aggregate over MaxWeight-capped edges; ≤ m·MaxWeight
+		if r != nil {
+			edges := 0
+			for _, cyc := range cand.Cycles {
+				edges += len(cyc.Edges)
+			}
+			r.Record(rec.KindCancelStep, int64(edges), cand.Cost, cand.Delay, int64(cand.Type))
+		}
 		stats.Iterations++
 		if cand.Type >= 0 && int(cand.Type) < 3 {
 			stats.CyclesByType[cand.Type]++
@@ -233,34 +264,41 @@ func solve(ins graph.Instance, opt Options, c *cancel.Canceller) (Result, error)
 		if curCost >= cRef && curDelay > ins.Bound {
 			// Keep ΔC positive for the next round.
 			stats.CRefEscalations++
+			old := cRef
 			cRef = curCost + 1
 			if cRef < p1.CLPCeil {
 				cRef = p1.CLPCeil
 			}
+			r.Record(rec.KindCRefEscalate, old, cRef, 0, 0)
 		}
 	}
 	cs.End()
+	r.Record(rec.KindPhaseEnd, int64(obs.PhaseCancel), 0, 0, 0)
 	if curDelay > ins.Bound {
 		// Iteration cap hit: fall back to the feasible endpoint.
 		stats.FellBackToPhase1 = true
-		return finish(ins, p1.Lo.Edges, p1, stats, false, m)
+		r.Record(rec.KindFallback, rec.FallbackIterCap, 0, 0, 0)
+		return finish(ins, p1.Lo.Edges, p1, stats, false, m, r)
 	}
 	// Return the cheaper of the cancelled solution and the feasible
 	// endpoint (both meet the bound).
 	if loCost < curCost && !opt.NoSafetyNet {
 		stats.FellBackToPhase1 = true
-		return finish(ins, p1.Lo.Edges, p1, stats, false, m)
+		r.Record(rec.KindFallback, rec.FallbackCheaper, 0, 0, 0)
+		return finish(ins, p1.Lo.Edges, p1, stats, false, m, r)
 	}
-	return finish(ins, cur, p1, stats, false, m)
+	return finish(ins, cur, p1, stats, false, m, r)
 }
 
 // finish decomposes a feasible flow into paths and assembles the Result.
 // Flow cycles left over by decomposition are dropped: with nonnegative
 // weights that never increases cost or delay.
-func finish(ins graph.Instance, edges graph.EdgeSet, p1 Phase1Result, stats Stats, exact bool, m *obs.Registry) (Result, error) {
+func finish(ins graph.Instance, edges graph.EdgeSet, p1 Phase1Result, stats Stats, exact bool, m *obs.Registry, r *rec.Recorder) (Result, error) {
 	ds := m.StartSpan(obs.PhaseDecompose)
 	defer ds.End()
+	r.Record(rec.KindPhaseStart, int64(obs.PhaseDecompose), 0, 0, 0)
 	paths, _, err := flow.Decompose(ins.G, edges, ins.S, ins.T, ins.K)
+	r.Record(rec.KindPhaseEnd, int64(obs.PhaseDecompose), 0, 0, 0)
 	if err != nil {
 		return Result{}, fmt.Errorf("krsp: internal: decompose: %v", err)
 	}
@@ -273,5 +311,19 @@ func finish(ins graph.Instance, edges graph.EdgeSet, p1 Phase1Result, stats Stat
 		Exact:      exact,
 		Stats:      stats,
 	}
+	var flags int64
+	if stats.Degraded {
+		flags |= rec.FlagDegraded
+	}
+	if exact {
+		flags |= rec.FlagExact
+	}
+	if stats.RelaxedCap {
+		flags |= rec.FlagRelaxedCap
+	}
+	if stats.FellBackToPhase1 {
+		flags |= rec.FlagFellBack
+	}
+	r.Record(rec.KindSolveEnd, res.Cost, res.Delay, int64(stats.Iterations), flags)
 	return res, nil
 }

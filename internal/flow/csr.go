@@ -6,6 +6,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/pq"
 	"repro/internal/shortest"
 )
@@ -31,7 +32,13 @@ type KFlowSolver struct {
 	parent  []arc
 	settled []bool
 	h       *pq.Heap
+	fr      *rec.Recorder
 }
+
+// SetRecorder attaches a flight recorder; each augmentation round then
+// records one augment event (round index, s→t reduced distance). Nil (the
+// default) records nothing and costs one dead branch per round.
+func (kf *KFlowSolver) SetRecorder(r *rec.Recorder) { kf.fr = r }
 
 // NewKFlowSolver returns a solver bound to the view. The view must not be
 // flipped while the solver is in use (problem graphs never are; the solver
@@ -166,6 +173,7 @@ func (kf *KFlowSolver) run(s, t graph.NodeID, k int, lw shortest.LinWeight, m *o
 			return UnitFlow{}, ErrInfeasible
 		}
 		rounds++
+		kf.fr.Record(rec.KindAugment, rounds, dist[t], 0, 0)
 		kf.augmentAlong(parent, inFlow, s, t)
 		if targetStop {
 			// Capped repair: pot'[v] = pot[v] + min(dist[v], dist[t]) keeps

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Eventcat audits the flight-recorder event catalogue the same way
+// metricscat audits the metric catalogue. The Kind enum and the `kinds`
+// table in internal/obs/rec are the contract between the solver's Record
+// call sites and every trace consumer (krsptrace, dashboards, goldens);
+// this analyzer closes the loop the compiler cannot:
+//
+//  1. Every Kind constant (NumKinds aside) must have a catalogue row with
+//     a nonempty wire name — a missing row serialises as the zero
+//     KindInfo and silently drops the event's name and arguments from
+//     dumps.
+//  2. Wire names must be well-formed kebab-case ([a-z][a-z0-9-]*) and
+//     unique — a duplicate makes KindByName resolve two kinds to one.
+//  3. Every Recorder.Record call site must pass a declared Kind constant,
+//     not a computed value — dumps of unknown kinds are skipped by
+//     readers, so a dynamic kind is an event that silently vanishes.
+//  4. Every declared kind must be recorded somewhere in the module — an
+//     orphan kind is catalogue rot that decays into a lie about trace
+//     coverage.
+//
+// Catalogue discovery and kind diagnostics are confined to requested
+// rec-segment packages; Record call sites are scanned program-wide, so an
+// event recorded only in internal/flow still counts.
+var Eventcat = &Analyzer{
+	Name:       "eventcat",
+	Version:    1,
+	Doc:        "flight-recorder event catalogue: every kind declared exactly once, kebab-case unique names, constant Record kinds, no orphan kinds",
+	RunProgram: runEventcat,
+}
+
+var eventNameRE = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// eventKind is one tracked Kind constant.
+type eventKind struct {
+	obj *types.Const
+	pos token.Pos
+}
+
+func runEventcat(pass *Pass) {
+	prog := pass.Prog
+
+	// Phase 1: discover Kind constants and the catalogue table in requested
+	// rec-segment packages.
+	kindsByValue := map[int64]*eventKind{}
+	var kindOrder []*eventKind
+	catalogued := map[*types.Const]token.Pos{}
+	nameAt := map[string]token.Pos{}
+	for _, pkg := range prog.Requested {
+		if !pathHasSegment(pkg.Path, "rec") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for _, name := range vs.Names {
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || !isRecKind(c.Type()) || isBoundName(name.Name) {
+						continue
+					}
+					v, ok := constant.Int64Val(c.Val())
+					if !ok {
+						continue
+					}
+					ek := &eventKind{obj: c, pos: name.Pos()}
+					kindsByValue[v] = ek
+					kindOrder = append(kindOrder, ek)
+				}
+				return true
+			})
+		}
+		// The catalogue table: a composite literal of array-of-KindInfo
+		// keyed by Kind constants. Validate each row's Name.
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok || !isKindInfoArray(pkg.Info.TypeOf(lit)) {
+					return true
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						pass.Reportf(elt.Pos(), "catalogue entries must be keyed by Kind constant, not positional")
+						continue
+					}
+					c := constOf(pkg.Info, kv.Key)
+					if c == nil || !isRecKind(c.Type()) {
+						pass.Reportf(kv.Key.Pos(), "catalogue key must be a declared Kind constant")
+						continue
+					}
+					catalogued[c] = kv.Key.Pos()
+					name, namePos, ok := kindInfoName(pkg.Info, kv.Value)
+					if !ok || name == "" {
+						pass.Reportf(kv.Key.Pos(), "catalogue entry for %s has no wire name", c.Name())
+						continue
+					}
+					if !eventNameRE.MatchString(name) {
+						pass.Reportf(namePos, "event name %q is not kebab-case (want [a-z][a-z0-9-]*)", name)
+						continue
+					}
+					if prev, dup := nameAt[name]; dup {
+						pass.Reportf(namePos, "event name %q is already used at %s; KindByName would resolve two kinds to one",
+							name, prog.Fset.Position(prev))
+						continue
+					}
+					nameAt[name] = namePos
+				}
+				return false
+			})
+		}
+	}
+
+	// Phase 2: scan Record call sites program-wide. The kind argument must
+	// be a constant; constant kinds mark their Kind as recorded.
+	recorded := map[int64]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Record" || !isRecRecorder(pkg.Info.TypeOf(sel.X)) {
+					return true
+				}
+				tv := pkg.Info.Types[call.Args[0]]
+				if tv.Value == nil || tv.Value.Kind() != constant.Int {
+					pass.Reportf(call.Args[0].Pos(),
+						"Record kind must be a declared Kind constant; a computed kind records events no reader can decode")
+					return true
+				}
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					recorded[v] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 3: close the loop over the declared kinds.
+	for _, ek := range kindOrder {
+		v, _ := constant.Int64Val(ek.obj.Val())
+		if _, ok := catalogued[ek.obj]; !ok {
+			pass.Reportf(ek.pos, "kind %s has no catalogue entry; its events would dump with the zero KindInfo",
+				ek.obj.Name())
+			continue
+		}
+		if !recorded[v] {
+			pass.Reportf(ek.pos, "kind %s is catalogued but never passed to Record anywhere in the module (orphan kind)",
+				ek.obj.Name())
+		}
+	}
+}
+
+// isBoundName reports enum-bound sentinels (NumKinds) that size arrays
+// rather than name events.
+func isBoundName(name string) bool {
+	return len(name) >= 3 && name[:3] == "Num"
+}
+
+// isRecKind reports whether t is a type named Kind declared in a
+// rec-segment package.
+func isRecKind(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kind" && obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "rec")
+}
+
+// isRecRecorder reports whether t is (a pointer to) a type named Recorder
+// declared in a rec-segment package.
+func isRecRecorder(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "rec")
+}
+
+// isKindInfoArray reports whether t is an array of a struct type named
+// KindInfo declared in a rec-segment package.
+func isKindInfoArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	named, ok := arr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "KindInfo" && obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "rec")
+}
+
+// constOf resolves an expression to the constant it names, or nil.
+func constOf(info *types.Info, e ast.Expr) *types.Const {
+	switch x := e.(type) {
+	case *ast.Ident:
+		c, _ := info.ObjectOf(x).(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.ObjectOf(x.Sel).(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// kindInfoName extracts the Name field's constant string from a KindInfo
+// composite literal row.
+func kindInfoName(info *types.Info, e ast.Expr) (string, token.Pos, bool) {
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return "", e.Pos(), false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Name" {
+			continue
+		}
+		tv := info.Types[kv.Value]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", kv.Value.Pos(), false
+		}
+		return constant.StringVal(tv.Value), kv.Value.Pos(), true
+	}
+	return "", lit.Pos(), false
+}

@@ -24,6 +24,7 @@ var goldenMounts = map[string]string{
 	"directive":    "repro/internal/golden/directive",
 	"contracts":    "repro/internal/auxgraph/golden",
 	"metricscat":   "repro/internal/obs/metricsgolden",
+	"eventcat":     "repro/internal/obs/rec/eventgolden",
 	"faultseam":    "repro/internal/fault/seamgolden",
 	"staledrift":   "repro/internal/gen/staledrift",
 }
@@ -231,6 +232,16 @@ func TestMetricscatGolden(t *testing.T) {
 		"metricscat/families.go:11:12", // computed (non-constant, non-parameter) family argument
 		"metricscat/metrics.go:37:2",   // Orphan registered but never recorded
 		"metricscat/metrics.go:38:2",   // Missing never registered
+	})
+}
+
+func TestEventcatGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Eventcat), []string{
+		"eventcat/events.go:19:2",  // KindMissing has no catalogue row
+		"eventcat/events.go:21:2",  // KindOrphan catalogued but never recorded
+		"eventcat/events.go:35:22", // "Bad_Event" is not kebab-case
+		"eventcat/events.go:37:22", // duplicate wire name "dup-event"
+		"eventcat/events.go:67:11", // computed Record kind
 	})
 }
 

@@ -9,11 +9,11 @@ import (
 
 // All returns the full krsplint analyzer suite in report order: the six
 // per-package invariant checks, the whole-module dataflow and contract
-// checkers, and the three cross-layer consistency analyzers.
+// checkers, and the cross-layer consistency analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Ctxpoll, Detmap, Nopanic, Hotalloc, Wallclock, Weightovf,
-		Boundsafe, Nilflow, Contracts, Metricscat, Faultseam, Suppressdrift,
+		Boundsafe, Nilflow, Contracts, Metricscat, Eventcat, Faultseam, Suppressdrift,
 	}
 }
 

@@ -1,0 +1,68 @@
+// Package eventgolden is mounted at repro/internal/obs/rec/eventgolden by
+// the analyzer self-tests: a rec-segment package with miniature Kind /
+// KindInfo / Recorder types, so the event-catalogue audit runs without
+// importing the real rec package.
+package eventgolden
+
+// Kind is the miniature event-kind enum.
+type Kind uint8
+
+const (
+	// KindClean is catalogued and recorded: no diagnostics.
+	KindClean Kind = iota
+	// KindBadName has a malformed (non-kebab-case) wire name.
+	KindBadName
+	// KindDupA and KindDupB share a wire name.
+	KindDupA
+	KindDupB
+	// KindMissing has no catalogue row.
+	KindMissing
+	// KindOrphan is catalogued but never passed to Record.
+	KindOrphan
+	// NumKinds bounds the enum (excluded from the audit).
+	NumKinds
+)
+
+// KindInfo is the miniature catalogue row.
+type KindInfo struct {
+	Name string
+	Doc  string
+}
+
+// kinds is the miniature catalogue table.
+var kinds = [NumKinds]KindInfo{
+	KindClean:   {Name: "clean-event", Doc: "ok"},
+	KindBadName: {Name: "Bad_Event", Doc: "malformed wire name"},
+	KindDupA:    {Name: "dup-event", Doc: "first holder of the name"},
+	KindDupB:    {Name: "dup-event", Doc: "duplicate wire name"},
+	KindOrphan:  {Name: "orphan-event", Doc: "never recorded"},
+}
+
+// Name exposes the table so it is not itself dead code.
+func (k Kind) Name() string {
+	if k >= NumKinds {
+		return "unknown"
+	}
+	return kinds[k].Name
+}
+
+// Recorder is the miniature flight recorder.
+type Recorder struct{ n int }
+
+// Record appends one event.
+func (r *Recorder) Record(k Kind, a0, a1, a2, a3 int64) {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// use exercises the Record call-site checks.
+func use(r *Recorder, dyn Kind) {
+	r.Record(KindClean, 0, 0, 0, 0)
+	r.Record(KindBadName, 1, 0, 0, 0)
+	r.Record(KindDupA, 0, 0, 0, 0)
+	r.Record(KindDupB, 0, 0, 0, 0)
+	r.Record(KindMissing, 0, 0, 0, 0)
+	r.Record(dyn, 0, 0, 0, 0) // computed kind: undecodable events
+}

@@ -106,6 +106,11 @@ type SolverMetrics struct {
 	LambdaIterations *Histogram
 	// CancellationsPerSolve is the per-solve cancellation-count histogram.
 	CancellationsPerSolve *Histogram
+	// CycleCancelIters is the per-solve phase-2 loop-iteration histogram:
+	// applied cancellations PLUS the no-cycle C_ref escalation rounds, the
+	// full iteration count of the loop that dominates solve time at scale
+	// (ROADMAP item 3). CancellationsPerSolve counts only the applied subset.
+	CycleCancelIters *Histogram
 	// Degraded counts solves cut short by a deadline that returned the best
 	// feasible intermediate solution (Stats.Degraded).
 	Degraded *Counter
@@ -260,6 +265,9 @@ func (r *Registry) registerCatalogue() {
 		"Phase-1 Lagrangian iterations per solve.", countBounds)
 	r.Solver.CancellationsPerSolve = r.Histogram("krsp_cancellations_per_solve",
 		"Cycle cancellations per solve.", countBounds)
+	r.Solver.CycleCancelIters = r.Histogram("krsp_cycle_cancel_iters",
+		"Phase-2 cancellation loop iterations per solve (applied cancellations plus no-cycle escalation rounds).",
+		countBounds)
 	r.Solver.Degraded = r.Counter("krsp_solve_degraded_total",
 		"Solves cut short by a deadline, answered with the best feasible intermediate.")
 	r.Solver.ResidualRebuilds = r.Counter("krsp_residual_rebuilds_total",

@@ -1,0 +1,122 @@
+package rec
+
+// JSONL dump format for flight-recorder traces. A dump is a header line
+// followed by one line per event, oldest first:
+//
+//	{"schema":1,"trace":"4bf9...","cap":4096,"total":973,"dropped":0}
+//	{"seq":0,"t":0,"kind":"solve-start","args":{"n":40,"m":118,"k":2,"bound":57}}
+//	{"seq":1,"t":1500,"kind":"phase-start","args":{"phase":0}}
+//	...
+//
+// Arguments are keyed by their catalogue names so dumps are readable raw
+// and join cleanly with krsp/krspd summary lines on (schema, trace). The
+// codec lives on the dump/analysis edge and allocates freely — only
+// Record is on the solve path.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Header is the first line of a JSONL trace dump.
+type Header struct {
+	// Schema is the event-schema version the dump was written under.
+	Schema int `json:"schema"`
+	// Trace is the W3C trace ID (32 lowercase hex) the solve ran under,
+	// or "" for untraced CLI dumps.
+	Trace string `json:"trace,omitempty"`
+	// Cap, Total, Dropped snapshot the ring state at dump time.
+	Cap     int    `json:"cap"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// eventLine is the wire form of one event.
+type eventLine struct {
+	Seq  uint64           `json:"seq"`
+	T    int64            `json:"t"`
+	Kind string           `json:"kind"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteJSONL dumps the recorder's held events to w: one header line, then
+// one line per event in recording order. Nil-safe: a nil recorder writes a
+// header describing an empty ring.
+func (r *Recorder) WriteJSONL(w io.Writer, traceID string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := Header{Schema: Schema, Trace: traceID, Cap: r.Cap(), Total: r.Total(), Dropped: r.Dropped()}
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		if err := enc.Encode(encodeEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeEvent(ev Event) eventLine {
+	line := eventLine{Seq: ev.Seq, T: ev.T, Kind: ev.Kind.String()}
+	names := ev.Kind.Info().Args
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		if line.Args == nil {
+			line.Args = make(map[string]int64, 4)
+		}
+		line.Args[name] = ev.Args[i]
+	}
+	return line
+}
+
+// ReadJSONL parses a dump written by WriteJSONL: the header and the events
+// in file order. Events whose kind is unknown to this build's catalogue
+// are skipped (a dump from a newer schema degrades instead of failing);
+// a malformed line is an error.
+func ReadJSONL(rd io.Reader) (Header, []Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Header{}, nil, err
+		}
+		return Header{}, nil, io.ErrUnexpectedEOF
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return Header{}, nil, fmt.Errorf("trace header: %w", err)
+	}
+	var events []Event
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line eventLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return h, events, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		k, ok := KindByName(line.Kind)
+		if !ok {
+			continue
+		}
+		ev := Event{Seq: line.Seq, T: line.T, Kind: k}
+		for i, name := range k.Info().Args {
+			if name == "" {
+				continue
+			}
+			ev.Args[i] = line.Args[name]
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return h, events, err
+	}
+	return h, events, nil
+}

@@ -1,0 +1,259 @@
+package rec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	r.Record(KindSolveStart, 1, 2, 3, 4)
+	r.Reset()
+	if got := r.Len(); got != 0 {
+		t.Errorf("nil Len = %d, want 0", got)
+	}
+	if got := r.Cap(); got != 0 {
+		t.Errorf("nil Cap = %d, want 0", got)
+	}
+	if got := r.Total(); got != 0 {
+		t.Errorf("nil Total = %d, want 0", got)
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Errorf("nil Dropped = %d, want 0", got)
+	}
+	if got := r.Events(); got != nil {
+		t.Errorf("nil Events = %v, want nil", got)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(KindLambdaIter, 1, 2, 3, 4)
+	})
+	if allocs != 0 {
+		t.Errorf("nil Record allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestRecordOrderAndWrap(t *testing.T) {
+	clock := new(obs.ManualClock)
+	r := New(clock, 4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 6; i++ {
+		clock.Advance(10)
+		r.Record(KindLambdaIter, int64(i), 0, 0, 0)
+	}
+	if r.Total() != 6 {
+		t.Errorf("Total = %d, want 6", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(i + 2) // oldest two overwritten
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Args[0] != int64(i+2) {
+			t.Errorf("event %d arg0 = %d, want %d", i, ev.Args[0], i+2)
+		}
+		if want := int64(10 * (i + 3)); ev.T != want {
+			t.Errorf("event %d T = %d, want %d", i, ev.T, want)
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if got := New(nil, 5).Cap(); got != 8 {
+		t.Errorf("New(5).Cap = %d, want 8", got)
+	}
+	if got := New(nil, 8).Cap(); got != 8 {
+		t.Errorf("New(8).Cap = %d, want 8", got)
+	}
+	if got := New(nil, 0).Cap(); got != DefaultCapacity {
+		t.Errorf("New(0).Cap = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(nil, -3).Cap(); got != DefaultCapacity {
+		t.Errorf("New(-3).Cap = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(nil, 8)
+	r.Record(KindSolveStart, 0, 0, 0, 0)
+	r.Record(KindSolveEnd, 0, 0, 0, 0)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Events() != nil {
+		t.Errorf("after Reset: Len=%d Total=%d Events=%v, want all empty", r.Len(), r.Total(), r.Events())
+	}
+	r.Record(KindSolveStart, 7, 0, 0, 0)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Seq != 0 || evs[0].Args[0] != 7 {
+		t.Errorf("record after Reset = %+v, want fresh seq 0", evs)
+	}
+}
+
+func TestArmedRecordZeroAlloc(t *testing.T) {
+	r := New(new(obs.ManualClock), 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(KindCancelStep, 1, 2, 3, 4)
+	})
+	if allocs != 0 {
+		t.Errorf("armed Record allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestCatalogueComplete(t *testing.T) {
+	seenName := make(map[string]Kind, NumKinds)
+	for k := Kind(0); k < NumKinds; k++ {
+		info := k.Info()
+		if info.Name == "" {
+			t.Errorf("kind %d has no catalogue entry", k)
+			continue
+		}
+		if info.Doc == "" {
+			t.Errorf("kind %s has no doc", info.Name)
+		}
+		if prev, dup := seenName[info.Name]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, info.Name)
+		}
+		seenName[info.Name] = k
+		if strings.ToLower(info.Name) != info.Name || strings.ContainsAny(info.Name, " _") {
+			t.Errorf("kind name %q is not kebab-case", info.Name)
+		}
+		// Used arg slots must be contiguous from slot 0 so positional
+		// Args and named JSONL args agree.
+		sawEmpty := false
+		for i, a := range info.Args {
+			if a == "" {
+				sawEmpty = true
+			} else if sawEmpty {
+				t.Errorf("kind %s: arg slot %d named after an empty slot", info.Name, i)
+			}
+		}
+		back, ok := KindByName(info.Name)
+		if !ok || back != k {
+			t.Errorf("KindByName(%q) = %v,%v, want %v,true", info.Name, back, ok, k)
+		}
+	}
+	if Kind(NumKinds).String() != "unknown" {
+		t.Errorf("out-of-range String = %q, want unknown", Kind(NumKinds).String())
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+	if got := len(Catalogue()); got != int(NumKinds) {
+		t.Errorf("Catalogue len = %d, want %d", got, NumKinds)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	clock := new(obs.ManualClock)
+	r := New(clock, 16)
+	r.Record(KindSolveStart, 40, 118, 2, 57)
+	clock.Advance(1500)
+	r.Record(KindPhaseStart, int64(obs.PhasePhase1), 0, 0, 0)
+	clock.Advance(300)
+	r.Record(KindLambdaIter, 0, 3, 2, 91)
+	r.Record(KindDualityGap, 0, 120, 100, 20)
+	clock.Advance(100)
+	r.Record(KindSolveEnd, 115, 50, 3, FlagExact)
+
+	var buf bytes.Buffer
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	if err := r.WriteJSONL(&buf, traceID); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+
+	h, evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if h.Schema != Schema || h.Trace != traceID || h.Cap != 16 || h.Total != 5 || h.Dropped != 0 {
+		t.Errorf("header = %+v", h)
+	}
+	want := r.Events()
+	if len(evs) != len(want) {
+		t.Fatalf("round-trip %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestJSONLNamedArgs(t *testing.T) {
+	r := New(nil, 8)
+	r.Record(KindLambdaIter, 2, 7, 5, 333)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, ""); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want 2", len(lines))
+	}
+	for _, frag := range []string{`"kind":"lambda-iter"`, `"iter":2`, `"p":7`, `"q":5`, `"weight":333`} {
+		if !strings.Contains(lines[1], frag) {
+			t.Errorf("event line missing %s: %s", frag, lines[1])
+		}
+	}
+	if strings.Contains(lines[0], "trace") {
+		t.Errorf("empty trace ID should be omitted from header: %s", lines[0])
+	}
+}
+
+func TestReadJSONLUnknownKindSkipped(t *testing.T) {
+	dump := `{"schema":99,"cap":8,"total":2,"dropped":0}
+{"seq":0,"t":0,"kind":"from-the-future","args":{"x":1}}
+{"seq":1,"t":5,"kind":"fallback","args":{"reason":2}}
+`
+	h, evs, err := ReadJSONL(strings.NewReader(dump))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if h.Schema != 99 {
+		t.Errorf("Schema = %d, want 99", h.Schema)
+	}
+	if len(evs) != 1 || evs[0].Kind != KindFallback || evs[0].Args[0] != FallbackCheaper {
+		t.Errorf("events = %+v, want one fallback/cheaper", evs)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("bad header: want error")
+	}
+	bad := "{\"schema\":1,\"cap\":8,\"total\":1,\"dropped\":0}\n{broken\n"
+	if _, _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+		t.Error("bad event line: want error")
+	}
+}
+
+func TestNilRecorderWriteJSONL(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, ""); err != nil {
+		t.Fatalf("WriteJSONL on nil recorder: %v", err)
+	}
+	h, evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if h.Cap != 0 || h.Total != 0 || len(evs) != 0 {
+		t.Errorf("nil dump header=%+v events=%d, want empty", h, len(evs))
+	}
+}

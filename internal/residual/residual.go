@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/obs/rec"
 )
 
 // Graph is a residual graph plus the bookkeeping to map residual edges back
@@ -31,7 +32,14 @@ type Graph struct {
 	view *graph.CSR
 	// sol is the solution edge set the residual was built against.
 	sol graph.EdgeSet
+	// fr, when non-nil, records one residual-apply flight-recorder event
+	// per successful Update (cycle count, edges flipped).
+	fr *rec.Recorder
 }
+
+// SetRecorder attaches a flight recorder to the residual maintenance path.
+// Nil (the default) records nothing and costs nothing.
+func (rg *Graph) SetRecorder(r *rec.Recorder) { rg.fr = r }
 
 // Build constructs G̃ with respect to the unit flow `sol` (the edges used
 // by the current k disjoint paths). Residual edge IDs equal original edge
@@ -99,6 +107,7 @@ func (rg *Graph) Update(applied []graph.Cycle) error {
 			}
 		}
 	}
+	flipped := int64(0)
 	for _, cyc := range applied {
 		for _, id := range cyc.Edges {
 			orig := rg.origEdge[id]
@@ -110,8 +119,10 @@ func (rg *Graph) Update(applied []graph.Cycle) error {
 			rg.reversed[id] = !rg.reversed[id]
 			rg.R.FlipEdge(id)
 			rg.view.Flip(id)
+			flipped++
 		}
 	}
+	rg.fr.Record(rec.KindResidualApply, int64(len(applied)), flipped, 0, 0)
 	return nil
 }
 
