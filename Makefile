@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard trace-smoke clean
+.PHONY: check vet fmt-check lint bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard trace-smoke cluster-smoke clean
 
 # The full CI gate: static checks (vet, gofmt, krsplint, the BCE ratchet),
 # build, race-enabled tests, a short fuzz smoke over the robustness harness,
 # a one-shot benchmark smoke run (catches benchmarks that panic or regress
 # to failure), the N=5k large-tier smoke, the allocation guard on the
-# flagship benches, and the flight-recorder round trip.
-check: vet fmt-check lint bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard trace-smoke
+# flagship benches, the flight-recorder round trip, and the 3-node cluster
+# failover smoke.
+check: vet fmt-check lint bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard trace-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,18 +65,19 @@ bench-large:
 # Regenerate the hot-path benchmark snapshot. Reports are numbered; the
 # newest BENCH_*.json is the baseline the guard compares against.
 bench:
-	$(GO) run ./cmd/krspbench -out BENCH_3.json
+	$(GO) run ./cmd/krspbench -out BENCH_4.json
 
 # Newest snapshot on disk (lexicographic; fine for single-digit revisions).
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
 # Zero-alloc contracts: core.Solve with Options.Metrics unset must not
 # allocate above the newest baseline, SolveCtx with a live Canceller must
-# match it, and the CSR phase-1 kernels must hold their alloc counts flat.
-# -baseline prints the full ns/B/allocs delta table and fails on any
-# allocs/op regression.
+# match it, the fingerprint+cache miss path must add nothing on top, and
+# the CSR phase-1 kernels must hold their alloc counts flat. -baseline
+# prints the full ns/B/allocs delta table and fails on any allocs/op
+# regression.
 bench-guard:
-	$(GO) run ./cmd/krspbench -run SolveN60K3,SolveCtxN60K3,Phase1ClassicN5k,Phase1ScaledN5k -baseline $(BENCH_BASELINE)
+	$(GO) run ./cmd/krspbench -run SolveN60K3,SolveCtxN60K3,SolveN60K3CacheMiss,Phase1ClassicN5k,Phase1ScaledN5k -baseline $(BENCH_BASELINE)
 
 # Flight-recorder round trip (DESIGN.md §13): generate an instance, solve
 # it with the recorder armed (krsp -flight), and render the dump with
@@ -91,6 +93,38 @@ trace-smoke:
 	grep -q "duality-gap convergence" $$tmp/report.txt && \
 	echo "trace-smoke: solve -> dump -> krsptrace round trip ok ($$(wc -l < $$tmp/flight.jsonl | tr -d ' ') trace lines)"; \
 	status=$$?; rm -rf $$tmp; exit $$status
+
+# 3-node cluster failover smoke (DESIGN.md §14): boot three krspd nodes on
+# loopback, drive 100 open-loop requests through node 1, SIGTERM node 3
+# mid-run, and assert zero non-2xx (failover must not lose requests), at
+# least one proxied response (the ring actually sharded), and at least one
+# cache hit (the fingerprint cache actually served).
+cluster-smoke:
+	@tmp=$$(mktemp -d); status=1; \
+	$(GO) build -o $$tmp/krspd ./cmd/krspd && \
+	$(GO) build -o $$tmp/krspload ./cmd/krspload && \
+	members=127.0.0.1:7141,127.0.0.1:7142,127.0.0.1:7143; \
+	for port in 7141 7142 7143; do \
+	  $$tmp/krspd -addr 127.0.0.1:$$port -cluster $$members -self 127.0.0.1:$$port \
+	    -cache 64 -max-inflight 0 2> $$tmp/krspd-$$port.log & \
+	  eval pid$$port=$$!; \
+	done; \
+	up=0; for i in $$(seq 1 50); do \
+	  if curl -sf http://127.0.0.1:7141/healthz > /dev/null 2>&1 && \
+	     curl -sf http://127.0.0.1:7142/healthz > /dev/null 2>&1 && \
+	     curl -sf http://127.0.0.1:7143/healthz > /dev/null 2>&1; then up=1; break; fi; \
+	  sleep 0.1; \
+	done; \
+	if [ $$up -eq 1 ]; then \
+	  $$tmp/krspload -targets http://127.0.0.1:7141 -n 100 -qps 200 -distinct 80 \
+	    -kill-after 60 -kill-pid $$pid7143 \
+	    -max-non2xx 0 -min-proxied 1 -min-cache-hit 1; status=$$?; \
+	else \
+	  echo "cluster-smoke: nodes failed to start"; cat $$tmp/krspd-*.log; \
+	fi; \
+	kill $$pid7141 $$pid7142 $$pid7143 2> /dev/null; wait 2> /dev/null; \
+	[ $$status -eq 0 ] && echo "cluster-smoke: 100 requests, mid-run node kill, zero lost ok"; \
+	rm -rf $$tmp; exit $$status
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bicameral"
 	"repro/internal/core"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/residual"
 	"repro/internal/rsp"
 	"repro/internal/shortest"
+	"repro/internal/solvecache"
 )
 
 // benchExperiment runs one registered experiment in quick mode per
@@ -82,6 +84,30 @@ func BenchmarkSolveN60K3(b *testing.B) {
 		if _, err := core.Solve(ins, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSolveN60K3CacheMiss is the cache-layer twin of SolveN60K3: every
+// iteration runs the full krspd miss path — fingerprint, cache lookup,
+// solve, insert — then evicts, so the next iteration misses again and the
+// freelist recycles the entry. allocs/op must equal SolveN60K3's: the
+// fingerprint+cache layer is zero-alloc in steady state by contract
+// (bench-guarded against BENCH_3.json).
+func BenchmarkSolveN60K3CacheMiss(b *testing.B) {
+	ins := benchInstance(b, 60, 3, 1.3)
+	cache := solvecache.NewCache[core.Result](8, int64(time.Hour))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp := solvecache.Fingerprint(ins, "solve", 0)
+		if _, st := cache.Get(fp, int64(i)); st != solvecache.Miss {
+			b.Fatal("unexpected cache hit")
+		}
+		res, err := core.Solve(ins, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Put(fp, res, int64(i))
+		cache.Remove(fp)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bicameral"
 	"repro/internal/core"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/obs/rec"
 	"repro/internal/residual"
 	"repro/internal/shortest"
+	"repro/internal/solvecache"
 )
 
 // record is one benchmark result in the JSON report.
@@ -334,6 +336,27 @@ func suite() []bench {
 				if _, err := core.SolveCtx(ctx, ins, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"SolveN60K3CacheMiss", func(b *testing.B) {
+			// Cache-layer twin: the full krspd miss path (fingerprint,
+			// lookup, solve, insert, evict) per iteration. The guarded
+			// baseline pins allocs/op equal to SolveN60K3: fingerprinting
+			// is allocation-free and the cache freelist recycles entries.
+			ins := benchInstance(60, 3, 1.3)
+			cache := solvecache.NewCache[core.Result](8, int64(time.Hour))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fp := solvecache.Fingerprint(ins, "solve", 0)
+				if _, st := cache.Get(fp, int64(i)); st != solvecache.Miss {
+					b.Fatal("unexpected cache hit")
+				}
+				res, err := core.Solve(ins, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cache.Put(fp, res, int64(i))
+				cache.Remove(fp)
 			}
 		}},
 		{"SolveN60K3Metrics", func(b *testing.B) {

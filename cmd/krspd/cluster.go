@@ -1,0 +1,294 @@
+// Cluster mode (DESIGN.md §14): krspd nodes share one consistent-hash
+// ring over instance fingerprints. Any node accepts any solve, computes
+// the owner, and proxies non-owned requests to it — with deadline-budgeted
+// retry/backoff, an optional hedged second attempt, a per-peer circuit
+// breaker, and a degraded local fallback when the owner is unreachable.
+// The loop guard is one hop: a proxied request carries X-Krsp-Hops and is
+// always solved locally by the receiver, so transient ring disagreements
+// cannot bounce a request around the cluster.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/obs/rec"
+)
+
+// hopsHeader is the proxy loop guard: set to "1" on proxied requests, and
+// any request carrying it is solved locally by the receiver.
+const hopsHeader = "X-Krsp-Hops"
+
+// defaultProxyAttempts bounds tries per proxied solve (1 initial + retries).
+const defaultProxyAttempts = 3
+
+// proxyReserveNs is the deadline slice retries must leave untouched for
+// the degraded local fallback: a backoff sleep that would eat into it is
+// skipped and the request falls back immediately.
+const proxyReserveNs = int64(5_000_000)
+
+// clusterNode is krspd's per-process cluster state: the member table (ring
+// + health), the retry backoff policy, and the peer HTTP client. The sleep
+// and after hooks default to the real clock in main and are replaced by
+// deterministic stand-ins in tests.
+type clusterNode struct {
+	table      *cluster.Table
+	backoff    *cluster.Backoff
+	client     *http.Client
+	attempts   int
+	hedgeAfter time.Duration
+	sleep      func(time.Duration)
+	after      func(time.Duration) <-chan time.Time
+}
+
+// newClusterNode validates the membership and wires the proxy transport.
+func newClusterNode(cfg config) (*clusterNode, error) {
+	table, err := cluster.NewTable(cfg.peers, cfg.self, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	attempts := cfg.proxyAttempts
+	if attempts <= 0 {
+		attempts = defaultProxyAttempts
+	}
+	// Seed the backoff jitter from the node's own address so fleet members
+	// retry on decorrelated schedules while each node stays deterministic.
+	var seed int64
+	for _, b := range []byte(cfg.self) {
+		seed = seed*131 + int64(b)
+	}
+	return &clusterNode{
+		table:      table,
+		backoff:    cluster.NewBackoff(cfg.backoffBase.Nanoseconds(), cfg.backoffMax.Nanoseconds(), seed),
+		client:     &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4, IdleConnTimeout: 30 * time.Second}},
+		attempts:   attempts,
+		hedgeAfter: cfg.hedgeAfter,
+		sleep:      time.Sleep,
+		after:      time.After,
+	}, nil
+}
+
+// cachedSolution is the cache/singleflight value: every response field a
+// duplicate or replayed solve needs. Paths are vertex sequences, never
+// EdgeIDs — edge identities depend on insertion order while the
+// fingerprint deliberately does not, so a cached answer must be expressed
+// in the order-independent vocabulary.
+type cachedSolution struct {
+	Cost, Delay, Bound, LowerBound int64
+	Exact, Violated, Degraded      bool
+	Paths                          [][]int32
+	Stats                          core.Stats
+}
+
+// newCachedSolution converts a solver result into the cacheable form.
+func newCachedSolution(res core.Result, ins graph.Instance) cachedSolution {
+	sol := cachedSolution{
+		Cost: res.Cost, Delay: res.Delay, Bound: ins.Bound,
+		LowerBound: res.LowerBound, Exact: res.Exact,
+		Violated: res.Delay > ins.Bound,
+		Degraded: res.Stats.Degraded,
+		Stats:    res.Stats,
+	}
+	for _, p := range res.Solution.Paths {
+		var nodes []int32
+		for _, v := range p.Nodes(ins.G) {
+			nodes = append(nodes, int32(v))
+		}
+		sol.Paths = append(sol.Paths, nodes)
+	}
+	return sol
+}
+
+// solutionOf projects a peer's solve response back into the cacheable form
+// so proxied answers populate the local cache too.
+func solutionOf(resp solveResponse) cachedSolution {
+	return cachedSolution{
+		Cost: resp.Cost, Delay: resp.Delay, Bound: resp.Bound,
+		LowerBound: resp.LowerBound, Exact: resp.Exact,
+		Violated: resp.Violated, Degraded: resp.Degraded,
+		Paths: resp.Paths, Stats: resp.Stats,
+	}
+}
+
+// solutionResponse builds the common response envelope from a cached (or
+// just-computed) solution.
+func solutionResponse(id int64, v cachedSolution, deadline time.Duration, traceID string) solveResponse {
+	return solveResponse{
+		RequestID: id, Cost: v.Cost, Delay: v.Delay, Bound: v.Bound,
+		LowerBound: v.LowerBound, Exact: v.Exact, Paths: v.Paths,
+		Violated: v.Violated, Degraded: v.Degraded,
+		DeadlineMs: deadline.Milliseconds(), TraceID: traceID, Stats: v.Stats,
+	}
+}
+
+// proxySolve forwards a solve to its owning peer with budgeted
+// retry/backoff, returning the peer's response, the attempts consumed, and
+// whether any attempt succeeded. Peer health flows into the member table
+// (ejection and readmission) as a side effect.
+func (s *server) proxySolve(ctx context.Context, owner string, body []byte, algo, epsQ string, deadline time.Duration, traceID string, flight *rec.Recorder) (*solveResponse, int, bool) {
+	c := s.clstr
+	budget := cluster.NewBudget(s.reg.Now(), deadline.Nanoseconds())
+	attempts := 0
+	for try := 0; try < c.attempts; try++ {
+		if try > 0 {
+			d := c.backoff.Delay(try - 1)
+			if !budget.Allows(s.reg.Now(), d, proxyReserveNs) {
+				break
+			}
+			c.sleep(time.Duration(d))
+		}
+		attempts++
+		resp, outcome := s.proxyAttempt(ctx, owner, body, algo, epsQ, budget, traceID, try, flight)
+		flight.Record(rec.KindProxyAttempt, int64(try), outcome, 0, 0)
+		if outcome == rec.ProxyOK {
+			if c.table.Succeed(owner) {
+				s.cm.RecordReadmitted()
+			}
+			s.cm.RecordProxy(int64(attempts - 1))
+			return resp, attempts, true
+		}
+		if c.table.Fail(owner, s.reg.Now()) {
+			s.cm.RecordEjected()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	s.cm.RecordProxy(int64(attempts - 1))
+	return nil, attempts, false
+}
+
+// proxyAttempt runs one proxy attempt, racing a hedged duplicate after
+// hedgeAfter on the first try. Both racers write to a buffered channel, so
+// the loser completes in the background without leaking a goroutine; the
+// peer computes the same deterministic answer, so whichever response wins
+// is equally valid.
+func (s *server) proxyAttempt(ctx context.Context, owner string, body []byte, algo, epsQ string, budget cluster.Budget, traceID string, try int, flight *rec.Recorder) (*solveResponse, int64) {
+	c := s.clstr
+	if c.hedgeAfter <= 0 || try > 0 {
+		return s.proxyOnce(ctx, owner, body, algo, epsQ, budget, traceID)
+	}
+	type outcome struct {
+		resp *solveResponse
+		code int64
+	}
+	ch := make(chan outcome, 2)
+	launch := func() {
+		r, code := s.proxyOnce(ctx, owner, body, algo, epsQ, budget, traceID)
+		ch <- outcome{r, code}
+	}
+	go launch()
+	select {
+	case o := <-ch:
+		return o.resp, o.code
+	case <-c.after(c.hedgeAfter):
+		s.cm.RecordHedged()
+		go launch()
+		o := <-ch
+		flight.Record(rec.KindProxyAttempt, int64(try), o.code, 1, 0)
+		return o.resp, o.code
+	}
+}
+
+// proxyOnce sends one request to the owner and decodes its response. The
+// two fault seams bracket the real I/O: PointProxyDial trips before the
+// request leaves (dead peer, partition) and PointProxyRead after the
+// response arrives but before decoding (peer died mid-stream).
+func (s *server) proxyOnce(ctx context.Context, owner string, body []byte, algo, epsQ string, budget cluster.Budget, traceID string) (*solveResponse, int64) {
+	if err := s.cfg.faults.Check(fault.PointProxyDial); err != nil {
+		return nil, rec.ProxyDialFailed
+	}
+	u := "http://" + owner + "/solve?algo=" + algo
+	if epsQ != "" {
+		u += "&eps=" + epsQ
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, rec.ProxyDialFailed
+	}
+	req.Header.Set(hopsHeader, "1")
+	req.Header.Set(traceparentHeader, "00-"+traceID+"-"+newSpanID()+"-01")
+	if remaining := budget.Remaining(s.reg.Now()); remaining < 1<<62 {
+		ms := remaining / int64(time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(deadlineMsHeader, strconv.FormatInt(ms, 10))
+	}
+	hr, err := s.clstr.client.Do(req)
+	if err != nil {
+		return nil, rec.ProxyDialFailed
+	}
+	defer hr.Body.Close()
+	if err := s.cfg.faults.Check(fault.PointProxyRead); err != nil {
+		return nil, rec.ProxyReadFailed
+	}
+	if hr.StatusCode != http.StatusOK {
+		// Non-200s (shed 429s, peer 5xx, even 4xx) are all handled the same
+		// way: retry, then fall back to the authoritative local solve.
+		io.Copy(io.Discard, hr.Body)
+		return nil, rec.ProxyBadStatus
+	}
+	var resp solveResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, rec.ProxyReadFailed
+	}
+	return &resp, rec.ProxyOK
+}
+
+// probeOnce contacts every ejected peer whose cooldown has lapsed; a
+// healthy answer readmits it (restoring its ring ownership exactly), a
+// failure re-arms the cooldown. main drives this on a ticker; tests call
+// it directly.
+func (s *server) probeOnce() {
+	c := s.clstr
+	if c == nil {
+		return
+	}
+	for _, addr := range c.table.ProbeTargets(s.reg.Now()) {
+		req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		hr, err := c.client.Do(req)
+		if err != nil {
+			c.table.Fail(addr, s.reg.Now())
+			continue
+		}
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode == http.StatusOK {
+			if c.table.Succeed(addr) {
+				s.cm.RecordReadmitted()
+				s.log.Info("peer readmitted", "peer", addr)
+			}
+		} else {
+			c.table.Fail(addr, s.reg.Now())
+		}
+	}
+}
+
+// handleReadyz reports ring membership and peer health — the endpoint a
+// load balancer or operator polls to see the cluster through this node's
+// eyes. Single-node daemons report ready with cluster:false.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	info := map[string]any{
+		"ready":        true,
+		"cluster":      s.clstr != nil,
+		"cacheEntries": s.cache.Len(),
+	}
+	if s.clstr != nil {
+		info["self"] = s.clstr.table.Self()
+		info["members"] = s.clstr.table.Snapshot()
+	}
+	s.writeJSON(w, info)
+}

@@ -29,7 +29,10 @@ func discardLogger() *slog.Logger {
 // full control over the operational config.
 func testServerCfg(t *testing.T, cfg config) (*httptest.Server, *server) {
 	t.Helper()
-	s := newServer(obs.New(&obs.ManualClock{}), discardLogger(), cfg)
+	s, err := newServer(obs.New(&obs.ManualClock{}), discardLogger(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(s.handler())
 	t.Cleanup(srv.Close)
 	return srv, s
@@ -308,8 +311,8 @@ func TestDebugVars(t *testing.T) {
 
 // TestSolveShedsWhenOverloaded parks one solve inside the solver via a
 // blocking fault hook so the single admission slot stays occupied, then
-// asserts a concurrent solve is shed with 429 and counted, and that the
-// parked solve still completes once released.
+// asserts a concurrent solve is shed with 429 carrying a Retry-After hint
+// and counted, and that the parked solve still completes once released.
 func TestSolveShedsWhenOverloaded(t *testing.T) {
 	faults := fault.New(1)
 	entered := make(chan struct{})
@@ -320,7 +323,10 @@ func TestSolveShedsWhenOverloaded(t *testing.T) {
 		<-release
 		return nil
 	})
-	srv, s := testServerCfg(t, config{maxBody: 1 << 20, maxInflight: 1, faults: faults})
+	srv, s := testServerCfg(t, config{
+		maxBody: 1 << 20, maxInflight: 1, faults: faults,
+		defaultDeadline: 2500 * time.Millisecond, // Retry-After rounds up to 3
+	})
 
 	firstBody := instanceBody(t, 10, 2)
 	firstDone := make(chan int, 1)
@@ -342,6 +348,11 @@ func TestSolveShedsWhenOverloaded(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overloaded solve: status %d, want 429", resp.StatusCode)
+	}
+	// A shed response tells the client when to come back: the configured
+	// deadline (how long the slot could stay busy), rounded up to seconds.
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\" (2.5s default deadline rounded up)", got)
 	}
 	close(release)
 	if code := <-firstDone; code != http.StatusOK {

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -17,6 +19,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/obs/rec"
+	"repro/internal/solvecache"
 )
 
 // config bundles the daemon's operational knobs. Tests construct it
@@ -46,6 +50,27 @@ type config struct {
 	// traceSample dumps every Nth ordinary solve trace to traceDir; 0
 	// writes black-box dumps only.
 	traceSample int
+	// peers is the full cluster member list (host:port), including this
+	// node; empty disables cluster mode (DESIGN.md §14).
+	peers []string
+	// self is this node's own address exactly as spelled in peers.
+	self string
+	// cacheSize bounds the fingerprint solution cache; 0 disables caching.
+	cacheSize int
+	// cacheTTL is the freshness window; older entries are served only as
+	// stale fallbacks under deadline pressure. 0 means never stale.
+	cacheTTL time.Duration
+	// hedgeAfter launches a duplicate proxy attempt when the first has not
+	// answered within it; 0 disables hedging.
+	hedgeAfter time.Duration
+	// proxyAttempts caps tries per proxied solve (0 = default).
+	proxyAttempts int
+	// backoffBase/backoffMax tune proxy retry backoff (0 = cluster defaults).
+	backoffBase, backoffMax time.Duration
+	// pollEvery is the solver's cancellation poll stride (core.Options
+	// .PollEvery): smaller means deadlines are noticed sooner at a little
+	// per-iteration cost. 0 selects the solver default.
+	pollEvery int
 }
 
 // server carries the daemon's shared state: the metrics registry (also
@@ -58,6 +83,7 @@ type server struct {
 	// recording methods are nil-safe, so handlers record unconditionally
 	// even on a registry-less server.
 	sm    *obs.ServerMetrics
+	cm    *obs.ClusterMetrics
 	log   *slog.Logger
 	cfg   config
 	sem   chan struct{}
@@ -65,17 +91,34 @@ type server struct {
 	// tracer owns the per-request flight recorders, trace dumps, and the
 	// /debug/trace/last buffer (trace.go).
 	tracer *tracer
+	// cache and group are the solve-dedup layer: cache replays identical
+	// solves across time, group collapses them across concurrency. Both are
+	// nil-safe no-ops when disabled.
+	cache *solvecache.Cache[cachedSolution]
+	group *solvecache.Group[cachedSolution]
+	// clstr is the sharded-mode state (cluster.go); nil on single nodes.
+	clstr *clusterNode
 }
 
 // newServer wires the handler state. Tests pass a ManualClock-backed
-// registry and a discard logger; main passes RealClock and stderr.
-func newServer(reg *obs.Registry, logger *slog.Logger, cfg config) *server {
-	s := &server{reg: reg, sm: reg.ServerMetrics(), log: logger, cfg: cfg}
+// registry and a discard logger; main passes RealClock and stderr. The
+// only error source is an invalid cluster membership.
+func newServer(reg *obs.Registry, logger *slog.Logger, cfg config) (*server, error) {
+	s := &server{reg: reg, sm: reg.ServerMetrics(), cm: reg.ClusterMetrics(), log: logger, cfg: cfg}
 	if cfg.maxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInflight)
 	}
 	s.tracer = newTracer(registryClock{reg}, cfg.traceDir, cfg.traceSample)
-	return s
+	s.cache = solvecache.NewCache[cachedSolution](cfg.cacheSize, cfg.cacheTTL.Nanoseconds())
+	s.group = solvecache.NewGroup[cachedSolution]()
+	if len(cfg.peers) > 0 {
+		n, err := newClusterNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.clstr = n
+	}
+	return s, nil
 }
 
 // handler is the daemon's root handler: the route table wrapped in the
@@ -102,9 +145,11 @@ func (s *server) recoverWrap(next http.Handler) http.Handler {
 }
 
 // admit reserves an admission slot, answering 429 when the daemon is at
-// maxInflight. The returned release func is a no-op when admission control
-// is disabled.
-func (s *server) admit(fail func(string, int)) (release func(), ok bool) {
+// maxInflight. Shed responses carry a Retry-After hint sized to the solve
+// deadline — the time by which the currently admitted work should have
+// drained. The returned release func is a no-op when admission control is
+// disabled.
+func (s *server) admit(w http.ResponseWriter, fail func(string, int)) (release func(), ok bool) {
 	if s.sem == nil {
 		return func() {}, true
 	}
@@ -113,9 +158,24 @@ func (s *server) admit(fail func(string, int)) (release func(), ok bool) {
 		return func() { <-s.sem }, true
 	default:
 		s.sm.RecordShed()
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 		fail("overloaded: max inflight solves reached, retry later", http.StatusTooManyRequests)
 		return nil, false
 	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the configured
+// deadline (default, falling back to the cap), rounded up, at least 1.
+func (s *server) retryAfterSeconds() int64 {
+	d := s.cfg.defaultDeadline
+	if d <= 0 {
+		d = s.cfg.maxDeadline
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // deadlineMsHeader is the per-request deadline override, in milliseconds.
@@ -147,6 +207,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
@@ -181,6 +242,20 @@ type solveResponse struct {
 	// here. The response traceparent header carries the same ID.
 	TraceID string     `json:"traceId"`
 	Stats   core.Stats `json:"stats"`
+	// Cache classifies the fingerprint-cache lookup ("hit", "miss",
+	// "stale"); empty when caching is disabled.
+	Cache string `json:"cache,omitempty"`
+	// Stale marks an answer served from a lapsed cache entry under deadline
+	// pressure — correct for the instance, possibly not freshly computed.
+	Stale bool `json:"stale,omitempty"`
+	// Collapsed marks an answer taken from an identical in-flight solve.
+	Collapsed bool `json:"collapsed,omitempty"`
+	// Route reports cluster routing: "local", "proxy:<peer>", or
+	// "degraded-local"; empty on single-node daemons.
+	Route string `json:"route,omitempty"`
+	// DegradedRoute marks a solve computed off-owner because the owning
+	// peer was unreachable (DESIGN.md §14 failover).
+	DegradedRoute bool `json:"degradedRoute,omitempty"`
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -217,7 +292,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		fail("POST an instance in krsp text format", http.StatusMethodNotAllowed)
 		return
 	}
-	release, admitted := s.admit(fail)
+	release, admitted := s.admit(w, fail)
 	if !admitted {
 		return
 	}
@@ -230,12 +305,38 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		fail(derr.Error(), http.StatusBadRequest)
 		return
 	}
-	ins, ok := s.readInstance(w, r, fail)
+	// The body is buffered (not streamed into the parser) because cluster
+	// mode may need to replay the same bytes at the owning peer.
+	raw, ok := s.readBody(w, r, fail)
 	if !ok {
+		return
+	}
+	ins, err := graph.ReadInstance(bytes.NewReader(raw))
+	if err != nil {
+		fail("bad instance: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := ins.Validate(); err != nil {
 		fail(err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Algo and eps validate before fingerprinting: both are part of the
+	// cache identity.
+	epsQ := r.URL.Query().Get("eps")
+	var eps float64
+	switch algo {
+	case "solve", "phase1":
+	case "scaled":
+		eps = 0.25
+		if epsQ != "" {
+			eps, err = strconv.ParseFloat(epsQ, 64)
+			if err != nil || eps <= 0 {
+				fail("bad eps", http.StatusBadRequest)
+				return
+			}
+		}
+	default:
+		fail("unknown algo "+algo, http.StatusBadRequest)
 		return
 	}
 	n, m, k = ins.G.NumNodes(), ins.G.NumEdges(), ins.K
@@ -260,32 +361,93 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			finishTrace(true)
 		}
 	}()
-	opt := core.Options{Metrics: s.reg, Faults: s.cfg.faults, Recorder: flight}
-	var res core.Result
-	var err error
-	switch algo {
-	case "solve":
-		res, err = core.SolveCtx(ctx, ins, opt)
-	case "phase1":
-		opt.Phase1Only = true
-		res, err = core.SolveCtx(ctx, ins, opt)
-	case "scaled":
-		eps := 0.25
-		if q := r.URL.Query().Get("eps"); q != "" {
-			eps, err = strconv.ParseFloat(q, 64)
-			if err != nil || eps <= 0 {
+	fp := solvecache.Fingerprint(ins, algo, eps)
+	cacheLabel := ""
+	if s.cache != nil {
+		cached, st := s.cache.Get(fp, s.reg.Now())
+		s.cm.RecordCacheLookup(st == solvecache.Fresh)
+		if st == solvecache.Fresh {
+			flight.Record(rec.KindCacheHit, int64(st), 0, 0, 0)
+			finishTrace(false)
+			outcome = "cache-hit"
+			resp := solutionResponse(id, cached, deadline, traceID)
+			resp.Cache = "hit"
+			s.writeJSON(w, resp)
+			return
+		}
+		cacheLabel = "miss"
+	}
+	// Cluster routing: fresh, first-hop misses go to the ring owner. A
+	// proxied request (hops ≥ 1) is always solved locally — the loop guard.
+	degradedRoute := false
+	route := ""
+	if s.clstr != nil {
+		route = "local"
+		if owner, isSelf := s.clstr.table.Owner(fp.Key64()); !isSelf && r.Header.Get(hopsHeader) == "" {
+			if resp, attempts, proxied := s.proxySolve(ctx, owner, raw, algo, epsQ, deadline, traceID, flight); proxied {
+				resp.RequestID = id
+				resp.TraceID = traceID
+				resp.Route = "proxy:" + owner
+				if !resp.Degraded && !resp.Stale {
+					s.cache.Put(fp, solutionOf(*resp), s.reg.Now())
+				}
 				finishTrace(false)
-				fail("bad eps", http.StatusBadRequest)
+				outcome = "proxied"
+				s.writeJSON(w, *resp)
+				return
+			} else {
+				// Owner unreachable after budgeted retries: solve here,
+				// off-route, rather than fail the request.
+				degradedRoute = true
+				route = "degraded-local"
+				s.cm.RecordDegradedRoute()
+				flight.Record(rec.KindDegradedRoute, int64(attempts), 0, 0, 0)
+			}
+		}
+	}
+	opt := core.Options{Metrics: s.reg, Faults: s.cfg.faults, Recorder: flight, PollEvery: s.cfg.pollEvery}
+	runSolve := func() (cachedSolution, error) {
+		var res core.Result
+		var serr error
+		switch algo {
+		case "solve":
+			res, serr = core.SolveCtx(ctx, ins, opt)
+		case "phase1":
+			p1 := opt
+			p1.Phase1Only = true
+			res, serr = core.SolveCtx(ctx, ins, p1)
+		case "scaled":
+			res, serr = core.SolveScaledCtx(ctx, ins, eps, eps, opt)
+		}
+		if serr != nil {
+			return cachedSolution{}, serr
+		}
+		return newCachedSolution(res, ins), nil
+	}
+	sol, err, collapsed := s.group.Do(fp, runSolve)
+	if collapsed {
+		s.cm.RecordCollapsed()
+		flight.Record(rec.KindSingleflight, 0, 0, 0, 0)
+	}
+	if err != nil {
+		// Deadline pressure (no feasible flow in time) or a dead leader:
+		// a stale cache entry beats a 503 — the instance hasn't changed,
+		// only our time to recompute it has run out.
+		if errors.Is(err, core.ErrNoProgress) || errors.Is(err, solvecache.ErrLeaderFailed) {
+			if cached, st := s.cache.Get(fp, s.reg.Now()); st != solvecache.Miss {
+				s.cm.RecordStaleServed()
+				flight.Record(rec.KindCacheHit, int64(st), 0, 0, 0)
+				finishTrace(true)
+				outcome = "stale-served"
+				resp := solutionResponse(id, cached, deadline, traceID)
+				resp.Cache = st.String()
+				resp.Stale = true
+				resp.Route = route
+				resp.DegradedRoute = degradedRoute
+				s.writeJSON(w, resp)
 				return
 			}
 		}
-		res, err = core.SolveScaledCtx(ctx, ins, eps, eps, opt)
-	default:
-		finishTrace(false)
-		fail("unknown algo "+algo, http.StatusBadRequest)
-		return
-	}
-	if err != nil {
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, core.ErrNoKPaths) || errors.Is(err, core.ErrDelayInfeasible):
@@ -302,25 +464,35 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	// A degraded solve black-boxes its trace even though it returned 200 —
 	// the whole point of the recorder is explaining what the deadline cut.
-	finishTrace(res.Stats.Degraded)
-	resp := solveResponse{
-		RequestID: id,
-		Cost:      res.Cost, Delay: res.Delay, Bound: ins.Bound,
-		LowerBound: res.LowerBound, Exact: res.Exact,
-		Violated:   res.Delay > ins.Bound,
-		Degraded:   res.Stats.Degraded,
-		DeadlineMs: deadline.Milliseconds(),
-		TraceID:    traceID,
-		Stats:      res.Stats,
+	finishTrace(sol.Degraded)
+	if !collapsed && !sol.Degraded {
+		// Only complete answers are worth replaying; a degraded one would
+		// freeze a deadline artifact into the cache.
+		s.cache.Put(fp, sol, s.reg.Now())
 	}
-	for _, p := range res.Solution.Paths {
-		var nodes []int32
-		for _, v := range p.Nodes(ins.G) {
-			nodes = append(nodes, int32(v))
-		}
-		resp.Paths = append(resp.Paths, nodes)
-	}
+	resp := solutionResponse(id, sol, deadline, traceID)
+	resp.Cache = cacheLabel
+	resp.Collapsed = collapsed
+	resp.Route = route
+	resp.DegradedRoute = degradedRoute
 	s.writeJSON(w, resp)
+}
+
+// readBody reads the size-capped request body whole, mapping an over-limit
+// read to 413.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request, fail func(string, int)) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fail(fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		} else {
+			fail("read body: "+err.Error(), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return raw, true
 }
 
 func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
@@ -343,7 +515,7 @@ func (s *server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 		fail("POST an instance in krsp text format", http.StatusMethodNotAllowed)
 		return
 	}
-	release, admitted := s.admit(fail)
+	release, admitted := s.admit(w, fail)
 	if !admitted {
 		return
 	}

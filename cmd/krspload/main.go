@@ -1,0 +1,358 @@
+// Command krspload is an open-loop load generator for krspd: it fires
+// solve requests at a fixed target rate (never waiting for responses, so
+// a slow or dying server cannot make the generator lie about latency),
+// tracks per-request latency and routing outcomes, and can kill a peer
+// mid-run to rehearse the cluster failover path.
+//
+//	krspload -targets http://h1:8080,http://h2:8080 -qps 50 -n 100
+//	         [-distinct 8] [-instance FILE] [-replay FILE]
+//	         [-kill-after N -kill-pid PID] [-timeout 30s]
+//	         [-max-non2xx N] [-min-proxied N] [-min-cache-hit N]
+//
+// Each request posts a small built-in instance whose delay bound rotates
+// through -distinct values, so a run exercises both cache misses (first
+// sight of a bound) and hits (repeats), and in cluster mode spreads
+// ownership across the ring. -instance substitutes a fixed payload from a
+// file; -replay replays a trace file of "<offset_ms> <bound>" lines on
+// the recorded schedule instead of the fixed-rate clock.
+//
+// After -kill-after requests have been launched, the process -kill-pid is
+// sent SIGTERM — the mid-run node death of the cluster-smoke target.
+//
+// The run summary is one JSON object on stdout: counts (total, non-2xx,
+// proxied, cache hits, stale, degraded-route), achieved QPS, latency
+// percentiles, and a power-of-two-millisecond histogram. The -max-non2xx /
+// -min-proxied / -min-cache-hit assertions turn the summary into an exit
+// code for CI.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// loadConfig bundles the generator knobs; tests construct it directly.
+type loadConfig struct {
+	targets  []string
+	qps      float64
+	n        int
+	distinct int
+	body     []byte  // fixed payload; nil selects the rotating built-in
+	replay   []event // overrides qps/n scheduling when non-empty
+	timeout  time.Duration
+
+	killAfter int
+	killPid   int
+
+	maxNon2xx   int // -1 disables
+	minProxied  int
+	minCacheHit int
+}
+
+// event is one replayed request: fire at offset with the given bound.
+type event struct {
+	offsetMs int64
+	bound    int64
+}
+
+// result is one request's outcome as the generator saw it.
+type result struct {
+	code    int
+	latency time.Duration
+	route   string
+	cache   string
+	stale   bool
+}
+
+// summary is the JSON report: everything a smoke harness or a human needs
+// to judge a run.
+type summary struct {
+	Total         int     `json:"total"`
+	Non2xx        int     `json:"non2xx"`
+	Proxied       int     `json:"proxied"`
+	CacheHits     int     `json:"cacheHits"`
+	Stale         int     `json:"stale"`
+	DegradedRoute int     `json:"degradedRoute"`
+	AchievedQPS   float64 `json:"achievedQps"`
+	P50Ms         float64 `json:"p50Ms"`
+	P90Ms         float64 `json:"p90Ms"`
+	P99Ms         float64 `json:"p99Ms"`
+	MaxMs         float64 `json:"maxMs"`
+	// HistogramMs maps power-of-two latency buckets ("<1ms", "<2ms", ...)
+	// to request counts.
+	HistogramMs map[string]int `json:"histogramMs"`
+	// Codes counts responses by HTTP status ("0" = transport error).
+	Codes map[string]int `json:"codes"`
+}
+
+func main() {
+	targets := flag.String("targets", "http://127.0.0.1:8080",
+		"comma-separated krspd base URLs, round-robined")
+	qps := flag.Float64("qps", 50, "open-loop launch rate, requests per second")
+	n := flag.Int("n", 100, "total requests to launch")
+	distinct := flag.Int("distinct", 8,
+		"distinct delay bounds to rotate through (cache misses vs hits)")
+	instanceFile := flag.String("instance", "",
+		"post this instance file instead of the rotating built-in")
+	replayFile := flag.String("replay", "",
+		"replay a trace of '<offset_ms> <bound>' lines on its own schedule")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	killAfter := flag.Int("kill-after", 0,
+		"after launching this many requests, SIGTERM -kill-pid (0 disables)")
+	killPid := flag.Int("kill-pid", 0, "process to kill at -kill-after")
+	maxNon2xx := flag.Int("max-non2xx", -1,
+		"fail (exit 1) if more than this many non-2xx responses (-1 disables)")
+	minProxied := flag.Int("min-proxied", 0,
+		"fail (exit 1) unless at least this many responses were proxied")
+	minCacheHit := flag.Int("min-cache-hit", 0,
+		"fail (exit 1) unless at least this many responses were cache hits")
+	flag.Parse()
+
+	cfg := loadConfig{
+		qps: *qps, n: *n, distinct: *distinct, timeout: *timeout,
+		killAfter: *killAfter, killPid: *killPid,
+		maxNon2xx: *maxNon2xx, minProxied: *minProxied, minCacheHit: *minCacheHit,
+	}
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			cfg.targets = append(cfg.targets, strings.TrimSuffix(t, "/"))
+		}
+	}
+	if *instanceFile != "" {
+		body, err := os.ReadFile(*instanceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krspload:", err)
+			os.Exit(2)
+		}
+		cfg.body = body
+	}
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krspload:", err)
+			os.Exit(2)
+		}
+		cfg.replay, err = parseReplay(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krspload:", err)
+			os.Exit(2)
+		}
+	}
+
+	sum, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "krspload:", err)
+		os.Exit(2)
+	}
+	out, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(out))
+	if failed := assess(cfg, sum); failed != "" {
+		fmt.Fprintln(os.Stderr, "krspload: FAIL:", failed)
+		os.Exit(1)
+	}
+}
+
+// parseReplay reads "<offset_ms> <bound>" lines ('#' comments and blanks
+// skipped).
+func parseReplay(r io.Reader) ([]event, error) {
+	var evs []event
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("replay line %d: want '<offset_ms> <bound>', got %q", line, text)
+		}
+		off, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || off < 0 {
+			return nil, fmt.Errorf("replay line %d: bad offset %q", line, fields[0])
+		}
+		bound, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || bound <= 0 {
+			return nil, fmt.Errorf("replay line %d: bad bound %q", line, fields[1])
+		}
+		evs = append(evs, event{offsetMs: off, bound: bound})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// builtinBody renders the standard 4-node two-disjoint-paths instance with
+// the given delay bound — the same shape the krspd tests post, cheap to
+// solve, with a bound-sensitive fingerprint.
+func builtinBody(bound int64) []byte {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(0, 3, 3, 5)
+	var buf bytes.Buffer
+	if err := graph.WriteInstance(&buf, graph.Instance{G: g, S: 0, T: 3, K: 2, Bound: bound}); err != nil {
+		panic(err) // static instance; cannot fail
+	}
+	return buf.Bytes()
+}
+
+// run drives the open-loop schedule: launch times come from the clock (or
+// the replay trace), never from response arrivals, so server slowness
+// shows up as latency and shed — not as a gentler workload.
+func run(cfg loadConfig) (summary, error) {
+	if len(cfg.targets) == 0 {
+		return summary{}, fmt.Errorf("no targets")
+	}
+	n := cfg.n
+	if len(cfg.replay) > 0 {
+		n = len(cfg.replay)
+	}
+	if n <= 0 {
+		return summary{}, fmt.Errorf("nothing to send (n=%d)", n)
+	}
+	if cfg.distinct <= 0 {
+		cfg.distinct = 1
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		bound := int64(10 + i%cfg.distinct)
+		if len(cfg.replay) > 0 {
+			ev := cfg.replay[i]
+			bound = ev.bound
+			time.Sleep(time.Duration(ev.offsetMs)*time.Millisecond - time.Since(start))
+		} else if cfg.qps > 0 && i > 0 {
+			time.Sleep(time.Duration(float64(i)/cfg.qps*float64(time.Second)) - time.Since(start))
+		}
+		body := cfg.body
+		if body == nil {
+			body = builtinBody(bound)
+		}
+		target := cfg.targets[i%len(cfg.targets)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- post(client, target, body)
+		}()
+		if cfg.killAfter > 0 && i+1 == cfg.killAfter && cfg.killPid > 0 {
+			// The mid-run node death: SIGTERM, exactly once, while
+			// requests are still in flight.
+			if p, err := os.FindProcess(cfg.killPid); err == nil {
+				p.Signal(syscall.SIGTERM)
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	return summarize(results, n, elapsed), nil
+}
+
+// post fires one solve and extracts the routing fields from the response.
+func post(client *http.Client, target string, body []byte) result {
+	start := time.Now()
+	resp, err := client.Post(target+"/solve", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		return result{code: 0, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	r := result{code: resp.StatusCode}
+	var doc struct {
+		Route string `json:"route"`
+		Cache string `json:"cache"`
+		Stale bool   `json:"stale"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err == nil {
+		r.route = doc.Route
+		r.cache = doc.Cache
+		r.stale = doc.Stale
+	}
+	r.latency = time.Since(start)
+	return r
+}
+
+// summarize folds the per-request results into the report.
+func summarize(results <-chan result, n int, elapsed time.Duration) summary {
+	sum := summary{Total: n, HistogramMs: map[string]int{}, Codes: map[string]int{}}
+	latencies := make([]time.Duration, 0, n)
+	for r := range results {
+		latencies = append(latencies, r.latency)
+		sum.Codes[strconv.Itoa(r.code)]++
+		if r.code < 200 || r.code > 299 {
+			sum.Non2xx++
+		}
+		if strings.HasPrefix(r.route, "proxy:") {
+			sum.Proxied++
+		}
+		if r.route == "degraded-local" {
+			sum.DegradedRoute++
+		}
+		if r.cache == "hit" {
+			sum.CacheHits++
+		}
+		if r.stale {
+			sum.Stale++
+		}
+		sum.HistogramMs[bucket(r.latency)]++
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return ms(latencies[idx])
+	}
+	sum.P50Ms, sum.P90Ms, sum.P99Ms = pct(0.50), pct(0.90), pct(0.99)
+	sum.MaxMs = ms(latencies[len(latencies)-1])
+	if secs := elapsed.Seconds(); secs > 0 {
+		sum.AchievedQPS = float64(n) / secs
+	}
+	return sum
+}
+
+// bucket names the power-of-two-millisecond histogram bin for one latency.
+func bucket(d time.Duration) string {
+	for limit := time.Millisecond; limit <= 16*time.Second; limit *= 2 {
+		if d < limit {
+			return "<" + limit.String()
+		}
+	}
+	return ">=16s"
+}
+
+// assess applies the CI assertions; empty means pass.
+func assess(cfg loadConfig, sum summary) string {
+	if cfg.maxNon2xx >= 0 && sum.Non2xx > cfg.maxNon2xx {
+		return fmt.Sprintf("non2xx = %d > max %d", sum.Non2xx, cfg.maxNon2xx)
+	}
+	if sum.Proxied < cfg.minProxied {
+		return fmt.Sprintf("proxied = %d < min %d", sum.Proxied, cfg.minProxied)
+	}
+	if sum.CacheHits < cfg.minCacheHit {
+		return fmt.Sprintf("cacheHits = %d < min %d", sum.CacheHits, cfg.minCacheHit)
+	}
+	return ""
+}

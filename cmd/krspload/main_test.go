@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer mimics krspd's /solve envelope: first sight of a body is a
+// miss, repeats are hits, and every other request reports a proxied route.
+func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	seen := make(map[string]bool)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		body := make([]byte, 1<<16)
+		ln, _ := r.Body.Read(body)
+		key := string(body[:ln])
+		<-mu
+		hit := seen[key]
+		seen[key] = true
+		mu <- struct{}{}
+		cache := "miss"
+		if hit {
+			cache = "hit"
+		}
+		route := "local"
+		if n%2 == 0 {
+			route = "proxy:peer"
+		}
+		json.NewEncoder(w).Encode(map[string]any{"route": route, "cache": cache})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestRunSummary: an open-loop run against the stub counts total, proxied,
+// and cache-hit responses and reports sane latency stats.
+func TestRunSummary(t *testing.T) {
+	srv, calls := stubServer(t)
+	sum, err := run(loadConfig{
+		targets:  []string{srv.URL},
+		qps:      0, // as fast as possible
+		n:        20,
+		distinct: 4,
+		timeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 20 || sum.Total != 20 {
+		t.Fatalf("requests = %d / total = %d, want 20", calls.Load(), sum.Total)
+	}
+	if sum.Non2xx != 0 {
+		t.Fatalf("non2xx = %d, want 0", sum.Non2xx)
+	}
+	if sum.Proxied != 10 {
+		t.Fatalf("proxied = %d, want 10 (every other stub response)", sum.Proxied)
+	}
+	// 4 distinct bounds: 4 misses, 16 hits.
+	if sum.CacheHits != 16 {
+		t.Fatalf("cacheHits = %d, want 16", sum.CacheHits)
+	}
+	if sum.MaxMs <= 0 || sum.P99Ms > sum.MaxMs {
+		t.Fatalf("latency stats inconsistent: %+v", sum)
+	}
+	total := 0
+	for _, c := range sum.HistogramMs {
+		total += c
+	}
+	if total != 20 {
+		t.Fatalf("histogram holds %d samples, want 20", total)
+	}
+}
+
+// TestRunCountsFailures: a dead target yields non-2xx results, not a hang
+// or a crash.
+func TestRunCountsFailures(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	sum, err := run(loadConfig{targets: []string{srv.URL}, n: 5, timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Non2xx != 5 {
+		t.Fatalf("non2xx = %d, want 5", sum.Non2xx)
+	}
+}
+
+// TestParseReplay: offsets and bounds parse, comments and blanks are
+// skipped, garbage is rejected with a line number.
+func TestParseReplay(t *testing.T) {
+	evs, err := parseReplay(strings.NewReader("# trace\n0 10\n\n5 12\n7 11\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []event{{0, 10}, {5, 12}, {7, 11}}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %v, want %v", evs, want)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, evs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"x 10\n", "5\n", "5 0\n", "-1 10\n"} {
+		if _, err := parseReplay(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parseReplay(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestReplaySchedule: a replayed trace drives the request schedule — the
+// run cannot finish before the last offset.
+func TestReplaySchedule(t *testing.T) {
+	srv, _ := stubServer(t)
+	start := time.Now()
+	sum, err := run(loadConfig{
+		targets: []string{srv.URL},
+		replay:  []event{{0, 10}, {30, 11}, {60, 12}},
+		timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("replay finished in %v, before the 60ms final offset", elapsed)
+	}
+	if sum.Total != 3 {
+		t.Fatalf("total = %d, want 3", sum.Total)
+	}
+}
+
+// TestAssess: the CI assertions fire on the right fields and pass when
+// disabled.
+func TestAssess(t *testing.T) {
+	sum := summary{Non2xx: 2, Proxied: 1, CacheHits: 3}
+	if msg := assess(loadConfig{maxNon2xx: -1}, sum); msg != "" {
+		t.Fatalf("disabled assertions failed: %s", msg)
+	}
+	if msg := assess(loadConfig{maxNon2xx: 1}, sum); !strings.Contains(msg, "non2xx") {
+		t.Fatalf("want non2xx failure, got %q", msg)
+	}
+	if msg := assess(loadConfig{maxNon2xx: -1, minProxied: 2}, sum); !strings.Contains(msg, "proxied") {
+		t.Fatalf("want proxied failure, got %q", msg)
+	}
+	if msg := assess(loadConfig{maxNon2xx: -1, minCacheHit: 4}, sum); !strings.Contains(msg, "cacheHits") {
+		t.Fatalf("want cacheHits failure, got %q", msg)
+	}
+	if msg := assess(loadConfig{maxNon2xx: 2, minProxied: 1, minCacheHit: 3}, sum); msg != "" {
+		t.Fatalf("satisfied assertions failed: %s", msg)
+	}
+}
+
+// TestBucket: histogram bins are power-of-two and cover the range.
+func TestBucket(t *testing.T) {
+	cases := map[time.Duration]string{
+		100 * time.Microsecond:  "<1ms",
+		1500 * time.Microsecond: "<2ms",
+		900 * time.Millisecond:  "<1.024s",
+		20 * time.Second:        ">=16s",
+	}
+	for d, want := range cases {
+		if got := bucket(d); got != want {
+			t.Fatalf("bucket(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Health is a member's failure-detector state.
+type Health int
+
+const (
+	// Up: the last contact succeeded (or the member is untried).
+	Up Health = iota
+	// Suspect: recent failures below the ejection threshold. Suspect
+	// members still own their fingerprint ranges — one flaky hop must not
+	// reshuffle the ring.
+	Suspect
+	// Ejected: the circuit breaker is open. Ejected members own nothing and
+	// receive no proxied solves until a probe succeeds; after CooldownNs
+	// they become probe targets (half-open breaker).
+	Ejected
+)
+
+func (h Health) String() string {
+	switch h {
+	case Suspect:
+		return "suspect"
+	case Ejected:
+		return "ejected"
+	}
+	return "up"
+}
+
+// Defaults for NewTable when the corresponding option is zero.
+const (
+	// DefaultFailThreshold consecutive failures eject a peer.
+	DefaultFailThreshold = 3
+	// DefaultCooldownNs is how long an ejected peer is shielded from
+	// probes before the breaker half-opens (2 s).
+	DefaultCooldownNs = int64(2_000_000_000)
+)
+
+// Options tunes a member table. Zero fields take the defaults above.
+type Options struct {
+	// FailThreshold is the consecutive-failure count that ejects a peer.
+	FailThreshold int
+	// CooldownNs is the ejection cooldown before probing may readmit.
+	CooldownNs int64
+}
+
+// MemberInfo is a read-only health snapshot row (served by GET /readyz).
+type MemberInfo struct {
+	Addr     string `json:"addr"`
+	Self     bool   `json:"self"`
+	Health   string `json:"health"`
+	Failures int    `json:"consecutiveFailures"`
+	// EjectedAtNs is the monotonic ejection timestamp; 0 unless ejected.
+	EjectedAtNs int64 `json:"ejectedAtNs,omitempty"`
+}
+
+type member struct {
+	addr      string
+	hash      uint64
+	self      bool
+	health    Health
+	failures  int
+	ejectedAt int64
+}
+
+// Table is the cluster member list with per-peer health and the ring's
+// owner lookup. All methods are safe for concurrent use; the table is the
+// single point of truth a krspd node consults for "who owns this
+// fingerprint" and "may I talk to this peer".
+type Table struct {
+	mu      sync.Mutex
+	members []member
+	byAddr  map[string]int
+	selfIdx int
+	opt     Options
+}
+
+// ErrBadMembership wraps member-list validation failures.
+var ErrBadMembership = errors.New("cluster: bad membership")
+
+// NewTable builds a table over the given member addresses; self must be one
+// of them. Addresses are opaque identities (host:port): equality and hash
+// placement are byte-wise, so every node must be configured with the same
+// spellings.
+func NewTable(addrs []string, self string, opt Options) (*Table, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: empty member list", ErrBadMembership)
+	}
+	if opt.FailThreshold <= 0 {
+		opt.FailThreshold = DefaultFailThreshold
+	}
+	if opt.CooldownNs <= 0 {
+		opt.CooldownNs = DefaultCooldownNs
+	}
+	t := &Table{byAddr: make(map[string]int, len(addrs)), selfIdx: -1, opt: opt}
+	for _, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("%w: empty member address", ErrBadMembership)
+		}
+		if _, dup := t.byAddr[a]; dup {
+			return nil, fmt.Errorf("%w: duplicate member %q", ErrBadMembership, a)
+		}
+		m := member{addr: a, hash: hashAddr(a), self: a == self}
+		if m.self {
+			t.selfIdx = len(t.members)
+		}
+		t.byAddr[a] = len(t.members)
+		t.members = append(t.members, m)
+	}
+	if t.selfIdx < 0 {
+		return nil, fmt.Errorf("%w: self %q not in member list", ErrBadMembership, self)
+	}
+	return t, nil
+}
+
+// Self returns this node's own address.
+func (t *Table) Self() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.members[t.selfIdx].addr
+}
+
+// Size returns the total member count (any health).
+func (t *Table) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.members)
+}
+
+// Owner returns the address owning the 64-bit fingerprint key: the
+// highest-scoring non-ejected member, with self the last resort when every
+// peer is ejected (a fully partitioned node serves everything itself). The
+// boolean reports whether the owner is this node.
+func (t *Table) Owner(key uint64) (addr string, isSelf bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	best := -1
+	var bestScore uint64
+	for i := range t.members {
+		if t.members[i].health == Ejected {
+			continue
+		}
+		if s := score(key, t.members[i].hash); best < 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		best = t.selfIdx
+	}
+	return t.members[best].addr, best == t.selfIdx
+}
+
+// Fail records one failed contact with addr at monotonic time now,
+// advancing Up → Suspect and, at the failure threshold, Suspect → Ejected.
+// It reports whether this call ejected the peer (the caller's cue to bump
+// krsp_peer_ejected_total). Failures of unknown addresses and of self are
+// ignored.
+func (t *Table) Fail(addr string, now int64) (ejected bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.byAddr[addr]
+	if !ok || i == t.selfIdx {
+		return false
+	}
+	m := &t.members[i]
+	if m.health == Ejected {
+		// A failed probe re-arms the cooldown so a dead peer is probed once
+		// per cooldown, not hammered.
+		m.ejectedAt = now
+		return false
+	}
+	m.failures++
+	if m.failures >= t.opt.FailThreshold {
+		m.health = Ejected
+		m.ejectedAt = now
+		return true
+	}
+	m.health = Suspect
+	return false
+}
+
+// Succeed records one successful contact with addr, resetting its failure
+// streak. It reports whether this call readmitted an ejected peer.
+func (t *Table) Succeed(addr string) (readmitted bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.byAddr[addr]
+	if !ok {
+		return false
+	}
+	m := &t.members[i]
+	readmitted = m.health == Ejected
+	m.health = Up
+	m.failures = 0
+	m.ejectedAt = 0
+	return readmitted
+}
+
+// Health returns the current health of addr (Up for unknown addresses,
+// which only a misconfigured caller would pass).
+func (t *Table) Health(addr string) Health {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.byAddr[addr]; ok {
+		return t.members[i].health
+	}
+	return Up
+}
+
+// ProbeTargets returns the ejected peers whose cooldown has lapsed at
+// monotonic time now — the half-open breaker set the prober should contact.
+func (t *Table) ProbeTargets(now int64) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for i := range t.members {
+		m := &t.members[i]
+		if m.health == Ejected && now-m.ejectedAt >= t.opt.CooldownNs {
+			out = append(out, m.addr)
+		}
+	}
+	return out
+}
+
+// Snapshot returns the member table in configuration order for /readyz.
+func (t *Table) Snapshot() []MemberInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]MemberInfo, len(t.members))
+	for i := range t.members {
+		m := &t.members[i]
+		out[i] = MemberInfo{
+			Addr:        m.addr,
+			Self:        m.self,
+			Health:      m.health.String(),
+			Failures:    m.failures,
+			EjectedAtNs: m.ejectedAt,
+		}
+	}
+	return out
+}

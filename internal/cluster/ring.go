@@ -1,0 +1,44 @@
+// Package cluster is the membership and failover substrate of krspd's
+// sharded mode (DESIGN.md §14): a consistent-hash ring assigning instance
+// fingerprints to owner nodes, a member table tracking per-peer health
+// (Up → Suspect → Ejected → readmission) with a consecutive-failure circuit
+// breaker, and deadline-budgeted retry backoff with seeded jitter.
+//
+// The package is deliberately transport-free and clock-free: it never opens
+// a socket, never sleeps, and never reads the wall clock. Callers (cmd/
+// krspd) pass monotonic nanosecond readings in and perform the actual
+// sleeping and probing at the cmd/ edge, which keeps every state transition
+// deterministic under test — the same discipline the solver's Canceller and
+// obs.Clock follow.
+package cluster
+
+// Owner selection uses rendezvous (highest-random-weight) hashing: every
+// member scores mix(key, memberHash) and the highest healthy score wins.
+// Rendezvous hashing is consistent in the failover sense that matters here:
+// ejecting a member remaps only the keys that member owned, and readmission
+// restores exactly the original assignment — no token ring to rebalance,
+// and every node computes the same owner from the same member list without
+// coordination.
+
+// hashAddr fingerprints a member address for ring placement.
+func hashAddr(addr string) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < len(addr); i++ {
+		h = mix64(h ^ uint64(addr[i]))
+	}
+	return h
+}
+
+// score is the rendezvous weight of key on the member with address hash ah.
+func score(key, ah uint64) uint64 { return mix64(key ^ ah) }
+
+// mix64 is the splitmix64 finalizer (same mixer the fingerprint uses; the
+// inputs are already decorrelated by the per-side seeds).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -48,6 +48,16 @@ const (
 	// lever that lets tests exercise degraded results without wall-clock
 	// deadlines.
 	PointCancel
+	// PointProxyDial fires in krspd's cluster proxy just before a request
+	// is sent to a peer; an error trip simulates a connection failure to
+	// the owner (dead peer, partition) without touching real sockets, and a
+	// blocking ArmFunc hook holds the attempt in flight so tests drive the
+	// hedge and retry paths deterministically.
+	PointProxyDial
+	// PointProxyRead fires after a peer response arrives, before its body
+	// is decoded; a trip simulates a mid-response failure (peer died while
+	// streaming, truncated body) and exercises the retry-on-5xx/IO path.
+	PointProxyRead
 	// NumPoints bounds the Point enum.
 	NumPoints
 )
@@ -62,6 +72,10 @@ func (p Point) String() string {
 		return "lp-round"
 	case PointCancel:
 		return "cancel"
+	case PointProxyDial:
+		return "proxy-dial"
+	case PointProxyRead:
+		return "proxy-read"
 	}
 	return fmt.Sprintf("point-%d", int(p))
 }

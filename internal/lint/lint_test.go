@@ -247,9 +247,9 @@ func TestEventcatGolden(t *testing.T) {
 
 func TestFaultseamGolden(t *testing.T) {
 	expectDiags(t, runOne(t, Faultseam), []string{
-		"faultseam/seam.go:13:2",  // PointUnarmed consulted but never armed by a test
-		"faultseam/seam.go:14:2",  // PointDead never consulted at a Check seam
-		"faultseam/seam.go:45:14", // computed Check argument defeats the catalogue
+		"faultseam/seam.go:15:2",  // PointUnarmed consulted but never armed by a test
+		"faultseam/seam.go:16:2",  // PointDead never consulted at a Check seam
+		"faultseam/seam.go:54:14", // computed Check argument defeats the catalogue
 	})
 }
 

@@ -7,11 +7,14 @@ package seamgolden
 // Point names one golden failpoint.
 type Point int
 
-// The golden catalogue: one fully wired point, one unarmed, one dead.
+// The golden catalogue: one fully wired point, one unarmed, one dead, and
+// one consulted from inside a retry loop and armed via ArmFunc — the
+// proxy-failover pattern (krspd's PointProxyDial/PointProxyRead).
 const (
 	PointWired Point = iota
 	PointUnarmed
 	PointDead
+	PointRetryWired
 	NumPoints // sentinel, excluded from the audit like fault.NumPoints
 )
 
@@ -31,6 +34,12 @@ func (r *Registry) Check(p Point) error {
 // Arm arms a failpoint.
 func (r *Registry) Arm(p Point) { r.armed[p] = true }
 
+// ArmFunc installs a hook as the failure decision, like fault.ArmFunc.
+func (r *Registry) ArmFunc(p Point, fn func() error) {
+	r.armed[p] = true
+	_ = fn
+}
+
 var errInjected = errorString("seamgolden: injected")
 
 type errorString string
@@ -43,4 +52,17 @@ func seams(r *Registry) {
 	_ = r.Check(PointWired)
 	_ = r.Check(PointUnarmed)
 	_ = r.Check(Point(2))
+}
+
+// retrySeams consults a point from inside a bounded retry loop — the
+// shape of a proxy failover path. The analyzer must see through the loop
+// and credit the consultation like any other.
+func retrySeams(r *Registry) error {
+	for try := 0; try < 3; try++ {
+		if err := r.Check(PointRetryWired); err != nil {
+			continue
+		}
+		return nil
+	}
+	return errInjected
 }

@@ -13,3 +13,14 @@ func TestWired(t *testing.T) {
 		t.Fatal("want injected error")
 	}
 }
+
+// TestRetryWired arms the retry-loop point through ArmFunc — the hook
+// style krspd's proxy chaos tests use (fail N times, then recover) — and
+// the analyzer must credit ArmFunc argument lists exactly like Arm's.
+func TestRetryWired(t *testing.T) {
+	var r Registry
+	r.ArmFunc(PointRetryWired, func() error { return errInjected })
+	if err := retrySeams(&r); err == nil {
+		t.Fatal("want retries exhausted")
+	}
+}

@@ -174,6 +174,111 @@ func (m *ShortestMetrics) RecordRun(relaxations int64, negCycle bool) {
 	}
 }
 
+// ClusterMetrics instruments krspd's sharded mode (DESIGN.md §14): the
+// fingerprint cache, singleflight collapsing, peer proxying with
+// retry/hedging, and the circuit breaker's eject/readmit transitions.
+type ClusterMetrics struct {
+	// CacheHits counts solves answered from a fresh cache entry.
+	CacheHits *Counter
+	// CacheMisses counts solve fingerprints not found fresh in the cache.
+	CacheMisses *Counter
+	// StaleServed counts deadline-pressure responses served from a stale
+	// cache entry instead of a 503.
+	StaleServed *Counter
+	// SingleflightCollapsed counts solves collapsed onto an identical
+	// in-flight solve's result.
+	SingleflightCollapsed *Counter
+	// ProxyRequests counts solves proxied to the owning peer.
+	ProxyRequests *Counter
+	// ProxyRetries counts proxy attempts repeated after a retryable failure.
+	ProxyRetries *Counter
+	// ProxyHedged counts hedged second attempts launched on slow proxies.
+	ProxyHedged *Counter
+	// PeerEjected counts circuit-breaker peer ejections.
+	PeerEjected *Counter
+	// PeerReadmitted counts ejected peers readmitted by a successful probe.
+	PeerReadmitted *Counter
+	// DegradedRoute counts solves computed locally because the owning peer
+	// was unreachable.
+	DegradedRoute *Counter
+}
+
+// RecordCacheLookup folds one cache lookup: a fresh hit or a miss. Stale
+// hits count as misses here (the solve still runs); serving a stale entry
+// is recorded separately via RecordStaleServed.
+func (m *ClusterMetrics) RecordCacheLookup(fresh bool) {
+	if m == nil {
+		return
+	}
+	if fresh {
+		m.CacheHits.Inc()
+	} else {
+		m.CacheMisses.Inc()
+	}
+}
+
+// RecordStaleServed counts one stale cache entry served under deadline
+// pressure in place of a 503.
+func (m *ClusterMetrics) RecordStaleServed() {
+	if m == nil {
+		return
+	}
+	m.StaleServed.Inc()
+}
+
+// RecordCollapsed counts one solve collapsed onto an in-flight duplicate.
+func (m *ClusterMetrics) RecordCollapsed() {
+	if m == nil {
+		return
+	}
+	m.SingleflightCollapsed.Inc()
+}
+
+// RecordProxy counts one proxied solve and the retries it needed beyond
+// the first attempt.
+func (m *ClusterMetrics) RecordProxy(retries int64) {
+	if m == nil {
+		return
+	}
+	m.ProxyRequests.Inc()
+	if retries > 0 {
+		m.ProxyRetries.Add(retries)
+	}
+}
+
+// RecordHedged counts one hedged second attempt launched.
+func (m *ClusterMetrics) RecordHedged() {
+	if m == nil {
+		return
+	}
+	m.ProxyHedged.Inc()
+}
+
+// RecordEjected counts one circuit-breaker peer ejection.
+func (m *ClusterMetrics) RecordEjected() {
+	if m == nil {
+		return
+	}
+	m.PeerEjected.Inc()
+}
+
+// RecordReadmitted counts one peer readmission after a successful probe.
+func (m *ClusterMetrics) RecordReadmitted() {
+	if m == nil {
+		return
+	}
+	m.PeerReadmitted.Inc()
+}
+
+// RecordDegradedRoute counts one local solve forced by an unreachable
+// owner.
+func (m *ClusterMetrics) RecordDegradedRoute() {
+	if m == nil {
+		return
+	}
+	m.DegradedRoute.Inc()
+}
+
 // ServerMetrics returns the HTTP metric group; nil on a nil registry.
 func (r *Registry) ServerMetrics() *ServerMetrics {
 	if r == nil {
@@ -206,6 +311,15 @@ func (r *Registry) BicameralMetrics() *BicameralMetrics {
 		return nil
 	}
 	return &r.Bicameral
+}
+
+// ClusterMetrics returns the sharded-mode metric group; nil on a nil
+// registry.
+func (r *Registry) ClusterMetrics() *ClusterMetrics {
+	if r == nil {
+		return nil
+	}
+	return &r.Cluster
 }
 
 // ShortestMetrics returns the SPFA metric group; nil on a nil registry.
@@ -303,6 +417,28 @@ func (r *Registry) registerCatalogue() {
 	r.Bicameral.SweepWorkers = r.Histogram("krsp_bicameral_sweep_workers",
 		"Worker count used per parallel sweep.",
 		[]int64{1, 2, 4, 8, 16, 32, 64})
+
+	// krspd sharded mode.
+	r.Cluster.CacheHits = r.Counter("krsp_cache_hits_total",
+		"Solves answered from a fresh cache entry.")
+	r.Cluster.CacheMisses = r.Counter("krsp_cache_misses_total",
+		"Solve fingerprints not found fresh in the cache.")
+	r.Cluster.StaleServed = r.Counter("krsp_cache_stale_served_total",
+		"Stale cache entries served under deadline pressure instead of a 503.")
+	r.Cluster.SingleflightCollapsed = r.Counter("krsp_singleflight_collapsed_total",
+		"Solves collapsed onto an identical in-flight solve's result.")
+	r.Cluster.ProxyRequests = r.Counter("krsp_proxy_requests_total",
+		"Solves proxied to the owning peer.")
+	r.Cluster.ProxyRetries = r.Counter("krsp_proxy_retries_total",
+		"Proxy attempts repeated after a retryable failure.")
+	r.Cluster.ProxyHedged = r.Counter("krsp_proxy_hedged_total",
+		"Hedged second attempts launched on slow proxies.")
+	r.Cluster.PeerEjected = r.Counter("krsp_peer_ejected_total",
+		"Circuit-breaker peer ejections.")
+	r.Cluster.PeerReadmitted = r.Counter("krsp_peer_readmitted_total",
+		"Ejected peers readmitted by a successful probe.")
+	r.Cluster.DegradedRoute = r.Counter("krsp_degraded_route_total",
+		"Solves computed locally because the owning peer was unreachable.")
 
 	// shortest SPFA kernels.
 	r.Shortest.Runs = r.Counter("krsp_spfa_runs_total",

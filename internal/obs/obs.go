@@ -73,6 +73,9 @@ type Registry struct {
 	Bicameral BicameralMetrics
 	// Shortest instruments the SPFA kernels.
 	Shortest ShortestMetrics
+	// Cluster instruments krspd's sharded mode: cache, singleflight,
+	// proxying, and peer health.
+	Cluster ClusterMetrics
 
 	phase [NumPhases]*Histogram
 }

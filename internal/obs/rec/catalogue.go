@@ -64,6 +64,20 @@ const (
 	// KindFaultHit is an armed fault-point trip observed at a solver seam
 	// (fault.Point value).
 	KindFaultHit
+	// KindCacheHit is a solve answered from the fingerprint cache: the
+	// entry's State (solvecache fresh=1/stale=2) and its age in
+	// nanoseconds.
+	KindCacheHit
+	// KindSingleflight is a solve collapsed onto an identical in-flight
+	// solve's result instead of running its own.
+	KindSingleflight
+	// KindProxyAttempt is one attempt to proxy a solve to its owning peer:
+	// attempt index (0-based), outcome code (ProxyOK, ...), and whether
+	// the attempt was a hedge.
+	KindProxyAttempt
+	// KindDegradedRoute marks a solve computed locally because the owning
+	// peer was unreachable: the attempts burned before giving up.
+	KindDegradedRoute
 	// NumKinds bounds the Kind enum.
 	NumKinds
 )
@@ -84,6 +98,18 @@ const (
 	FallbackSearchExhausted
 	// FallbackCheaper: the feasible endpoint beat the cancelled solution.
 	FallbackCheaper
+)
+
+// KindProxyAttempt outcome codes (arg 1).
+const (
+	// ProxyOK: the peer answered 2xx.
+	ProxyOK int64 = iota
+	// ProxyDialFailed: the connection could not be established.
+	ProxyDialFailed
+	// ProxyReadFailed: the peer connection died mid-response.
+	ProxyReadFailed
+	// ProxyBadStatus: the peer answered a retryable 5xx.
+	ProxyBadStatus
 )
 
 // KindInfo is one catalogue row: the event's wire name (kebab-case, stable
@@ -177,6 +203,26 @@ var kinds = [NumKinds]KindInfo{
 		Name: "fault-hit",
 		Args: [4]string{"point", "", "", ""},
 		Doc:  "armed fault-point trip at a solver seam",
+	},
+	KindCacheHit: {
+		Name: "cache-hit",
+		Args: [4]string{"state", "ageNs", "", ""},
+		Doc:  "solve answered from the fingerprint cache",
+	},
+	KindSingleflight: {
+		Name: "singleflight-collapse",
+		Args: [4]string{"", "", "", ""},
+		Doc:  "solve collapsed onto an identical in-flight solve",
+	},
+	KindProxyAttempt: {
+		Name: "proxy-attempt",
+		Args: [4]string{"attempt", "outcome", "hedge", ""},
+		Doc:  "one proxy attempt toward the owning peer",
+	},
+	KindDegradedRoute: {
+		Name: "degraded-route",
+		Args: [4]string{"attempts", "", "", ""},
+		Doc:  "owner unreachable; solved locally off-route",
 	},
 }
 
