@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet fmt-check lint bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard trace-smoke cluster-smoke clean
+.PHONY: check vet fmt-check lint conc-audit bce-audit build test race fuzz-smoke bench-smoke bench-large bench bench-guard trace-smoke cluster-smoke clean
 
-# The full CI gate: static checks (vet, gofmt, krsplint, the BCE ratchet),
+# The full CI gate: static checks (vet, gofmt, krsplint, the concurrency
+# audit, the BCE ratchet),
 # build, race-enabled tests, a short fuzz smoke over the robustness harness,
 # a one-shot benchmark smoke run (catches benchmarks that panic or regress
 # to failure), the N=5k large-tier smoke, the allocation guard on the
 # flagship benches, the flight-recorder round trip, and the 3-node cluster
 # failover smoke.
-check: vet fmt-check lint bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard trace-smoke cluster-smoke
+check: vet fmt-check lint conc-audit bce-audit build race fuzz-smoke bench-smoke bench-large bench-guard trace-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +29,15 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/krsplint -cache .lintcache -sarif-out krsplint.sarif ./...
 
+# Concurrency contracts in isolation (DESIGN.md §15): the lock-set checker
+# (//krsp:guardedby + //krsp:locked), goroutine-lifecycle verification
+# (//krsp:detached) and the atomics-discipline audit over the whole module,
+# with their own SARIF artifact. The full `lint` gate runs these too; this
+# target gives CI a focused artifact and a fast re-run after touching
+# concurrent code.
+conc-audit:
+	$(GO) run ./cmd/krsplint -analyzers lockcheck,gorolife,atomicmix -sarif-out conc-audit.sarif ./...
+
 # Bounds-check-elimination ratchet: build with -d=ssa/check_bce and fail if
 # any //krsp:inbounds kernel carries more compiler bounds checks than the
 # committed BCE_BASELINE.json records. After a genuine improvement, tighten
@@ -41,8 +51,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -count=1 defeats the test cache: the race gate must actually re-execute
+# the concurrent suites (goroutine-leak guards, cache churn) every run, not
+# replay a cached pass from an earlier non-race-relevant change.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
 # Short coverage-guided fuzz: SolveCtx (random instances, poll strides and
 # fault seeds must never panic or violate the delay bound) and the lint
@@ -128,4 +141,4 @@ cluster-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -rf .lintcache krsplint.sarif
+	rm -rf .lintcache krsplint.sarif conc-audit.sarif

@@ -96,6 +96,7 @@ func clusterCfg(peers []string, self string, faults *fault.Registry) config {
 // before any handler goroutine under the race detector.
 func startCluster(t *testing.T, n int, tweaks ...func(i int, node *cnode)) ([]*cnode, []string) {
 	t.Helper()
+	guardGoroutines(t)
 	nodes := make([]*cnode, n)
 	peers := make([]string, n)
 	lns := make([]net.Listener, n)

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,10 +26,32 @@ func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
+// guardGoroutines fails the test when goroutines spawned during it outlive
+// its servers. The entry count is compared after every other cleanup
+// (server shutdown, client drains) has run; exits are asynchronous, so the
+// check retries until the count stabilizes at or below the baseline before
+// declaring a leak.
+func guardGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > base {
+			t.Errorf("goroutine leak: %d at test entry, %d after cleanup", base, n)
+		}
+	})
+}
+
 // testServerCfg spins up a daemon instance with a deterministic clock and
 // full control over the operational config.
 func testServerCfg(t *testing.T, cfg config) (*httptest.Server, *server) {
 	t.Helper()
+	guardGoroutines(t)
 	s, err := newServer(obs.New(&obs.ManualClock{}), discardLogger(), cfg)
 	if err != nil {
 		t.Fatal(err)

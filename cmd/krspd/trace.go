@@ -95,14 +95,17 @@ func (c registryClock) Now() int64 { return c.reg.Now() }
 // reallocating one per request would dwarf the solve's own allocations),
 // the sampling counter, the dump directory, and the last-trace buffer.
 type tracer struct {
-	dir     string
-	sample  int
-	clock   obs.Clock
+	// dir, sample and clock are immutable after newTracer returns.
+	dir     string    //lint:allow lockcheck immutable after newTracer returns
+	sample  int       //lint:allow lockcheck immutable after newTracer returns
+	clock   obs.Clock //lint:allow lockcheck immutable after newTracer returns
 	pool    sync.Pool
 	counter atomic.Int64
 
-	mu     sync.Mutex
-	last   []byte // JSONL dump of the most recent finished solve trace
+	mu sync.Mutex
+	//krsp:guardedby(mu)
+	last []byte // JSONL dump of the most recent finished solve trace
+	//krsp:guardedby(mu)
 	lastID string
 }
 

@@ -207,6 +207,40 @@ func TestCacheKeyedOnAnalyzerFingerprint(t *testing.T) {
 	}
 }
 
+// TestCacheInvalidatedByEngineSchema pins the engine-schema bump that
+// shipped with the concurrency layer (lock-set walker plus the field-level
+// contract index): the schema-2 fingerprint recorded before the bump must
+// no longer be reproducible, so every .lintcache entry written by the old
+// engine reads as cold; and the conc-analyzer subset itself runs
+// cold-then-warm with a byte-identical replay.
+func TestCacheInvalidatedByEngineSchema(t *testing.T) {
+	// sha256("engine:2\nnopanic:0")[:8] — the pre-bump fingerprint of the
+	// nopanic-only set. Recompute and update on the next deliberate bump.
+	const schema2Nopanic = "cc56b72c9754ccfa"
+	if got := lint.Fingerprint([]*lint.Analyzer{lint.Nopanic}); got == schema2Nopanic {
+		t.Fatalf("Fingerprint still yields the schema-2 digest %s; the engine bump did not reach the cache key", got)
+	}
+
+	cacheDir := t.TempDir()
+	code, coldOut, coldErr := drive(t, "dirtymod", "-cache", cacheDir, "-analyzers", "lockcheck,gorolife,atomicmix")
+	if code != 0 {
+		t.Fatalf("conc cold run: exit %d, stderr %s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "cache cold") {
+		t.Errorf("conc cold run stderr: %q", coldErr)
+	}
+	code, warmOut, warmErr := drive(t, "dirtymod", "-cache", cacheDir, "-analyzers", "lockcheck,gorolife,atomicmix")
+	if code != 0 {
+		t.Fatalf("conc warm run: exit %d, stderr %s", code, warmErr)
+	}
+	if !strings.Contains(warmErr, "cache warm") {
+		t.Errorf("conc warm run stderr: %q", warmErr)
+	}
+	if coldOut != warmOut {
+		t.Errorf("conc warm replay differs from cold report:\ncold: %q\nwarm: %q", coldOut, warmOut)
+	}
+}
+
 func TestParseBCELine(t *testing.T) {
 	cases := []struct {
 		line string

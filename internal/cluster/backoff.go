@@ -20,10 +20,13 @@ const (
 // concurrent use; concurrent callers interleave draws from one seeded
 // stream, so determinism holds per call sequence, not per goroutine.
 type Backoff struct {
-	mu   sync.Mutex
-	rng  *rand.Rand
-	base int64
-	max  int64
+	mu sync.Mutex
+	//krsp:guardedby(mu)
+	rng *rand.Rand
+	// base and max never change once NewBackoff returns, so the lock-free
+	// reads in Delay are safe.
+	base int64 //lint:allow lockcheck immutable after NewBackoff returns
+	max  int64 //lint:allow lockcheck immutable after NewBackoff returns
 }
 
 // NewBackoff builds a backoff policy; non-positive base/max take the

@@ -73,11 +73,15 @@ type member struct {
 // single point of truth a krspd node consults for "who owns this
 // fingerprint" and "may I talk to this peer".
 type Table struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//krsp:guardedby(mu)
 	members []member
-	byAddr  map[string]int
+	//krsp:guardedby(mu)
+	byAddr map[string]int
+	//krsp:guardedby(mu)
 	selfIdx int
-	opt     Options
+	//krsp:guardedby(mu)
+	opt Options
 }
 
 // ErrBadMembership wraps member-list validation failures.

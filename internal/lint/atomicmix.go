@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix is the atomics-discipline analyzer. It reports three racy
+// shapes:
+//
+//  1. Mixed access: a variable or field updated through sync/atomic
+//     (atomic.AddInt64(&v, ...)) that is also read or written with plain
+//     loads/stores elsewhere in the package. The Go memory model gives
+//     such mixtures no ordering at all — the obs registry and cluster
+//     health counters are all-atomic by convention, and this makes the
+//     convention a checked invariant. (The typed atomic.Int64 family is
+//     immune by construction and needs no checking.)
+//  2. Double-checked locking: `if cond { mu.Lock(); if cond {...} }` with
+//     a byte-identical condition — the unlocked first check races every
+//     writer; hold the lock for both checks or make the field atomic.
+//  3. Lock leaks: a path that returns (or falls off the end) with a lock
+//     acquired in the function still held and no deferred release — the
+//     classic missing-Unlock bug, verified by the same lock-set walker
+//     lockcheck rides (locksets.go), so removing an Unlock fails the
+//     conc-audit gate.
+var Atomicmix = &Analyzer{
+	Name:       "atomicmix",
+	Version:    1,
+	Doc:        "flag mixed atomic/plain access, double-checked locking, and Lock without all-paths Unlock",
+	RunProgram: runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	prog := pass.Prog
+	cg := prog.buildCallGraph()
+
+	for _, pkg := range prog.Requested {
+		checkMixedAtomics(pass, pkg)
+		for _, f := range pkg.Files {
+			checkDoubleChecked(pass, pkg, f)
+		}
+	}
+
+	requested := map[*Package]bool{}
+	for _, pkg := range prog.Requested {
+		requested[pkg] = true
+	}
+	for _, fn := range cg.order {
+		site := cg.decls[fn]
+		if site == nil || !requested[site.pkg] {
+			continue
+		}
+		hooks := &lockHooks{
+			exit: func(pos token.Pos, leaked []leakedLock) {
+				for _, l := range leaked {
+					pass.Reportf(pos,
+						"path exits with %s still locked (acquired at line %d); unlock on every path or defer the unlock",
+						l.key, prog.Fset.Position(l.pos).Line)
+				}
+			},
+		}
+		walkLocks(site, lockSet{}, hooks)
+	}
+}
+
+// checkMixedAtomics flags package objects accessed both through sync/atomic
+// calls and through plain loads/stores.
+func checkMixedAtomics(pass *Pass, pkg *Package) {
+	info := pkg.Info
+	atomicAt := map[types.Object]token.Pos{} // first atomic site per target
+	skip := map[token.Pos]bool{}             // idents consumed by &target args
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed atomic.Int64 methods are fine by construction
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			obj := targetObj(info, addr.X)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = call.Pos()
+			}
+			if id := terminalIdent(addr.X); id != nil {
+				skip[id.Pos()] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	type plainSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var plains []plainSite
+	seenObj := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				// Struct-literal keys name the field without accessing it.
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					skip[id.Pos()] = true
+				}
+				return true
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || skip[id.Pos()] {
+				return true
+			}
+			obj := info.Uses[id]
+			if v, isVar := obj.(*types.Var); isVar {
+				obj = originVar(v)
+			}
+			if obj == nil || seenObj[obj] {
+				return true
+			}
+			if _, isAtomic := atomicAt[obj]; !isAtomic {
+				return true
+			}
+			seenObj[obj] = true
+			plains = append(plains, plainSite{obj: obj, pos: id.Pos()})
+			return true
+		})
+	}
+	for _, p := range plains {
+		pass.Reportf(p.pos,
+			"%s is updated through sync/atomic (line %d) but accessed here without atomics; mixed access has no ordering — use atomic loads/stores everywhere or guard every access with one mutex",
+			p.obj.Name(), pass.Prog.Fset.Position(atomicAt[p.obj]).Line)
+	}
+}
+
+// targetObj resolves the object whose address an atomic call takes:
+// &v → v's object, &s.f → the field f (generic-origin normalized),
+// &arr[i] → the array variable.
+func targetObj(info *types.Info, e ast.Expr) types.Object {
+	obj := objOfExpr(info, e)
+	if obj == nil {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			obj = objOfExpr(info, ix.X)
+		}
+	}
+	if v, ok := obj.(*types.Var); ok {
+		return originVar(v)
+	}
+	return obj
+}
+
+// terminalIdent returns the rightmost ident of the expression (&s.f → f).
+func terminalIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkDoubleChecked flags `if cond { ...Lock()...; if cond { ... } }`
+// where the re-check condition prints byte-identically to the unlocked
+// outer check.
+func checkDoubleChecked(pass *Pass, pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		outer, ok := n.(*ast.IfStmt)
+		if !ok || outer.Cond == nil {
+			return true
+		}
+		cond := types.ExprString(outer.Cond)
+		locked := false
+		for _, s := range outer.Body.List {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if op, _, isOp := mutexOp(pkg.Info, call); isOp && (op == "Lock" || op == "RLock") {
+						locked = true
+						continue
+					}
+				}
+			}
+			inner, ok := s.(*ast.IfStmt)
+			if !ok || !locked || inner.Cond == nil {
+				continue
+			}
+			if types.ExprString(inner.Cond) == cond {
+				pass.Reportf(outer.If,
+					"double-checked locking on %q: the unlocked first check races every writer; hold the lock for both checks or make the field atomic",
+					cond)
+			}
+		}
+		return true
+	})
+}

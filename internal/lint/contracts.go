@@ -46,11 +46,29 @@ type parsedContract struct {
 	pos    token.Pos
 }
 
+// guardedByInfo is one //krsp:guardedby(<lock>) annotation on a struct
+// field, with enough declaration context for lockcheck to validate the
+// lock target against the field's siblings.
+type guardedByInfo struct {
+	lock  string // the guarding lock field's name
+	pos   token.Pos
+	strct *ast.StructType // the declaring struct
+	pkg   *Package
+	field *ast.Field
+	ident *ast.Ident // the specific name the annotation binds to
+}
+
 // contractIndex is the module-wide //krsp: annotation table plus the
-// directive-level diagnostics found while building it.
+// directive-level diagnostics found while building it. Function contracts
+// live in byFunc; field-level guardedby annotations in byField, keyed by
+// the field's (generic-origin) *types.Var. Directive diagnostics carry the
+// analyzer that owns the verb — guardedby/locked belong to lockcheck,
+// detached to gorolife, the rest to contracts — so a partial `-analyzers`
+// run still surfaces grammar and placement errors for the verbs it checks.
 type contractIndex struct {
-	byFunc map[*types.Func][]parsedContract
-	diags  []Diagnostic
+	byFunc  map[*types.Func][]parsedContract
+	byField map[*types.Var]*guardedByInfo
+	diags   []Diagnostic
 }
 
 func (ci *contractIndex) has(fn *types.Func, kind Contract) bool {
@@ -62,21 +80,69 @@ func (ci *contractIndex) has(fn *types.Func, kind Contract) bool {
 	return false
 }
 
+// contract returns fn's parsed contract of the given kind, or nil.
+func (ci *contractIndex) contract(fn *types.Func, kind Contract) *parsedContract {
+	for i := range ci.byFunc[fn] {
+		if ci.byFunc[fn][i].kind == kind {
+			return &ci.byFunc[fn][i]
+		}
+	}
+	return nil
+}
+
+// emit appends the index's directive diagnostics owned by pass's analyzer.
+// Each of contracts, lockcheck and gorolife calls this once, so every
+// grammar/placement error surfaces exactly once per run regardless of
+// which subset of the suite was requested.
+func (ci *contractIndex) emit(pass *Pass) {
+	for _, d := range ci.diags {
+		if d.Analyzer == pass.Analyzer.Name {
+			*pass.diags = append(*pass.diags, d)
+		}
+	}
+}
+
+// contractOwner names the analyzer that owns a //krsp: verb's directive
+// diagnostics. Literal analyzer names break init cycles with the analyzer
+// vars (see the "contracts" literal below).
+func contractOwner(text string) string {
+	verb := strings.TrimPrefix(text, contractPrefix)
+	if i := strings.IndexAny(verb, "( \t"); i >= 0 {
+		verb = verb[:i]
+	}
+	switch verb {
+	case "guardedby", "locked":
+		return "lockcheck"
+	case "detached":
+		return "gorolife"
+	}
+	return "contracts"
+}
+
 // contractIndex parses every //krsp: directive in the program (built once).
-// Directives must live in the doc comment of a function declaration;
-// anything else — a floating comment, a type or var doc, a body comment —
-// is misplaced, because a contract that is not bound to a function is not
-// checked by anything. Directive diagnostics are only recorded for
+// Function contracts (noalloc/terminates/deterministic/inbounds plus
+// locked/detached) must live in the doc comment of a function declaration;
+// guardedby must annotate a named struct field (doc or same-line comment).
+// Anything else — a floating comment, a type or var doc, a body comment —
+// is misplaced, because a contract that is not bound to a declaration is
+// not checked by anything. Directive diagnostics are only recorded for
 // requested packages: dependencies of golden test packages are loaded but
 // not re-audited.
 func (p *Program) contractIndex() *contractIndex {
 	if p.contractIdx != nil {
 		return p.contractIdx
 	}
-	ci := &contractIndex{byFunc: map[*types.Func][]parsedContract{}}
+	ci := &contractIndex{
+		byFunc:  map[*types.Func][]parsedContract{},
+		byField: map[*types.Var]*guardedByInfo{},
+	}
 	requested := map[*Package]bool{}
 	for _, pkg := range p.Requested {
 		requested[pkg] = true
+	}
+	type fieldRef struct {
+		field *ast.Field
+		strct *ast.StructType
 	}
 	for _, pkg := range p.Packages {
 		for _, f := range pkg.Files {
@@ -86,8 +152,25 @@ func (p *Program) contractIndex() *contractIndex {
 					docOf[fd.Doc] = fd
 				}
 			}
+			fieldOf := map[*ast.CommentGroup]fieldRef{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					if fld.Doc != nil {
+						fieldOf[fld.Doc] = fieldRef{field: fld, strct: st}
+					}
+					if fld.Comment != nil {
+						fieldOf[fld.Comment] = fieldRef{field: fld, strct: st}
+					}
+				}
+				return true
+			})
 			for _, cg := range f.Comments {
 				fd := docOf[cg]
+				fr, onField := fieldOf[cg]
 				for _, c := range cg.List {
 					kind, reason, isContract, err := parseContract(c.Text)
 					if !isContract {
@@ -96,7 +179,10 @@ func (p *Program) contractIndex() *contractIndex {
 					report := func(format string, args ...any) {
 						if requested[pkg] {
 							ci.diags = append(ci.diags, Diagnostic{
-								Analyzer: "contracts", // Contracts.Name; literal breaks the init cycle with runCtxpoll
+								// contractOwner returns literal analyzer names;
+								// using Contracts.Name here would recreate the
+								// init cycle with runCtxpoll.
+								Analyzer: contractOwner(c.Text),
 								Position: p.Fset.Position(c.Pos()),
 								Message:  fmt.Sprintf(format, args...),
 							})
@@ -106,8 +192,20 @@ func (p *Program) contractIndex() *contractIndex {
 						report("%v", err)
 						continue
 					}
+					if kind == ContractGuardedBy {
+						ci.indexGuardedBy(pkg, fr.field, fr.strct, onField, reason, c.Pos(), report)
+						continue
+					}
+					if onField {
+						report("misplaced //krsp:%s: only guardedby may annotate a struct field; %s binds to a function declaration", kind, kind)
+						continue
+					}
 					if fd == nil {
 						report("misplaced //krsp:%s: contracts must appear in the doc comment of a function declaration", kind)
+						continue
+					}
+					if kind == ContractLocked && fd.Recv == nil {
+						report("misplaced //krsp:locked: the contract must annotate a method — the lock it names is a receiver field")
 						continue
 					}
 					obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
@@ -127,6 +225,72 @@ func (p *Program) contractIndex() *contractIndex {
 	return ci
 }
 
+// indexGuardedBy validates and records one //krsp:guardedby(<lock>)
+// annotation: it must sit on a named (non-embedded) struct field, and the
+// lock must be a sibling field of type sync.Mutex or sync.RWMutex.
+func (ci *contractIndex) indexGuardedBy(pkg *Package, field *ast.Field, strct *ast.StructType, onField bool, lock string, pos token.Pos, report func(string, ...any)) {
+	if !onField {
+		report("misplaced //krsp:guardedby: the contract must annotate a struct field (doc or same-line comment)")
+		return
+	}
+	if len(field.Names) == 0 {
+		report("//krsp:guardedby cannot annotate an embedded field; name the field to guard it")
+		return
+	}
+	lockField := findStructField(strct, lock)
+	if lockField == nil {
+		report("//krsp:guardedby(%s) names no sibling field: the guarding lock must be declared in the same struct", lock)
+		return
+	}
+	if lt, ok := pkg.Info.Types[lockField.Type]; !ok || !isMutexType(lt.Type) {
+		report("//krsp:guardedby(%s): the named field is not a sync.Mutex or sync.RWMutex", lock)
+		return
+	}
+	for _, name := range field.Names {
+		v, ok := pkg.Info.Defs[name].(*types.Var)
+		if !ok {
+			continue
+		}
+		if ci.byField[v] != nil {
+			report("duplicate //krsp:guardedby on field %s", name.Name)
+			continue
+		}
+		ci.byField[v] = &guardedByInfo{
+			lock: lock, pos: pos, strct: strct, pkg: pkg, field: field, ident: name,
+		}
+	}
+}
+
+// findStructField returns the struct's field declaration carrying the
+// given name, or nil.
+func findStructField(strct *ast.StructType, name string) *ast.Field {
+	for _, fld := range strct.Fields.List {
+		for _, n := range fld.Names {
+			if n.Name == name {
+				return fld
+			}
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (pointers
+// included: a *sync.Mutex field locks the same way).
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
 // allocSafeExternPkgs are non-module packages whose functions are known not
 // to allocate; calls into any other package from a noalloc closure are
 // unverifiable and therefore diagnostics.
@@ -138,9 +302,7 @@ func runContracts(pass *Pass) {
 	prog := pass.Prog
 	ci := prog.contractIndex()
 	cg := prog.buildCallGraph()
-	for _, d := range ci.diags {
-		*pass.diags = append(*pass.diags, d)
-	}
+	ci.emit(pass) // directive diags owned by the conc analyzers emit there
 
 	// Sibling-analyzer allows: a site justified to hotalloc/ctxpoll/detmap/
 	// wallclock already carries its reason; the contract does not demand a
@@ -218,6 +380,13 @@ func runContracts(pass *Pass) {
 			case ContractInBounds:
 				// Verified by the boundsafe dataflow analyzer, which owns
 				// both the interval proofs and the coverage sweep.
+			case ContractLocked:
+				// Verified by the lockcheck lock-set analyzer: the body is
+				// analyzed with the lock pre-held and every call site must
+				// prove it holds the lock.
+			case ContractDetached:
+				// Consumed by the gorolife analyzer: it waives the
+				// termination-signal obligation for the function's spawns.
 			}
 		}
 	}

@@ -13,6 +13,9 @@ import (
 //	//krsp:terminates(<reason>)           contract: bounded / cancellable
 //	//krsp:deterministic                  contract: run-independent output
 //	//krsp:inbounds                       contract: proven index arithmetic
+//	//krsp:guardedby(<field>)             contract: field accessed under lock
+//	//krsp:locked(<field>)                contract: method requires lock held
+//	//krsp:detached(<reason>)             contract: goroutine outlives spawner
 //
 // Both grammars are strict: a directive that almost parses is a diagnostic,
 // never a silent no-op (a typo'd contract would otherwise quietly stop
@@ -47,6 +50,19 @@ const (
 	// interval facts); unproven sites are diagnostics, and `krsplint -bce`
 	// additionally requires the compiler to eliminate the bounds checks.
 	ContractInBounds
+	// ContractGuardedBy, on a struct field, asserts every read and write of
+	// the field holds the named sibling sync.Mutex/RWMutex (writes need the
+	// write lock; reads accept RLock). Verified path-sensitively by the
+	// lockcheck analyzer; the argument names the lock field.
+	ContractGuardedBy
+	// ContractLocked, on a method, asserts the named receiver lock is
+	// already held by every caller: the body is analyzed with the lock in
+	// the entry lock-set, and each call site must prove it holds the lock.
+	ContractLocked
+	// ContractDetached, on a function containing a go statement, waives the
+	// gorolife termination-signal obligation for the goroutines it spawns;
+	// the mandatory reason documents why outliving the spawner is safe.
+	ContractDetached
 )
 
 func (c Contract) String() string {
@@ -59,6 +75,12 @@ func (c Contract) String() string {
 		return "deterministic"
 	case ContractInBounds:
 		return "inbounds"
+	case ContractGuardedBy:
+		return "guardedby"
+	case ContractLocked:
+		return "locked"
+	case ContractDetached:
+		return "detached"
 	}
 	return fmt.Sprintf("contract-%d", int(c))
 }
@@ -112,6 +134,12 @@ func parseContract(text string) (c Contract, reason string, ok bool, err error) 
 		return ContractTerminates, reason, true, nil
 	case rest == "inbounds":
 		return ContractInBounds, "", true, nil
+	case rest == "guardedby" || strings.HasPrefix(rest, "guardedby"):
+		return parseContractArg(rest, "guardedby", ContractGuardedBy, "the guarding lock field is mandatory", true)
+	case rest == "locked" || strings.HasPrefix(rest, "locked"):
+		return parseContractArg(rest, "locked", ContractLocked, "the required lock field is mandatory", true)
+	case rest == "detached" || strings.HasPrefix(rest, "detached"):
+		return parseContractArg(rest, "detached", ContractDetached, "the reason is mandatory", false)
 	case rest == "noalloc()" || strings.HasPrefix(rest, "noalloc("):
 		return 0, "", true, fmt.Errorf("malformed //krsp:noalloc: the contract takes no argument")
 	case rest == "deterministic()" || strings.HasPrefix(rest, "deterministic("):
@@ -123,6 +151,54 @@ func parseContract(text string) (c Contract, reason string, ok bool, err error) 
 		if i := strings.IndexAny(verb, "( \t"); i >= 0 {
 			verb = verb[:i]
 		}
-		return 0, "", true, fmt.Errorf("unknown //krsp: contract %q (want noalloc, terminates(<reason>), deterministic or inbounds)", verb)
+		return 0, "", true, fmt.Errorf("unknown //krsp: contract %q (want noalloc, terminates(<reason>), deterministic, inbounds, guardedby(<field>), locked(<field>) or detached(<reason>))", verb)
 	}
+}
+
+// parseContractArg parses the `verb(<arg>)` contract forms that carry a
+// mandatory argument (terminates has bespoke wording and stays inline
+// above). fieldArg additionally requires the argument to be a single Go
+// identifier — guardedby/locked name a struct field, not free text.
+func parseContractArg(rest, verb string, kind Contract, missing string, fieldArg bool) (Contract, string, bool, error) {
+	arg := strings.TrimPrefix(rest, verb)
+	if arg == "" {
+		return 0, "", true, fmt.Errorf("malformed //krsp:%s: want //krsp:%s(<%s>) — %s",
+			verb, verb, argName(fieldArg), missing)
+	}
+	if !strings.HasPrefix(arg, "(") || !strings.HasSuffix(arg, ")") {
+		return 0, "", true, fmt.Errorf("malformed //krsp:%s: want //krsp:%s(<%s>)", verb, verb, argName(fieldArg))
+	}
+	val := strings.TrimSpace(arg[1 : len(arg)-1])
+	if val == "" {
+		return 0, "", true, fmt.Errorf("malformed //krsp:%s: the %s inside the parentheses must be non-empty", verb, argName(fieldArg))
+	}
+	if fieldArg && !isGoIdent(val) {
+		return 0, "", true, fmt.Errorf("malformed //krsp:%s: %q is not a field name (want a single Go identifier)", verb, val)
+	}
+	return kind, val, true, nil
+}
+
+func argName(fieldArg bool) string {
+	if fieldArg {
+		return "field"
+	}
+	return "reason"
+}
+
+// isGoIdent reports whether s is a plain Go identifier (ASCII letters,
+// digits, underscore; no leading digit) — the field-name grammar for
+// guardedby/locked arguments.
+func isGoIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z'):
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
 }

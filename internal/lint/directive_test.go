@@ -47,6 +47,18 @@ func TestParseContract(t *testing.T) {
 		{"//krsp:terminates(   )", 0, "", true, true},
 		{"//krsp:noalloc(arg)", 0, "", true, true},
 		{"//krsp:frobnicates(x)", 0, "", true, true},
+		{"//krsp:guardedby(mu)", ContractGuardedBy, "mu", true, false},
+		{"//krsp:guardedby( mu )", ContractGuardedBy, "mu", true, false},
+		{"//krsp:guardedby", 0, "", true, true},
+		{"//krsp:guardedby()", 0, "", true, true},
+		{"//krsp:guardedby(t.mu)", 0, "", true, true},
+		{"//krsp:guardedby(two words)", 0, "", true, true},
+		{"//krsp:locked(mu)", ContractLocked, "mu", true, false},
+		{"//krsp:locked", 0, "", true, true},
+		{"//krsp:locked(7up)", 0, "", true, true},
+		{"//krsp:detached(prober runs for process lifetime)", ContractDetached, "prober runs for process lifetime", true, false},
+		{"//krsp:detached", 0, "", true, true},
+		{"//krsp:detached()", 0, "", true, true},
 		{"// plain comment", 0, "", false, false},
 		{"//lint:allow detmap r", 0, "", false, false},
 	}
@@ -82,6 +94,10 @@ func FuzzDirectiveParser(f *testing.F) {
 		"",
 		"//lint:allow\tctxpoll\ttabbed reason",
 		"//krsp:terminates(()nested())",
+		"//krsp:guardedby(mu)",
+		"//krsp:guardedby(t.mu)",
+		"//krsp:locked()",
+		"//krsp:detached(serves until process exit)",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -115,9 +131,13 @@ func FuzzDirectiveParser(f *testing.F) {
 				if creason != "" {
 					t.Fatalf("parseContract(%q): %v carries unexpected reason %q", text, kind, creason)
 				}
-			case ContractTerminates:
+			case ContractTerminates, ContractDetached:
 				if creason == "" {
-					t.Fatalf("parseContract(%q): terminates with empty reason", text)
+					t.Fatalf("parseContract(%q): %v with empty reason", text, kind)
+				}
+			case ContractGuardedBy, ContractLocked:
+				if !isGoIdent(creason) {
+					t.Fatalf("parseContract(%q): %v argument %q is not an identifier", text, kind, creason)
 				}
 			default:
 				t.Fatalf("parseContract(%q): unknown kind %v parsed ok", text, kind)

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Gorolife is the goroutine-lifecycle analyzer: every go statement in a
+// requested package must spawn a body with a provable termination signal,
+// or the spawning function must carry //krsp:detached(<reason>). A body
+// proves termination when
+//
+//   - it is loop-free (it runs to its end and exits), or
+//   - every condition-only loop in it receives from a channel (a select
+//     case, a <-ctx.Done() poll, a ticker drain — receives are how
+//     shutdown reaches a worker), polls the cancel.Canceller, or is
+//     structurally bounded (for i := 0; i < n; i++ and range loops), or
+//   - it signals a sync.WaitGroup with Done and the spawning function
+//     Waits on the same WaitGroup — the spawner joins the goroutine, so a
+//     leak would deadlock the join and cannot go unnoticed.
+//
+// Spawns whose target cannot be statically resolved (dynamic function
+// values from other scopes, interface methods) are diagnostics too: a
+// goroutine the analyzer cannot see into is a goroutine nobody proved
+// terminates. The //krsp:detached contract is itself checked for drift — a
+// detached annotation on a function that spawns nothing must be removed.
+var Gorolife = &Analyzer{
+	Name:       "gorolife",
+	Version:    1,
+	Doc:        "prove every go statement has a reachable termination signal or a //krsp:detached waiver",
+	RunProgram: runGorolife,
+}
+
+func runGorolife(pass *Pass) {
+	prog := pass.Prog
+	ci := prog.contractIndex()
+	cg := prog.buildCallGraph()
+	ci.emit(pass)
+
+	requested := map[*Package]bool{}
+	for _, pkg := range prog.Requested {
+		requested[pkg] = true
+	}
+
+	for _, fn := range cg.order {
+		site := cg.decls[fn]
+		if site == nil || !requested[site.pkg] {
+			continue
+		}
+		detached := ci.contract(fn, ContractDetached)
+		spawns := 0
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			spawns++
+			if detached != nil {
+				return true
+			}
+			checkSpawn(pass, cg, site, g)
+			return true
+		})
+		if detached != nil && spawns == 0 {
+			pass.Reportf(detached.pos,
+				"//krsp:detached on %s but the function spawns no goroutine; remove the stale contract", fn.Name())
+		}
+	}
+}
+
+// checkSpawn resolves one go statement's target body and verdicts it.
+func checkSpawn(pass *Pass, cg *callGraph, site *declSite, g *ast.GoStmt) {
+	body, bodyInfo := spawnedBody(cg, site, g.Call)
+	if body == nil {
+		pass.Reportf(g.Pos(),
+			"cannot statically resolve the spawned function to a body; spawn a function literal or a module-local function, or annotate the spawner with //krsp:detached(<reason>)")
+		return
+	}
+	if ok, why := terminationSignal(bodyInfo, site, body); !ok {
+		pass.Reportf(g.Pos(),
+			"goroutine has no provable termination signal (%s); make every loop bounded, receive from a channel, or poll the Canceller — or join via sync.WaitGroup, or annotate the spawner with //krsp:detached(<reason>)", why)
+	}
+}
+
+// spawnedBody resolves the body the go statement runs: a function literal
+// (direct, or a local variable assigned one) or a module-local declared
+// function. The returned info belongs to the body's declaring package.
+func spawnedBody(cg *callGraph, site *declSite, call *ast.CallExpr) (*ast.BlockStmt, *types.Info) {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, site.pkg.Info
+	case *ast.Ident:
+		obj := site.pkg.Info.ObjectOf(fun)
+		if v, ok := obj.(*types.Var); ok {
+			if lit := localFuncLit(site.fd, site.pkg.Info, v); lit != nil {
+				return lit.Body, site.pkg.Info
+			}
+			return nil, nil
+		}
+		if f, ok := obj.(*types.Func); ok {
+			if decl := cg.decls[originFunc(f)]; decl != nil {
+				return decl.fd.Body, decl.pkg.Info
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := site.pkg.Info.ObjectOf(fun.Sel).(*types.Func); ok {
+			if decl := cg.decls[originFunc(f)]; decl != nil {
+				return decl.fd.Body, decl.pkg.Info
+			}
+		}
+	}
+	return nil, nil
+}
+
+// localFuncLit finds the function literal a local variable was defined
+// from (launch := func() {...}; go launch()).
+func localFuncLit(fd *ast.FuncDecl, info *types.Info, v *types.Var) *ast.FuncLit {
+	var found *ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || info.ObjectOf(id) != v {
+					continue
+				}
+				if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+					found = lit
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				if info.Defs[name] != v {
+					continue
+				}
+				if lit, ok := n.Values[i].(*ast.FuncLit); ok {
+					found = lit
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// terminationSignal verdicts a spawned body. why describes the first
+// missing obligation for the diagnostic.
+func terminationSignal(info *types.Info, spawner *declSite, body *ast.BlockStmt) (ok bool, why string) {
+	// WaitGroup join: Done in the body (usually deferred) paired with a
+	// Wait on the same WaitGroup object in the spawning function.
+	for _, done := range waitGroupCalls(info, body, "Done") {
+		for _, wait := range waitGroupCalls(spawner.pkg.Info, spawner.fd.Body, "Wait") {
+			if done == wait {
+				return true, ""
+			}
+		}
+	}
+	var unproven *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if unproven != nil {
+			return false
+		}
+		loop, isFor := n.(*ast.ForStmt)
+		if !isFor {
+			return true
+		}
+		// Structurally bounded three-clause loops and range loops pass; a
+		// condition-only or bare loop needs a shutdown signal inside.
+		if loop.Init != nil && loop.Post != nil {
+			return true
+		}
+		if containsChanReceive(loop.Body) || loopPollsCanceller(info, loop) {
+			return true
+		}
+		unproven = loop
+		return true
+	})
+	if unproven != nil {
+		return false, "a condition-only loop neither receives from a channel nor polls the Canceller"
+	}
+	return true, ""
+}
+
+// containsChanReceive reports whether the node contains a channel receive
+// (<-ch) — including select communication clauses and ticker drains.
+func containsChanReceive(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupCalls collects the sync.WaitGroup objects the node calls the
+// given method on (wg.Done(), s.wg.Wait(), ...).
+func waitGroupCalls(info *types.Info, n ast.Node, method string) []types.Object {
+	var out []types.Object
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Name() != method {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !isWaitGroupType(sig.Recv().Type()) {
+			return true
+		}
+		if obj := objOfExpr(info, sel.X); obj != nil {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// objOfExpr resolves the object an expression names: the ident itself, or
+// the field/var a selector terminates in.
+func objOfExpr(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			return info.ObjectOf(x.Sel)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -16,7 +16,14 @@
 // consulted at a seam and armed by a test), and suppressdrift (stale
 // //lint:allow directives are errors). The weightovf per-package analyzer
 // also rides the dataflow layer: its verdicts are interval proofs rather
-// than syntactic guesses.
+// than syntactic guesses. The concurrency layer (DESIGN.md §15) adds three
+// more cross-layer analyzers on the same engine: lockcheck (lock-set
+// analysis for the //krsp:guardedby(<lock>) field contract and the
+// //krsp:locked(<lock>) caller-holds-lock helper contract, plus coverage
+// of mutex-sharing fields in the cluster, solvecache and krspd packages),
+// gorolife (every go statement proves a termination signal or carries
+// //krsp:detached(<reason>)), and atomicmix (mixed atomic/plain access,
+// double-checked locking, paths exiting with a mutex held).
 //
 // The framework is built on the standard library only (go/ast, go/parser,
 // go/types with GOROOT source importing), so it runs offline. Analyzers

@@ -27,6 +27,9 @@ var goldenMounts = map[string]string{
 	"eventcat":     "repro/internal/obs/rec/eventgolden",
 	"faultseam":    "repro/internal/fault/seamgolden",
 	"staledrift":   "repro/internal/gen/staledrift",
+	"lockcheck":    "repro/internal/cluster/lockgolden",
+	"gorolife":     "repro/internal/golden/lifelib",
+	"atomicmix":    "repro/internal/golden/mixlib",
 }
 
 var (
@@ -250,6 +253,50 @@ func TestFaultseamGolden(t *testing.T) {
 		"faultseam/seam.go:15:2",  // PointUnarmed consulted but never armed by a test
 		"faultseam/seam.go:16:2",  // PointDead never consulted at a Check seam
 		"faultseam/seam.go:54:14", // computed Check argument defeats the catalogue
+	})
+}
+
+// TestLockcheckGolden pins the lock-set corpus, mounted under a cluster
+// path so the coverage sweep applies: unlocked reads/writes, a write under
+// a read hold, a locked-helper call without the lock, coverage gaps, and
+// the directive-placement diagnostics. ok.go (defer-unlock, early unlock,
+// constructor freshness, RLock reads and one allowed immutable field) must
+// stay silent.
+func TestLockcheckGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Lockcheck), []string{
+		"lockcheck/bad.go:15:2",  // names shares the struct with mu, no guardedby
+		"lockcheck/bad.go:18:2",  // guardedby(names): names is not a mutex
+		"lockcheck/bad.go:19:2",  // tags still uncovered after the bad directive
+		"lockcheck/bad.go:24:11", // Peek reads count without the lock
+		"lockcheck/bad.go:29:4",  // Bump writes count without the lock
+		"lockcheck/bad.go:41:2",  // Misuse calls the locked helper lock-free
+		"lockcheck/bad.go:54:4",  // Weaken writes val under RLock only
+		"lockcheck/bad.go:60:1",  // guardedby on a function declaration
+	})
+}
+
+// TestGorolifeGolden pins the goroutine-lifecycle corpus: a bare spin loop,
+// an unresolvable spawn target and a stale detached waiver. ok.go (select
+// receive, channel range, named spawn, local literal, WaitGroup join, a
+// legitimate //krsp:detached and one inline allow) must stay silent.
+func TestGorolifeGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Gorolife), []string{
+		"gorolife/bad.go:10:2", // bare for loop, no termination signal
+		"gorolife/bad.go:20:2", // go f(): body not statically resolvable
+		"gorolife/bad.go:25:1", // //krsp:detached on a spawn-free function
+	})
+}
+
+// TestAtomicmixGolden pins the atomics-discipline corpus: mixed
+// atomic/plain access to one variable, double-checked locking, and a path
+// that returns with the mutex held. ok.go (all-atomic counters, deferred
+// and all-paths unlocks, one allowed setup-phase plain write) must stay
+// silent.
+func TestAtomicmixGolden(t *testing.T) {
+	expectDiags(t, runOne(t, Atomicmix), []string{
+		"atomicmix/bad.go:21:9", // plain read of the atomically-updated hits
+		"atomicmix/bad.go:33:2", // double-checked locking on b.ready
+		"atomicmix/bad.go:46:3", // return with b.mu still held
 	})
 }
 

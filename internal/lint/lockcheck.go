@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// concCoveredSegments are the package path segments whose shared state must
+// carry //krsp:guardedby annotations: the cluster member table and backoff,
+// the solution cache and singleflight group, and krspd's server-side state.
+// In a covered package, every named field sharing a struct with a
+// sync.Mutex/RWMutex is either annotated, of a self-synchronizing type
+// (sync.*, sync/atomic.*, channels), or justified with //lint:allow
+// lockcheck <reason> (the immutable-after-construction idiom).
+var concCoveredSegments = map[string]bool{
+	"cluster": true, "solvecache": true, "krspd": true,
+}
+
+// Lockcheck is the lock-set analyzer behind the //krsp:guardedby and
+// //krsp:locked contracts. Every read of a guarded field must hold the
+// named lock (RLock suffices), every write must hold it exclusively, and
+// every call to a //krsp:locked method must already hold the receiver's
+// lock — all verified path-sensitively by the lock-set walker (locksets.go):
+// branches merge by intersection, early unlock-and-return paths are
+// tracked, deferred unlocks count, and goroutine bodies start lock-free.
+// Accesses through a constructor-fresh local (t := &Table{...}) are exempt:
+// no other goroutine can hold a reference yet.
+//
+// The analyzer also enforces annotation coverage over the cluster,
+// solvecache and krspd packages (concCoveredSegments), so removing an
+// annotation from shared state is itself a diagnostic, and it owns the
+// directive-level diagnostics of the guardedby/locked verbs (grammar,
+// placement, unknown lock fields).
+var Lockcheck = &Analyzer{
+	Name:       "lockcheck",
+	Version:    1,
+	Doc:        "verify //krsp:guardedby field accesses and //krsp:locked call sites hold the named lock on all paths",
+	RunProgram: runLockcheck,
+}
+
+func runLockcheck(pass *Pass) {
+	prog := pass.Prog
+	ci := prog.contractIndex()
+	cg := prog.buildCallGraph()
+	ci.emit(pass)
+
+	requested := map[*Package]bool{}
+	for _, pkg := range prog.Requested {
+		requested[pkg] = true
+	}
+
+	for _, fn := range cg.order {
+		site := cg.decls[fn]
+		if site == nil || !requested[site.pkg] {
+			continue
+		}
+		entry := lockSet{}
+		if lc := ci.contract(fn, ContractLocked); lc != nil {
+			recvName, lockOK := checkLockedDecl(pass, fn, site, lc)
+			if recvName != "" && lockOK {
+				entry.acquire(recvName+"."+lc.reason, holdWrite, site.fd.Pos())
+			}
+		}
+		fresh := freshLocals(site.pkg.Info, site.fd)
+		hooks := &lockHooks{
+			access: func(sel *ast.SelectorExpr, base ast.Expr, fld *types.Var, write bool, held lockSet) {
+				gb := ci.byField[originVar(fld)]
+				if gb == nil {
+					return
+				}
+				if root := exprRootIdent(base); root != nil && fresh[site.pkg.Info.ObjectOf(root)] {
+					return
+				}
+				key := types.ExprString(base) + "." + gb.lock
+				h := held[key]
+				switch {
+				case write && h.kind != holdWrite:
+					pass.Reportf(sel.Sel.Pos(),
+						"write to %s needs %s held exclusively (//krsp:guardedby(%s) on field %s)",
+						types.ExprString(sel), key, gb.lock, fld.Name())
+				case !write && h.kind == 0:
+					pass.Reportf(sel.Sel.Pos(),
+						"read of %s needs %s held (//krsp:guardedby(%s) on field %s)",
+						types.ExprString(sel), key, gb.lock, fld.Name())
+				}
+			},
+			call: func(call *ast.CallExpr, callee *types.Func, held lockSet) {
+				lc := ci.contract(originFunc(callee), ContractLocked)
+				if lc == nil {
+					return
+				}
+				funSel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				if root := exprRootIdent(funSel.X); root != nil && fresh[site.pkg.Info.ObjectOf(root)] {
+					return
+				}
+				key := types.ExprString(funSel.X) + "." + lc.reason
+				if held[key].kind == 0 {
+					pass.Reportf(call.Pos(),
+						"call to //krsp:locked %s needs %s held by the caller",
+						callee.Name(), key)
+				}
+			},
+		}
+		walkLocks(site, entry, hooks)
+	}
+
+	runLockCoverage(pass, ci)
+}
+
+// checkLockedDecl validates a //krsp:locked contract's declaration: the
+// method must have a named receiver whose struct declares the named lock as
+// a sync.Mutex/RWMutex field. It returns the receiver name and whether the
+// lock resolved.
+func checkLockedDecl(pass *Pass, fn *types.Func, site *declSite, lc *parsedContract) (recvName string, ok bool) {
+	recv := site.fd.Recv
+	if recv == nil || len(recv.List) == 0 || len(recv.List[0].Names) == 0 {
+		return "", false
+	}
+	recvName = recv.List[0].Names[0].Name
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return recvName, false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	strct, isStruct := t.Underlying().(*types.Struct)
+	if !isStruct {
+		pass.Reportf(lc.pos, "//krsp:locked(%s): receiver of %s is not a struct", lc.reason, fn.Name())
+		return recvName, false
+	}
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if f.Name() == lc.reason {
+			if !isMutexType(f.Type()) {
+				pass.Reportf(lc.pos, "//krsp:locked(%s): the named field is not a sync.Mutex or sync.RWMutex", lc.reason)
+				return recvName, false
+			}
+			return recvName, true
+		}
+	}
+	pass.Reportf(lc.pos, "//krsp:locked(%s): the receiver struct of %s declares no such field", lc.reason, fn.Name())
+	return recvName, false
+}
+
+// runLockCoverage enforces guardedby coverage over the covered packages:
+// any named field sharing a struct with a mutex must be annotated, of a
+// self-synchronizing type, or carry a //lint:allow lockcheck justification.
+func runLockCoverage(pass *Pass, ci *contractIndex) {
+	for _, pkg := range pass.Prog.Requested {
+		if !pathHasAnySegment(pkg.Path, concCoveredSegments) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				lockName := ""
+				for _, fld := range st.Fields.List {
+					if tv, ok := pkg.Info.Types[fld.Type]; ok && isMutexType(tv.Type) && len(fld.Names) > 0 {
+						lockName = fld.Names[0].Name
+						break
+					}
+				}
+				if lockName == "" {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					tv, ok := pkg.Info.Types[fld.Type]
+					if !ok || selfSynchronized(tv.Type) {
+						continue
+					}
+					for _, name := range fld.Names {
+						v, isVar := pkg.Info.Defs[name].(*types.Var)
+						if !isVar || ci.byField[v] != nil {
+							continue
+						}
+						pass.Reportf(name.Pos(),
+							"field %s of %s shares the struct with lock %s but carries no //krsp:guardedby; annotate the lock or justify immutability with //lint:allow lockcheck <reason>",
+							name.Name, ts.Name.Name, lockName)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// selfSynchronized reports field types exempt from guardedby coverage:
+// locks themselves, the sync and sync/atomic types (self-synchronizing by
+// construction), and channels (synchronized by the runtime).
+func selfSynchronized(t types.Type) bool {
+	if isMutexType(t) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil && (p.Path() == "sync" || p.Path() == "sync/atomic") {
+			return true
+		}
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// freshLocals collects the function's constructor-fresh locals: variables
+// defined from a composite literal (&T{...} / T{...}) or new(T). A struct
+// reachable only through such a local has no concurrent readers yet, so
+// its guarded fields may be initialized lock-free (the NewTable/NewCache
+// constructor idiom).
+func freshLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	record := func(name *ast.Ident, value ast.Expr) {
+		if name == nil || value == nil || name.Name == "_" {
+			return
+		}
+		if isFreshExpr(info, value) {
+			if obj := info.Defs[name]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					record(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports expressions that denote a brand-new value: a
+// composite literal, its address, or a new(T) call.
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, isLit := e.X.(*ast.CompositeLit)
+		return isLit
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, isB := info.ObjectOf(id).(*types.Builtin); isB && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// originVar normalizes a possibly-instantiated generic struct field to its
+// generic origin, so a Cache[string] access matches the annotation on the
+// generic Cache[V] declaration.
+func originVar(v *types.Var) *types.Var {
+	if v == nil {
+		return nil
+	}
+	return v.Origin()
+}
+
+// originFunc is originVar for methods of generic types.
+func originFunc(f *types.Func) *types.Func {
+	if f == nil {
+		return nil
+	}
+	return f.Origin()
+}

@@ -1,0 +1,554 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the lock-set abstract interpreter shared by the lockcheck
+// and atomicmix analyzers. It walks one function body statement by
+// statement, tracking which sync.Mutex/sync.RWMutex instances are held at
+// each program point. Locks are identified by the printed form of their
+// receiver expression ("t.mu", "c.mu"): two spellings of the same lock
+// unify, two locks spelled identically on different objects do not occur
+// in practice because the walk is per-function and receiver names are
+// stable within one body.
+//
+// The lattice is a map from lock key to the strongest hold proven on every
+// path: branches merge by intersection (a lock is held after an if only
+// when both arms hold it), paths that terminate (return, panic, os.Exit,
+// break/continue) drop out of the merge, and loop bodies contribute to the
+// post-loop state only by intersection with the pre-loop state (a loop may
+// run zero times). deferred Unlock/RUnlock calls — including ones inside a
+// deferred function literal — release their lock at every exit.
+//
+// Known, documented approximations (DESIGN.md §15): TryLock acquires
+// nothing; a pointer derived from a guarded field (&t.members[i]) is not
+// tracked through the local; an embedded anonymous sync.Mutex cannot be
+// named by //krsp:guardedby; function literals are analyzed as if invoked
+// at their creation point (the synchronous-callback idiom), except go
+// statements, whose bodies start with an empty lock set.
+
+// holdKind is the strength of a proven hold: RLock yields holdRead, Lock
+// yields holdWrite (which satisfies read requirements too).
+type holdKind int
+
+const (
+	holdRead holdKind = iota + 1
+	holdWrite
+)
+
+// lockHold is one held lock: its strength and the acquisition site.
+type lockHold struct {
+	kind holdKind
+	pos  token.Pos
+}
+
+// lockSet maps canonical lock keys to the strongest hold proven on every
+// path reaching the current program point.
+type lockSet map[string]lockHold
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s lockSet) acquire(key string, k holdKind, pos token.Pos) {
+	if cur, ok := s[key]; !ok || cur.kind < k {
+		s[key] = lockHold{kind: k, pos: pos}
+	}
+}
+
+// intersectLocks keeps the locks held in both sets, at the weaker strength.
+func intersectLocks(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, ha := range a {
+		if hb, ok := b[k]; ok {
+			h := ha
+			if hb.kind < ha.kind {
+				h = hb
+			}
+			out[k] = h
+		}
+	}
+	return out
+}
+
+// lockHooks are the walker's client callbacks. Any hook may be nil.
+type lockHooks struct {
+	// access fires for every struct-field selector expression, reads and
+	// writes alike, with the lock set held at that point.
+	access func(sel *ast.SelectorExpr, base ast.Expr, fld *types.Var, write bool, held lockSet)
+	// call fires for every statically-resolved call with the lock set at
+	// the call site (lockcheck enforces //krsp:locked here).
+	call func(call *ast.CallExpr, callee *types.Func, held lockSet)
+	// exit fires at every function exit (each return and the fall-off end)
+	// with the locks still held after deferred releases — locks the
+	// function acquired but provably never released on this path.
+	exit func(pos token.Pos, leaked []leakedLock)
+}
+
+// leakedLock is one lock held at a function exit with no release.
+type leakedLock struct {
+	key string
+	pos token.Pos // acquisition site
+}
+
+// lockState is the abstract state at one program point.
+type lockState struct {
+	held       lockSet
+	terminated bool
+}
+
+func (st *lockState) fork() *lockState {
+	return &lockState{held: st.held.clone()}
+}
+
+// mergeBranches joins two-way control flow back into st.
+func (st *lockState) mergeBranches(a, b *lockState) {
+	switch {
+	case a.terminated && b.terminated:
+		st.terminated = true
+	case a.terminated:
+		st.held = b.held
+	case b.terminated:
+		st.held = a.held
+	default:
+		st.held = intersectLocks(a.held, b.held)
+	}
+}
+
+// lockWalker drives one function body's walk.
+type lockWalker struct {
+	info  *types.Info
+	hooks *lockHooks
+	// entry holds the locks pre-held at function entry (//krsp:locked
+	// seeding); they are exempt from leak reporting — the caller owns them.
+	entry lockSet
+	// deferred records lock keys released by a deferred call anywhere in
+	// the body (conditional defers are assumed to run: missing a leak is
+	// acceptable, inventing one is not).
+	deferred map[string]bool
+}
+
+// walkLocks analyzes one function declaration with the given entry
+// lock-set, firing hooks as it goes.
+func walkLocks(site *declSite, entry lockSet, hooks *lockHooks) {
+	if site.fd.Body == nil {
+		return
+	}
+	w := &lockWalker{info: site.pkg.Info, hooks: hooks, entry: entry, deferred: map[string]bool{}}
+	w.collectDeferred(site.fd.Body)
+	st := &lockState{held: entry.clone()}
+	w.stmt(site.fd.Body, st)
+	if !st.terminated {
+		w.exitAt(site.fd.Body.Rbrace, st)
+	}
+}
+
+// walkFuncLit analyzes a function literal as its own scope: fresh deferred
+// set, its own exits, entry as given.
+func (w *lockWalker) walkFuncLit(lit *ast.FuncLit, entry lockSet) {
+	w2 := &lockWalker{info: w.info, hooks: w.hooks, entry: entry, deferred: map[string]bool{}}
+	w2.collectDeferred(lit.Body)
+	st := &lockState{held: entry.clone()}
+	w2.stmt(lit.Body, st)
+	if !st.terminated {
+		w2.exitAt(lit.Body.Rbrace, st)
+	}
+}
+
+// collectDeferred pre-scans a body for deferred unlock calls, direct or
+// inside a deferred function literal, without descending into nested
+// function literals' own defers.
+func (w *lockWalker) collectDeferred(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its defers belong to its own walk
+		case *ast.DeferStmt:
+			if op, key, ok := mutexOp(w.info, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				w.deferred[key] = true
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if op, key, ok := mutexOp(w.info, call); ok && (op == "Unlock" || op == "RUnlock") {
+							w.deferred[key] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) exitAt(pos token.Pos, st *lockState) {
+	if w.hooks.exit == nil {
+		return
+	}
+	var leaked []leakedLock
+	for key, h := range st.held {
+		if w.deferred[key] {
+			continue
+		}
+		if _, preHeld := w.entry[key]; preHeld {
+			continue
+		}
+		leaked = append(leaked, leakedLock{key: key, pos: h.pos})
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].key < leaked[j].key })
+	w.hooks.exit(pos, leaked)
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) {
+	if s == nil || st.terminated {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, x := range s.List {
+			w.stmt(x, st)
+			if st.terminated {
+				return
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+		if isTerminalCall(s.X) { // ir.go: panic / os.Exit / log.Fatal*
+			st.terminated = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			w.writeTarget(l, st)
+		}
+	case *ast.IncDecStmt:
+		w.writeTarget(s.X, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+		w.exitAt(s.Pos(), st)
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing block; the path drops out
+		// of downstream merges.
+		st.terminated = true
+	case *ast.IfStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Cond, st)
+		thenSt := st.fork()
+		w.stmt(s.Body, thenSt)
+		elseSt := st.fork()
+		if s.Else != nil {
+			w.stmt(s.Else, elseSt)
+		}
+		st.mergeBranches(thenSt, elseSt)
+	case *ast.ForStmt:
+		w.stmt(s.Init, st)
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		bodySt := st.fork()
+		w.stmt(s.Body, bodySt)
+		if !bodySt.terminated {
+			w.stmt(s.Post, bodySt)
+		}
+		if !bodySt.terminated {
+			st.held = intersectLocks(st.held, bodySt.held)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		bodySt := st.fork()
+		if s.Tok == token.ASSIGN {
+			w.writeTarget(s.Key, bodySt)
+			w.writeTarget(s.Value, bodySt)
+		}
+		w.stmt(s.Body, bodySt)
+		if !bodySt.terminated {
+			st.held = intersectLocks(st.held, bodySt.held)
+		}
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Tag, st)
+		w.mergeClauses(s.Body, st, !switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, st)
+		w.stmt(s.Assign, st)
+		w.mergeClauses(s.Body, st, !switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		// select blocks until some clause runs: merge only clause exits.
+		w.mergeClauses(s.Body, st, false)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, st)
+		}
+		// The deferred release itself was pre-collected; a deferred Lock
+		// (pathological) is ignored.
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// A goroutine body starts with no locks: the spawner's holds do
+			// not transfer across the go statement.
+			w.walkFuncLit(lit, lockSet{})
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// mergeClauses walks each clause body of a switch/select on a fork and
+// joins the non-terminated exits; includeSkip additionally keeps the
+// pre-statement state in the merge (a switch without default may match no
+// case).
+func (w *lockWalker) mergeClauses(body *ast.BlockStmt, st *lockState, includeSkip bool) {
+	var exits []*lockState
+	for _, c := range body.List {
+		fork := st.fork()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, fork)
+			}
+			for _, x := range c.Body {
+				w.stmt(x, fork)
+				if fork.terminated {
+					break
+				}
+			}
+		case *ast.CommClause:
+			w.stmt(c.Comm, fork)
+			for _, x := range c.Body {
+				w.stmt(x, fork)
+				if fork.terminated {
+					break
+				}
+			}
+		}
+		if !fork.terminated {
+			exits = append(exits, fork)
+		}
+	}
+	if includeSkip {
+		exits = append(exits, &lockState{held: st.held})
+	}
+	if len(exits) == 0 {
+		st.terminated = true
+		return
+	}
+	merged := exits[0].held
+	for _, e := range exits[1:] {
+		merged = intersectLocks(merged, e.held)
+	}
+	st.held = merged
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) expr(e ast.Expr, st *lockState) {
+	switch e := e.(type) {
+	case nil, *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		w.expr(e.X, st)
+		w.fieldAccess(e, false, st)
+	case *ast.CallExpr:
+		if op, key, ok := mutexOp(w.info, e); ok {
+			w.applyLockOp(op, key, e.Pos(), st)
+			return
+		}
+		for _, a := range e.Args {
+			w.expr(a, st)
+		}
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			w.expr(fun.X, st)
+			w.fieldAccess(fun, false, st) // function-valued field
+		case *ast.FuncLit:
+			w.walkFuncLit(fun, st.held) // immediately invoked
+		case *ast.Ident:
+		default:
+			w.expr(e.Fun, st)
+		}
+		if w.hooks.call != nil {
+			if callee := calleeFunc(w.info, e); callee != nil {
+				w.hooks.call(e, callee, st.held)
+			}
+		}
+	case *ast.FuncLit:
+		// Closure value: analyzed as if invoked here — the synchronous-
+		// callback idiom (sort.Slice et al.). Spawn-only literals are
+		// handled at their go statement instead.
+		w.walkFuncLit(e, st.held)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Taking a guarded field's address hands out a mutation channel:
+			// treated as a write.
+			w.writeTarget(e.X, st)
+			return
+		}
+		w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		w.expr(e.X, st)
+		w.expr(e.Y, st)
+	case *ast.ParenExpr:
+		w.expr(e.X, st)
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.IndexExpr:
+		w.expr(e.X, st)
+		w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(e.X, st)
+		for _, ix := range e.Indices {
+			w.expr(ix, st)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, st)
+		w.expr(e.Low, st)
+		w.expr(e.High, st)
+		w.expr(e.Max, st)
+	case *ast.CompositeLit:
+		isStruct := false
+		if tv, ok := w.info.Types[e]; ok {
+			_, isStruct = tv.Type.Underlying().(*types.Struct)
+		}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if !isStruct {
+					w.expr(kv.Key, st)
+				}
+				w.expr(kv.Value, st)
+				continue
+			}
+			w.expr(elt, st)
+		}
+	}
+}
+
+// writeTarget walks an assignment target: the terminal selector is a write
+// access; writes through an index or deref mutate the guarded container
+// and count as writes on its field too.
+func (w *lockWalker) writeTarget(e ast.Expr, st *lockState) {
+	switch e := e.(type) {
+	case nil, *ast.Ident:
+	case *ast.SelectorExpr:
+		w.expr(e.X, st)
+		w.fieldAccess(e, true, st)
+	case *ast.IndexExpr:
+		w.expr(e.Index, st)
+		w.writeTarget(e.X, st)
+	case *ast.StarExpr:
+		w.writeTarget(e.X, st)
+	case *ast.ParenExpr:
+		w.writeTarget(e.X, st)
+	default:
+		w.expr(e, st)
+	}
+}
+
+func (w *lockWalker) fieldAccess(sel *ast.SelectorExpr, write bool, st *lockState) {
+	if w.hooks.access == nil {
+		return
+	}
+	selection, ok := w.info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fld, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	w.hooks.access(sel, sel.X, fld, write, st.held)
+}
+
+func (w *lockWalker) applyLockOp(op, key string, pos token.Pos, st *lockState) {
+	switch op {
+	case "Lock":
+		st.held.acquire(key, holdWrite, pos)
+	case "RLock":
+		st.held.acquire(key, holdRead, pos)
+	case "Unlock", "RUnlock":
+		delete(st.held, key)
+	}
+	// TryLock/TryRLock deliberately acquire nothing: the boolean result is
+	// not path-tracked, and claiming the lock on both arms would be unsound.
+}
+
+// mutexOp recognizes a call as a sync.Mutex/RWMutex locking operation and
+// returns the method name plus the canonical key of the receiver lock.
+func mutexOp(info *types.Info, call *ast.CallExpr) (op, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), types.ExprString(sel.X), true
+	}
+	return "", "", false
+}
+
+// exprRootIdent returns the leftmost identifier of a selector/index/deref
+// chain ("t" for t.members[i]), or nil.
+func exprRootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}

@@ -9,11 +9,13 @@ import (
 
 // All returns the full krsplint analyzer suite in report order: the six
 // per-package invariant checks, the whole-module dataflow and contract
-// checkers, and the cross-layer consistency analyzers.
+// checkers, the concurrency layer (lock-sets, goroutine lifecycles,
+// atomics discipline), and the cross-layer consistency analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Ctxpoll, Detmap, Nopanic, Hotalloc, Wallclock, Weightovf,
-		Boundsafe, Nilflow, Contracts, Metricscat, Eventcat, Faultseam, Suppressdrift,
+		Boundsafe, Nilflow, Lockcheck, Gorolife, Atomicmix,
+		Contracts, Metricscat, Eventcat, Faultseam, Suppressdrift,
 	}
 }
 
@@ -22,7 +24,7 @@ func All() []*Analyzer {
 // change outside any single analyzer can alter verdicts for unchanged
 // sources (a sharper widening, a new discharge rule), so warm krsplint
 // caches invalidate instead of replaying stale reports.
-const engineSchema = 2 // 2: SSA-lite IR + interval dataflow engine
+const engineSchema = 3 // 3: lock-set walker + field-level contract index (2: SSA-lite IR + interval dataflow)
 
 // Fingerprint digests the engine schema plus each requested analyzer's
 // name and Version into a short hex string. cmd/krsplint mixes it into the

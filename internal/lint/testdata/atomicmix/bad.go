@@ -1,0 +1,49 @@
+// Package mixlib is the atomicmix self-test corpus: bad.go pins mixed
+// atomic/plain access, double-checked locking and the lock leak; ok.go
+// must stay silent.
+package mixlib
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hits is updated atomically by Record but read plainly by Report.
+var hits int64
+
+// Record bumps the counter atomically.
+func Record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Report reads the same counter without atomics: no ordering at all.
+func Report() int64 {
+	return hits
+}
+
+// Box pins double-checked locking and the lock leak.
+type Box struct {
+	mu    sync.Mutex
+	ready bool
+	bad   bool
+}
+
+// Init is the classic double-checked initialization race.
+func (b *Box) Init() {
+	if !b.ready {
+		b.mu.Lock()
+		if !b.ready {
+			b.ready = true
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Leak returns early with the lock still held.
+func (b *Box) Leak() {
+	b.mu.Lock()
+	if b.bad {
+		return
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,52 @@
+package mixlib
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// calls is all-atomic: one discipline, no diagnostics.
+var calls int64
+
+// Tally bumps atomically.
+func Tally() { atomic.AddInt64(&calls, 1) }
+
+// Total reads atomically.
+func Total() int64 { return atomic.LoadInt64(&calls) }
+
+// resets is cleared plainly during single-threaded setup: justified.
+var resets int64
+
+// Reset runs before any goroutine starts.
+func Reset() {
+	resets = 0 //lint:allow atomicmix single-threaded setup, no concurrent readers yet
+}
+
+// CountReset bumps atomically on the concurrent path.
+func CountReset() { atomic.AddInt64(&resets, 1) }
+
+// Guard is the clean lock discipline: deferred and all-paths unlocks.
+type Guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc uses the deferred unlock.
+func (g *Guard) Inc() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// Add unlocks on both paths before returning.
+func (g *Guard) Add(d int) int {
+	g.mu.Lock()
+	if d == 0 {
+		g.mu.Unlock()
+		return 0
+	}
+	g.n += d
+	out := g.n
+	g.mu.Unlock()
+	return out
+}

@@ -1,0 +1,26 @@
+// Package lifelib is the gorolife self-test corpus: bad.go pins the
+// leak-prone spawns and the stale waiver, ok.go must stay silent.
+package lifelib
+
+// work is an opaque sink.
+func work() {}
+
+// SpinForever spawns a worker with a bare loop and no shutdown signal.
+func SpinForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// SpawnOpaque spawns a function value the analyzer cannot resolve to a
+// body.
+func SpawnOpaque(f func()) {
+	go f()
+}
+
+// Stale carries a detached waiver but spawns nothing.
+//
+//krsp:detached(claims a detached worker that no longer exists)
+func Stale() {}

@@ -1,0 +1,95 @@
+package lifelib
+
+import "sync"
+
+// consume drains one item.
+func consume(int) {}
+
+// RunOnce is loop-free: the body terminates by construction.
+func RunOnce() {
+	go func() {
+		work()
+	}()
+}
+
+// Serve spawns a worker that shuts down on a channel receive.
+func Serve(stop chan struct{}, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-in:
+				consume(v)
+			}
+		}
+	}()
+}
+
+// Drain ranges over the channel: the producer's close is the signal.
+func Drain(in chan int) {
+	go func() {
+		for v := range in {
+			consume(v)
+		}
+	}()
+}
+
+// pump loops with a range receive; Start spawns it by name.
+func pump(in chan int) {
+	for v := range in {
+		consume(v)
+	}
+}
+
+// Start spawns the named module-local pump.
+func Start(in chan int) {
+	go pump(in)
+}
+
+// Launch spawns through a local function-literal variable.
+func Launch() {
+	hop := func() { work() }
+	go hop()
+}
+
+// Fan joins its workers through the WaitGroup it waits on: the
+// condition-only countdown loop needs no receive because the spawner
+// blocks on the join.
+func Fan(jobs []int) {
+	out := make([]int, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := jobs[i]
+			for n > 0 {
+				n--
+			}
+			out[i] = n
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Beacon intentionally outlives its spawner.
+//
+//krsp:detached(heartbeat runs for the process lifetime by design)
+func Beacon() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// Spin is a deliberate busy-wait kept for the corpus: suppressed inline.
+func Spin() {
+	//lint:allow gorolife drained externally by the bench harness
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

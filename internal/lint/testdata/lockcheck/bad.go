@@ -1,0 +1,61 @@
+// Package lockgolden is the lockcheck self-test corpus: bad.go pins the
+// violating shapes (unlocked access, weak holds, missing coverage, bad
+// directives), ok.go must stay silent.
+package lockgolden
+
+import "sync"
+
+// Registry pins the field-level violations.
+type Registry struct {
+	mu sync.Mutex
+	// count is the guarded request counter.
+	//krsp:guardedby(mu)
+	count int
+	// names lacks an annotation and an allow: the coverage sweep flags it.
+	names []string
+	// tags names a non-mutex sibling as its lock: a directive diagnostic,
+	// and the field then still lacks coverage.
+	//krsp:guardedby(names)
+	tags map[string]int
+}
+
+// Peek reads the guarded counter without the lock.
+func (r *Registry) Peek() int {
+	return r.count
+}
+
+// Bump writes the guarded counter without the lock.
+func (r *Registry) Bump() {
+	r.count++
+}
+
+// adjust requires the caller to hold r.mu.
+//
+//krsp:locked(mu)
+func (r *Registry) adjust(d int) {
+	r.count += d
+}
+
+// Misuse calls the locked helper without holding the lock.
+func (r *Registry) Misuse() {
+	r.adjust(2)
+}
+
+// Gauge pins the RWMutex write-vs-read distinction.
+type Gauge struct {
+	rw sync.RWMutex
+	//krsp:guardedby(rw)
+	val int
+}
+
+// Weaken writes val under a read lock only: not exclusive.
+func (g *Gauge) Weaken() {
+	g.rw.RLock()
+	g.val = 3
+	g.rw.RUnlock()
+}
+
+// Misplaced carries a guardedby on a function: a placement diagnostic.
+//
+//krsp:guardedby(mu)
+func Misplaced() {}

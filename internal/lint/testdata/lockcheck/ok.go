@@ -1,0 +1,73 @@
+package lockgolden
+
+import "sync"
+
+// Store is the clean counterpart: every access pattern lockcheck accepts.
+type Store struct {
+	mu sync.Mutex
+	//krsp:guardedby(mu)
+	items map[string]int
+	// capHint is immutable after construction: justified, not annotated.
+	capHint int //lint:allow lockcheck immutable after NewStore returns
+}
+
+// NewStore initializes guarded state through a constructor-fresh local:
+// nothing else can hold a reference yet.
+func NewStore(capHint int) *Store {
+	s := &Store{capHint: capHint}
+	s.items = make(map[string]int, capHint)
+	return s
+}
+
+// Put writes under the deferred-unlock idiom.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+}
+
+// Get reads under an early-unlock-and-return shape on the hit path.
+func (s *Store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.items[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+// drop requires the lock held by the caller.
+//
+//krsp:locked(mu)
+func (s *Store) drop(k string) {
+	delete(s.items, k)
+}
+
+// Evict holds the lock across the locked-helper call.
+func (s *Store) Evict(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drop(k)
+}
+
+// View pins the read-lock side of the RWMutex discipline.
+type View struct {
+	rw sync.RWMutex
+	//krsp:guardedby(rw)
+	rev int
+}
+
+// Rev reads rev under RLock: a read hold satisfies reads.
+func (v *View) Rev() int {
+	v.rw.RLock()
+	defer v.rw.RUnlock()
+	return v.rev
+}
+
+// Tick writes rev under the exclusive lock.
+func (v *View) Tick() {
+	v.rw.Lock()
+	v.rev++
+	v.rw.Unlock()
+}

@@ -38,14 +38,19 @@ func (s State) String() string {
 // next Put, so a full cache serves arbitrary churn with zero steady-state
 // allocations on the solve path.
 type Cache[V any] struct {
-	mu      sync.Mutex
-	cap     int
-	ttl     int64 // ns; ≤ 0 means entries never go stale
+	mu sync.Mutex
+	//krsp:guardedby(mu)
+	cap int
+	//krsp:guardedby(mu)
+	ttl int64 // ns; ≤ 0 means entries never go stale
+	//krsp:guardedby(mu)
 	entries map[FP]*entry[V]
 	// Doubly-linked LRU list threaded through the entries; head is the most
 	// recently used. The list is circular through a fixed sentinel root so
 	// insertion and removal are branch-free.
+	//krsp:guardedby(mu)
 	root entry[V]
+	//krsp:guardedby(mu)
 	free *entry[V]
 }
 
@@ -85,9 +90,11 @@ func (c *Cache[V]) Get(fp FP, now int64) (V, State) {
 	}
 	c.unlink(e)
 	c.pushFront(e)
-	v, stored := e.v, e.stored
+	// Staleness is decided under the lock: c.ttl is guarded state, and
+	// reading it after Unlock would race a concurrent reconfiguration.
+	v, stale := e.v, c.ttl > 0 && now-e.stored > c.ttl
 	c.mu.Unlock()
-	if c.ttl > 0 && now-stored > c.ttl {
+	if stale {
 		return v, Stale
 	}
 	return v, Fresh
@@ -151,12 +158,18 @@ func (c *Cache[V]) Len() int {
 	return len(c.entries)
 }
 
+// unlink detaches e from the LRU list.
+//
+//krsp:locked(mu)
 func (c *Cache[V]) unlink(e *entry[V]) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
 	e.prev, e.next = nil, nil
 }
 
+// pushFront inserts e at the most-recently-used head.
+//
+//krsp:locked(mu)
 func (c *Cache[V]) pushFront(e *entry[V]) {
 	e.prev, e.next = &c.root, c.root.next
 	c.root.next.prev = e
@@ -175,7 +188,8 @@ var ErrLeaderFailed = errors.New("solvecache: singleflight leader failed without
 // a solve that never entered the solver.
 type Group[V any] struct {
 	mu sync.Mutex
-	m  map[FP]*flightCall[V]
+	//krsp:guardedby(mu)
+	m map[FP]*flightCall[V]
 }
 
 type flightCall[V any] struct {

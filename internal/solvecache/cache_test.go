@@ -198,6 +198,62 @@ func TestCacheTTL(t *testing.T) {
 	}
 }
 
+// TestCacheTTLBoundary pins the strict inequality of the staleness
+// decision, which Get now computes under the lock (the former lock-free
+// read of c.ttl after Unlock was flagged by lockcheck): an entry aged
+// exactly ttl is still Fresh, one nanosecond more is Stale, and ttl ≤ 0
+// never goes stale.
+func TestCacheTTLBoundary(t *testing.T) {
+	c := NewCache[string](2, 100)
+	c.Put(fpOf(1), "v", 1000)
+	if _, st := c.Get(fpOf(1), 1100); st != Fresh {
+		t.Fatalf("age == ttl: %v, want hit", st)
+	}
+	if _, st := c.Get(fpOf(1), 1101); st != Stale {
+		t.Fatalf("age == ttl+1: %v, want stale", st)
+	}
+	forever := NewCache[string](2, 0)
+	forever.Put(fpOf(1), "v", 0)
+	if _, st := forever.Get(fpOf(1), 1<<62); st != Fresh {
+		t.Fatalf("ttl 0 must never go stale: %v", st)
+	}
+}
+
+// TestCacheConcurrentChurn is the race-regression guard for the guarded
+// fields: readers, writers and removers hammer overlapping fingerprints
+// while every Get must observe a consistent (value, state) pair — the
+// value always matches the fingerprint it was stored under. Run under
+// -race this also proves the staleness computation stays inside the
+// critical section.
+func TestCacheConcurrentChurn(t *testing.T) {
+	c := NewCache[uint64](8, 50)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (seed + uint64(i)) % 16
+				fp := fpOf(k)
+				switch i % 4 {
+				case 0:
+					c.Put(fp, k, int64(i))
+				case 1:
+					if v, st := c.Get(fp, int64(i)); st != Miss && v != k {
+						t.Errorf("fp %d returned value %d", k, v)
+						return
+					}
+				case 2:
+					c.Remove(fp)
+				default:
+					c.Len()
+				}
+			}
+		}(uint64(w) * 5)
+	}
+	wg.Wait()
+}
+
 func TestCacheRemoveAndNil(t *testing.T) {
 	c := NewCache[int](2, 0)
 	c.Put(fpOf(1), 1, 0)
